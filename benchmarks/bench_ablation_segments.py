@@ -1,0 +1,34 @@
+"""Ablation A3 -- distributed-RC segmentation: how many ladder segments are enough.
+
+The transient benchmark expands each interconnect into an RC ladder; this
+ablation sweeps the segment count and verifies that the measured delay
+converges (so the default of 20 segments is justified).
+"""
+
+import pytest
+
+from repro.circuit.delay import measure_inverter_line_delay
+from repro.core import InterconnectLine, MWCNTInterconnect
+from repro.units import nm, um
+
+SEGMENTS = (1, 2, 5, 10, 20, 40)
+
+
+def _delay(n_segments: int) -> float:
+    tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(500), contact_resistance=250e3)
+    line = InterconnectLine(tube, n_segments=n_segments)
+    return measure_inverter_line_delay(line).propagation_delay
+
+
+def test_ablation_segment_convergence(once, benchmark):
+    delays = once(benchmark, lambda: {n: _delay(n) for n in SEGMENTS})
+
+    print()
+    reference = delays[SEGMENTS[-1]]
+    for n, delay in delays.items():
+        print(f"{n:3d} segments: {delay*1e12:8.1f} ps ({100*(delay/reference-1):+.1f} % vs finest)")
+
+    # A single lumped segment is visibly off; 10+ segments are converged.
+    assert abs(delays[1] / reference - 1.0) > 0.02
+    assert delays[10] == pytest.approx(reference, rel=0.02)
+    assert delays[20] == pytest.approx(reference, rel=0.01)

@@ -1,0 +1,46 @@
+"""Experiment E11 -- Section II.C: Cu-CNT composite resistivity/ampacity trade-off.
+
+Paper claims: embedding CNTs in a copper matrix enables manufacturable
+integration and "an efficient trade-off between resistivity and ampacity can
+be realized" (reference [14] demonstrated a hundred-fold ampacity increase).
+"""
+
+from repro.analysis.report import format_table
+from repro.core.composite import tradeoff_sweep
+from repro.process.composite_process import FillProcess, composite_from_process, simulate_fill
+from repro.units import nm, um
+
+FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7]
+
+
+def test_composite_tradeoff(benchmark):
+    records = benchmark(tradeoff_sweep, nm(100), nm(50), um(10), FRACTIONS)
+
+    print()
+    print(format_table(records, title="Cu-CNT composite trade-off (10 um line, 100x50 nm)"))
+
+    gains = [record["ampacity_gain"] for record in records]
+    penalties = [record["resistivity_penalty"] for record in records]
+
+    # Ampacity rises monotonically with the CNT fraction...
+    assert all(b >= a for a, b in zip(gains, gains[1:]))
+    # ...reaching well over an order of magnitude within the swept range...
+    assert max(gains) > 10.0
+    # ...while the resistivity penalty stays modest (the "efficient trade-off").
+    assert all(p < 5.0 for p in penalties)
+
+
+def test_fill_process_to_composite(benchmark):
+    """The ECD fill route produces a nearly void-free, low-penalty composite."""
+    process = FillProcess(deposition_time=3600.0)
+    composite = benchmark(composite_from_process, process, nm(100), nm(50), um(10))
+    fill = simulate_fill(process)
+    print()
+    print(
+        f"fill quality {fill.fill_quality:.3f}, composite resistivity penalty "
+        f"{composite.resistivity_penalty_over_copper:.2f}x, ampacity gain "
+        f"{composite.ampacity_gain_over_copper:.1f}x"
+    )
+    assert fill.fill_quality > 0.9
+    assert composite.ampacity_gain_over_copper > 5.0
+    assert composite.resistivity_penalty_over_copper < 3.0

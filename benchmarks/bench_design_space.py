@@ -1,0 +1,56 @@
+"""Extension experiments E12/E13 -- design-space exploration and 3-D TSVs.
+
+The paper's abstract and conclusion motivate CNT interconnects with energy
+efficiency, design-space exploration and 3-D integration (through-silicon
+vias).  These benches exercise the extension layers built on top of the
+reproduction: optimal repeater insertion / energy-delay comparison across
+wiring materials, and the Cu vs CNT vs composite TSV comparison.
+"""
+
+from repro.analysis.energy import best_material_per_length, doping_energy_benefit, run_energy_study
+from repro.analysis.report import format_table
+from repro.core.tsv import tsv_comparison
+
+
+def test_energy_design_space(benchmark):
+    records = benchmark(run_energy_study, (200.0, 500.0, 1000.0))
+
+    print()
+    print(format_table(records, title="Optimally repeated lines: delay / energy / EDP"))
+    winners = best_material_per_length(records, metric="edp_fJ_ns")
+    print(f"EDP winner per length: {winners}")
+
+    # Every candidate produces a valid design at every length.
+    assert len(records) == 12
+    assert all(record["delay_ps"] > 0 and record["energy_fJ"] > 0 for record in records)
+    # Longer lines are slower for every material.
+    for material in {record["line"] for record in records}:
+        delays = [
+            r["delay_ps"]
+            for r in sorted(
+                (r for r in records if r["line"] == material), key=lambda r: r["length_um"]
+            )
+        ]
+        assert delays == sorted(delays)
+
+    benefit = doping_energy_benefit(length_um=500.0)
+    print(f"doping benefit at 500 um: {benefit}")
+    # Doping improves delay and EDP at essentially unchanged switching energy.
+    assert benefit["delay_ratio"] < 1.0
+    assert benefit["edp_ratio"] < 1.0
+    assert abs(benefit["energy_ratio"] - 1.0) < 0.1
+
+
+def test_tsv_comparison(benchmark):
+    rows = benchmark(tsv_comparison)
+
+    print()
+    print(format_table(rows, title="5 um x 50 um TSV: Cu vs CNT bundle vs Cu-CNT composite"))
+
+    copper, cnt, composite = rows
+    # The CNT TSV trades some resistance for a big ampacity and thermal gain...
+    assert cnt["max_current_mA"] > 10 * copper["max_current_mA"]
+    assert cnt["thermal_resistance_K_per_W"] < 0.5 * copper["thermal_resistance_K_per_W"]
+    # ...and the composite recovers most of the resistance penalty.
+    assert composite["resistance_mohm"] < cnt["resistance_mohm"]
+    assert composite["max_current_mA"] > copper["max_current_mA"]

@@ -1,0 +1,35 @@
+"""Experiment E6 -- Fig. 2d: I-V of a side-contacted MWCNT before/after PtCl4 doping.
+
+Paper shape: the same device shows a clearly lower resistance (higher current
+at the same bias) after external charge-transfer doping.
+"""
+
+import numpy as np
+
+from repro.characterization.iv import doping_comparison_iv
+
+
+def test_fig2d_doping_before_after(benchmark):
+    sweeps = benchmark(doping_comparison_iv, seed=0)
+
+    pristine = sweeps["pristine"]
+    doped = sweeps["doped"]
+
+    print()
+    print(
+        f"low-bias resistance: pristine {pristine.low_bias_resistance/1e3:.1f} kOhm, "
+        f"doped {doped.low_bias_resistance/1e3:.1f} kOhm "
+        f"({pristine.low_bias_resistance/doped.low_bias_resistance:.2f}x reduction)"
+    )
+
+    # Doping lowers the resistance...
+    assert doped.low_bias_resistance < pristine.low_bias_resistance
+    # ...by a meaningful factor (the device still has its contact resistance,
+    # so the improvement is bounded) ...
+    ratio = pristine.low_bias_resistance / doped.low_bias_resistance
+    assert 1.05 < ratio < 4.0
+    # ...and at every common bias point the doped device carries at least as
+    # much current.
+    valid = ~np.isnan(pristine.currents) & ~np.isnan(doped.currents)
+    assert np.all(doped.currents[valid] >= pristine.currents[valid] * 0.99)
+    assert pristine.survived and doped.survived

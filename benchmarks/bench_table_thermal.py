@@ -1,0 +1,45 @@
+"""Experiment E8 -- Section I/IV thermal claims: CNT vs Cu thermal conduction.
+
+Paper claims: SWCNT bundles conduct 3000-10000 W/mK against 385 W/mK for
+copper, so heat diffuses more efficiently through CNT vias and can reduce the
+on-chip temperature.
+"""
+
+import pytest
+
+from repro.analysis.paper_reference import PAPER_REFERENCE
+from repro.analysis.report import format_table
+from repro.analysis.tables import thermal_table
+from repro.core import MWCNTInterconnect
+from repro.thermal import self_heating_analysis
+from repro.units import nm, um
+
+
+def test_thermal_table(benchmark):
+    rows = benchmark(thermal_table)
+    print()
+    print(format_table(rows, title="Thermal comparison (Section I)"))
+
+    conductivity_row, via_row = rows[0], rows[1]
+    low, high = PAPER_REFERENCE["cnt_thermal_conductivity_w_per_mk"]
+    assert low <= conductivity_row["cnt"] <= high
+    assert conductivity_row["copper"] == pytest.approx(
+        PAPER_REFERENCE["copper_thermal_conductivity_w_per_mk"]
+    )
+    # CNT vias run cooler than Cu vias for the same heat flow.
+    assert via_row["cnt"] > 1.0
+
+
+def test_cnt_line_selfheating_modest(benchmark):
+    """A CNT line carrying its rated current stays far from thermal runaway."""
+    tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(2))
+    result = benchmark(
+        self_heating_analysis, tube, 50e-6, 0.05
+    )
+    print()
+    print(
+        f"peak temperature {result.peak_temperature:.1f} K at 50 uA "
+        f"({result.dissipated_power*1e6:.1f} uW dissipated)"
+    )
+    assert result.converged
+    assert result.peak_temperature < 400.0

@@ -1,0 +1,38 @@
+"""Experiment E9 -- Section IV.B: transmission-line-measurement extraction.
+
+Paper description: MWCNTs of different lengths are contacted, the resistance
+is measured, and the correlation of resistance with length separates the
+contact resistance (intercept) from the CNT resistance per unit length
+(slope).  The benchmark runs the full measure-then-extract round trip on
+synthetic data and checks that the truth is recovered.
+"""
+
+import pytest
+
+from repro.characterization.tlm import tlm_round_trip
+from repro.core import MWCNTInterconnect
+from repro.units import nm, um
+
+LENGTHS = [um(1), um(2), um(5), um(10), um(20), um(50)]
+
+
+def test_tlm_round_trip(benchmark):
+    device = MWCNTInterconnect(outer_diameter=nm(7.5), length=um(2))
+    extraction, true_contact, true_slope = benchmark(
+        tlm_round_trip, device, LENGTHS, 30e3, 0.02, 0
+    )
+
+    print()
+    print(
+        f"contact resistance: extracted {extraction.contact_resistance/1e3:.1f} kOhm "
+        f"(true {true_contact/1e3:.1f} kOhm)"
+    )
+    print(
+        f"resistance per length: extracted {extraction.resistance_per_length/1e9:.2f} kOhm/um "
+        f"(true {true_slope/1e9:.2f} kOhm/um), R^2 = {extraction.r_squared:.3f}"
+    )
+
+    assert extraction.contact_resistance == pytest.approx(true_contact, rel=0.2)
+    assert extraction.resistance_per_length == pytest.approx(true_slope, rel=0.2)
+    assert extraction.r_squared > 0.9
+    assert extraction.transfer_length() > 0

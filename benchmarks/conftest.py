@@ -1,0 +1,23 @@
+"""Shared configuration of the benchmark harness.
+
+Every ``bench_*.py`` module regenerates one figure or table of the paper
+(see the experiment index in DESIGN.md) and is written as a pytest-benchmark
+test: the ``benchmark`` fixture times the experiment driver, and plain
+assertions check that the *shape* of the result matches the paper
+(orderings, approximate factors, crossovers).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once` to the benchmark modules."""
+    return run_once

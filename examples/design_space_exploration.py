@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Design-space exploration: repeated wires, energy efficiency and 3-D TSVs.
+
+The paper's abstract promises "prospects for designing energy efficient
+integrated circuits" and its conclusion calls for design-space exploration on
+top of the CNT models.  This example answers three such questions with the
+reproduction's extension layers:
+
+1. For a given wire length, which material (Cu, pristine MWCNT, doped MWCNT,
+   Cu-CNT composite) gives the best delay / energy / energy-delay product once
+   each line is optimally repeated?
+2. How much does doping improve the energy-delay product of a CNT wire?
+3. How do Cu, CNT-bundle and composite through-silicon vias compare for 3-D
+   integration (resistance, ampacity, thermal resistance)?
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from repro.analysis.energy import (
+    best_material_per_length,
+    doping_energy_benefit,
+    run_energy_study,
+)
+from repro.analysis.report import format_table
+from repro.core.tsv import tsv_comparison
+
+
+def main() -> None:
+    lengths = (100.0, 500.0, 1000.0, 2000.0)
+
+    print("1) Optimally repeated wires (45 nm node drivers)")
+    records = run_energy_study(lengths_um=lengths)
+    print(format_table(records, title="delay / energy / EDP of repeated lines"))
+    for metric, label in (("delay_ps", "delay"), ("energy_fJ", "energy"), ("edp_fJ_ns", "EDP")):
+        winners = best_material_per_length(records, metric=metric)
+        summary = ", ".join(f"{length:g} um: {name}" for length, name in winners.items())
+        print(f"   best {label}: {summary}")
+    print()
+
+    print("2) Doping benefit for a 500 um MWCNT wire (optimally repeated)")
+    benefit = doping_energy_benefit(length_um=500.0)
+    print(
+        f"   delay x{benefit['delay_ratio']:.2f}, energy x{benefit['energy_ratio']:.2f}, "
+        f"EDP x{benefit['edp_ratio']:.2f} relative to the pristine wire"
+    )
+    print()
+
+    print("3) Through-silicon vias for 3-D integration (5 um diameter, 50 um deep)")
+    print(format_table(tsv_comparison(), title="Cu vs CNT vs Cu-CNT composite TSV"))
+    print()
+    print("The CNT TSV trades a higher resistance for ~100x the current-carrying")
+    print("capability and an order of magnitude lower thermal resistance; the")
+    print("composite recovers most of the resistance while keeping both benefits —")
+    print("the paper's Section I argument for CNTs in 3-D integration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: the CNT interconnect compact models in five minutes.
+
+Builds the paper's basic objects -- a single MWCNT local interconnect, its
+doped counterpart, the copper reference line and a Cu-CNT composite -- and
+prints the head-to-head comparison of resistance, capacitance, ampacity and
+a first delay estimate.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.analysis.report import format_table
+from repro.core import (
+    CuCNTComposite,
+    DopingProfile,
+    InterconnectLine,
+    MWCNTInterconnect,
+    SWCNTBundle,
+)
+from repro.core.copper import paper_reference_copper_line
+from repro.units import nm, to_kohm, um
+
+
+def main() -> None:
+    length = um(10)
+
+    # A pristine MWCNT local interconnect (the paper's CVD-grown 7.5 nm tube)...
+    pristine = MWCNTInterconnect(outer_diameter=nm(7.5), length=length, contact_resistance=50e3)
+    # ...the same tube after charge-transfer doping (Nc = 5 channels per shell)...
+    doped = pristine.with_doping(DopingProfile.iodine(channels_per_shell=5))
+    # ...the copper reference line of the paper's Section I...
+    copper = paper_reference_copper_line(length)
+    # ...a dense SWCNT bundle via, and a Cu-CNT composite global line.
+    bundle = SWCNTBundle(width=nm(100), height=nm(50), length=length, metallic_fraction=1.0)
+    composite = CuCNTComposite(width=nm(100), height=nm(50), length=length, cnt_volume_fraction=0.3)
+
+    rows = []
+    for label, device in [
+        ("MWCNT 7.5 nm (pristine)", pristine),
+        ("MWCNT 7.5 nm (doped, Nc=5)", doped),
+        ("Cu 100x50 nm", copper),
+        ("SWCNT bundle 100x50 nm", bundle),
+        ("Cu-CNT composite (30% CNT)", composite),
+    ]:
+        capacitance = getattr(device, "capacitance", None)
+        max_current = getattr(device, "max_current", None)
+        rows.append(
+            {
+                "structure": label,
+                "R_kOhm": to_kohm(device.resistance),
+                "C_fF": capacitance * 1e15 if capacitance is not None else float("nan"),
+                "I_max_uA": max_current * 1e6 if max_current is not None else float("nan"),
+            }
+        )
+    print(format_table(rows, title=f"10 um interconnect comparison (length = {length*1e6:.0f} um)"))
+    print()
+
+    # Delay of a driver + line + load, pristine versus doped.
+    driver_resistance = 3.0e3  # a 45 nm inverter drives the line
+    load_capacitance = 0.2e-15
+    for label, device in [("pristine", pristine), ("doped", doped)]:
+        line = InterconnectLine(device)
+        delay = line.elmore_delay(driver_resistance, load_capacitance)
+        print(f"Elmore delay with a 3 kOhm driver, {label} MWCNT: {delay*1e12:.2f} ps")
+
+    print()
+    print("Doping cuts the line resistance by the channel ratio (Eq. 4):")
+    print(
+        f"  R_pristine / R_doped = "
+        f"{pristine.intrinsic_resistance / doped.intrinsic_resistance:.2f}"
+        f"  (channels per shell 2 -> {doped.channels_per_shell:g})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro: reproduction of "Progress on Carbon Nanotube BEOL Interconnects".
+
+The package mirrors the paper's structure (Uhlig et al., DATE 2018):
+
+* :mod:`repro.atomistic` -- tight-binding transport (the DFT/NEGF substitute
+  behind Fig. 8),
+* :mod:`repro.core` -- CNT / Cu / composite interconnect compact models
+  (Eqs. 4-5, Fig. 9 and the Section I comparisons),
+* :mod:`repro.tcad` -- finite-difference RC extraction (Eqs. 2-3, Fig. 10),
+* :mod:`repro.circuit` -- MNA circuit simulation and the 45 nm inverter
+  benchmark (Figs. 11-12),
+* :mod:`repro.thermal` -- self-heating, SThM emulation and via thermal models,
+* :mod:`repro.process` -- growth, doping stability, variability and wafer maps,
+* :mod:`repro.characterization` -- TLM / I-V / electromigration / Raman
+  measurement emulation,
+* :mod:`repro.analysis` -- experiment drivers that regenerate every figure
+  and table (see DESIGN.md and EXPERIMENTS.md).
+
+Quick start::
+
+    from repro.core import MWCNTInterconnect, DopingProfile
+    from repro.units import nm, um
+
+    pristine = MWCNTInterconnect(outer_diameter=nm(10), length=um(500))
+    doped = pristine.with_doping(DopingProfile.from_channels(10))
+    print(pristine.resistance, doped.resistance)
+"""
+
+from repro import constants, units
+
+__version__ = "1.0.0"
+
+__all__ = ["constants", "units", "__version__"]

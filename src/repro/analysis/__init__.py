@@ -1,0 +1,31 @@
+"""Experiment drivers that regenerate the paper's figures and tables.
+
+Each module corresponds to one experiment of the DESIGN.md index (E1-E11)
+and produces plain data structures (lists of dictionaries / dataclasses) that
+the benchmarks print and the examples consume.  No plotting library is used;
+:mod:`repro.analysis.report` renders results as text tables.
+"""
+
+from repro.analysis.paper_reference import PAPER_REFERENCE
+from repro.analysis.report import format_table
+from repro.analysis.fig8_conductance import run_fig8a, run_fig8c
+from repro.analysis.fig9_conductivity import run_fig9
+from repro.analysis.fig10_tcad import run_fig10_capacitance, run_fig10_resistance
+from repro.analysis.fig12_delay_ratio import DelayRatioStudy, run_fig12, summarize_at_length
+from repro.analysis.tables import ampacity_table, thermal_table, density_table
+
+__all__ = [
+    "PAPER_REFERENCE",
+    "format_table",
+    "run_fig8a",
+    "run_fig8c",
+    "run_fig9",
+    "run_fig10_capacitance",
+    "run_fig10_resistance",
+    "DelayRatioStudy",
+    "run_fig12",
+    "summarize_at_length",
+    "ampacity_table",
+    "thermal_table",
+    "density_table",
+]

@@ -1,0 +1,103 @@
+"""Energy-efficiency design-space exploration (extension experiment E12).
+
+The paper's abstract frames CNT interconnects as an enabler for "designing
+energy efficient integrated circuits" and its conclusion asks for design
+space exploration on top of the models.  This driver quantifies that: for a
+sweep of interconnect lengths it finds the delay-optimal repeatered design of
+copper, pristine MWCNT, doped MWCNT and Cu-CNT composite lines and reports
+delay, switching energy and the energy-delay product, so the "who should wire
+what length" question can be answered from the reproduction's models.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.repeaters import compare_repeated_lines, optimal_repeater_design
+from repro.circuit.technology import NODE_45NM, TechnologyNode
+from repro.core.composite import CuCNTComposite
+from repro.core.copper import CopperInterconnect
+from repro.core.doping import DopingProfile
+from repro.core.line import InterconnectLine
+from repro.core.mwcnt import MWCNTInterconnect
+
+DEFAULT_LENGTHS_UM = (100.0, 200.0, 500.0, 1000.0, 2000.0)
+DEFAULT_CONTACT_RESISTANCE = 20.0e3
+"""Contact resistance assumed for the (optimistic, contact-engineered) CNT lines."""
+
+
+def candidate_lines(
+    length_um: float,
+    technology: TechnologyNode = NODE_45NM,
+    mwcnt_diameter_nm: float = 14.0,
+    doped_channels: float = 10.0,
+    contact_resistance: float = DEFAULT_CONTACT_RESISTANCE,
+) -> dict[str, InterconnectLine]:
+    """The four wiring candidates of the design-space study at one length."""
+    length = length_um * 1e-6
+    width = technology.wire_pitch / 2.0
+    height = technology.metal_thickness
+
+    copper = CopperInterconnect(width=width, height=height, length=length)
+    pristine = MWCNTInterconnect(
+        outer_diameter=mwcnt_diameter_nm * 1e-9,
+        length=length,
+        contact_resistance=contact_resistance,
+    )
+    doped = pristine.with_doping(DopingProfile.from_channels(doped_channels))
+    composite = CuCNTComposite(
+        width=width, height=height, length=length, cnt_volume_fraction=0.3
+    )
+    return {
+        "Cu": InterconnectLine(copper),
+        "MWCNT pristine": InterconnectLine(pristine),
+        "MWCNT doped": InterconnectLine(doped),
+        "Cu-CNT composite": InterconnectLine(composite),
+    }
+
+
+def run_energy_study(
+    lengths_um: tuple[float, ...] = DEFAULT_LENGTHS_UM,
+    technology: TechnologyNode = NODE_45NM,
+    **candidate_kwargs,
+) -> list[dict]:
+    """Delay / energy / EDP of optimally repeated lines versus length and material.
+
+    Returns one record per (length, material) with the optimal repeater
+    design's figures of merit.
+    """
+    records: list[dict] = []
+    for length_um in lengths_um:
+        lines = candidate_lines(length_um, technology=technology, **candidate_kwargs)
+        records.extend(compare_repeated_lines(lines, technology=technology))
+    return records
+
+
+def best_material_per_length(records: list[dict], metric: str = "edp_fJ_ns") -> dict[float, str]:
+    """Winning material per length for a chosen metric (delay, energy or EDP)."""
+    winners: dict[float, tuple[str, float]] = {}
+    for record in records:
+        length = record["length_um"]
+        value = record[metric]
+        if length not in winners or value < winners[length][1]:
+            winners[length] = (record["line"], value)
+    return {length: name for length, (name, _) in sorted(winners.items())}
+
+
+def doping_energy_benefit(
+    length_um: float = 500.0,
+    technology: TechnologyNode = NODE_45NM,
+    **candidate_kwargs,
+) -> dict[str, float]:
+    """Energy-delay comparison of pristine versus doped MWCNT at one length.
+
+    Returns the ratios doped/pristine of delay, energy and EDP; doping should
+    reduce delay and EDP at (essentially) unchanged switching energy, which is
+    the energy-efficiency argument the paper's abstract gestures at.
+    """
+    lines = candidate_lines(length_um, technology=technology, **candidate_kwargs)
+    pristine = optimal_repeater_design(lines["MWCNT pristine"], technology=technology)
+    doped = optimal_repeater_design(lines["MWCNT doped"], technology=technology)
+    return {
+        "delay_ratio": doped.total_delay / pristine.total_delay,
+        "energy_ratio": doped.total_energy / pristine.total_energy,
+        "edp_ratio": doped.energy_delay_product / pristine.energy_delay_product,
+    }

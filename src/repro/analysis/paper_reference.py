@@ -1,0 +1,53 @@
+"""Reference values quoted in the paper, used as acceptance targets.
+
+These numbers are transcribed from the paper's text (there are no tabulated
+datasets in a progress paper); every benchmark prints its measured value next
+to the corresponding reference so EXPERIMENTS.md can record paper-vs-measured
+for each experiment.
+"""
+
+from __future__ import annotations
+
+PAPER_REFERENCE: dict[str, object] = {
+    # --- Section I (motivation) -----------------------------------------------------
+    "copper_em_limit_a_per_cm2": 1.0e6,
+    "cnt_breakdown_a_per_cm2": 1.0e9,
+    "copper_reference_line_max_current_ua": 50.0,
+    "cnt_per_tube_current_ua": (20.0, 25.0),
+    "minimum_cnt_density_per_nm2": 0.096,
+    "cnt_thermal_conductivity_w_per_mk": (3000.0, 10000.0),
+    "copper_thermal_conductivity_w_per_mk": 385.0,
+    # --- Section II (process) ---------------------------------------------------------
+    "mwcnt_typical_diameter_nm": 7.5,
+    "mwcnt_typical_walls": (4, 5),
+    "via_hole_diameter_nm": 30.0,
+    "catalyst_film_thickness_nm": 1.0,
+    "cmos_max_temperature_c": 400.0,
+    "semiconducting_fraction": 2.0 / 3.0,
+    "wafer_diameter_mm": 300.0,
+    # --- Section III (modeling) ----------------------------------------------------------
+    "quantum_conductance_ms": 0.077,
+    "quantum_resistance_kohm": 12.9,
+    "quantum_capacitance_af_per_um": 96.5,
+    "pristine_swcnt77_conductance_ms": 0.155,
+    "doped_swcnt77_conductance_ms": 0.387,
+    "iodine_fermi_shift_ev": -0.6,
+    "pristine_channels_per_shell": 2,
+    "doping_channel_sweep": (2, 10),
+    "benchmark_technology": "45nm",
+    "tcad_technology": "14nm",
+    "mwcnt_diameters_nm": (10.0, 14.0, 22.0),
+    "delay_reduction_at_500um": {10.0: 0.10, 14.0: 0.05, 22.0: 0.02},
+    "benchmark_length_um": 500.0,
+}
+"""Reference values keyed by a short descriptive name."""
+
+
+def reference(key: str) -> object:
+    """Look up a reference value, raising a helpful error for unknown keys."""
+    try:
+        return PAPER_REFERENCE[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper reference {key!r}; known keys: {sorted(PAPER_REFERENCE)}"
+        ) from None

@@ -1,0 +1,95 @@
+"""Plain-text table rendering for benchmark and example output.
+
+matplotlib is deliberately not a dependency of this reproduction; every
+figure is regenerated as the underlying data series and rendered as an
+aligned text table (or written to CSV by the caller).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render a list of dictionaries as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Records to print; all values are formatted with ``precision``
+        significant digits.
+    columns:
+        Column order; defaults to the keys of the first row.
+    precision:
+        Significant digits for floating-point values.
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table (no trailing newline).
+    """
+    if not rows:
+        return title or "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c, ""), precision) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(columns))
+    ]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label: str, measured: float, reference: object, unit: str = ""
+) -> str:
+    """One-line paper-vs-measured comparison for benchmark output."""
+    if isinstance(reference, tuple) and len(reference) == 2:
+        ref_text = f"{reference[0]:g}-{reference[1]:g}"
+    else:
+        ref_text = f"{reference:g}" if isinstance(reference, (int, float)) else str(reference)
+    unit_text = f" {unit}" if unit else ""
+    return f"{label}: measured {measured:.4g}{unit_text} (paper: {ref_text}{unit_text})"
+
+
+def write_csv(rows: Iterable[Mapping[str, object]], path: str, columns: Sequence[str] | None = None) -> None:
+    """Write records to a CSV file (header from ``columns`` or the first row)."""
+    import csv
+
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to write")
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

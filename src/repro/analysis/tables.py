@@ -1,0 +1,129 @@
+"""Experiment E7/E8 drivers: the paper's text-level comparison tables.
+
+A progress paper carries several quantitative claims in prose rather than
+figures; these drivers regenerate them as tables so the benchmarks can print
+paper-versus-measured rows:
+
+* ampacity: Cu EM limit vs CNT breakdown current density, the 50 uA reference
+  Cu line vs the 20-25 uA single tube, and how many tubes match the Cu line;
+* thermal: CNT vs Cu thermal conductivity and the resulting via advantage;
+* density: the minimum CNT density (0.096 nm^-2) needed for pure CNT
+  interconnects to compete on resistance.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.paper_reference import PAPER_REFERENCE
+from repro.core.ampacity import ampacity_comparison, cnts_needed_to_match_copper
+from repro.core.bundle import SWCNTBundle, max_packing_density
+from repro.core.copper import paper_reference_copper_line
+from repro.core.mwcnt import MWCNTInterconnect
+from repro.thermal.conductivity import cnt_thermal_conductivity, copper_thermal_conductivity
+from repro.thermal.via import cnt_via_advantage
+
+
+def ampacity_table() -> list[dict]:
+    """The Section-I ampacity comparison as printable rows (experiment E7)."""
+    rows = []
+    for entry in ampacity_comparison():
+        rows.append(
+            {
+                "structure": entry.label,
+                "max_current_uA": entry.max_current_ua,
+                "max_current_density_A_per_cm2": entry.max_current_density_a_per_cm2,
+            }
+        )
+    rows.append(
+        {
+            "structure": "tubes needed to match the Cu line",
+            "max_current_uA": cnts_needed_to_match_copper() * 25.0,
+            "max_current_density_A_per_cm2": float("nan"),
+        }
+    )
+    return rows
+
+
+def thermal_table(via_diameter_nm: float = 100.0, via_height_nm: float = 200.0) -> list[dict]:
+    """CNT versus Cu thermal conductivity and via advantage (experiment E8)."""
+    length = via_height_nm * 1e-9
+    return [
+        {
+            "quantity": "thermal conductivity W/(m K)",
+            "cnt": cnt_thermal_conductivity(length=10e-6),
+            "copper": copper_thermal_conductivity(),
+            "paper_cnt": f"{PAPER_REFERENCE['cnt_thermal_conductivity_w_per_mk'][0]:g}-"
+            f"{PAPER_REFERENCE['cnt_thermal_conductivity_w_per_mk'][1]:g}",
+            "paper_copper": PAPER_REFERENCE["copper_thermal_conductivity_w_per_mk"],
+        },
+        {
+            "quantity": f"via temperature-rise ratio (Cu/CNT, d={via_diameter_nm:g} nm)",
+            "cnt": cnt_via_advantage(via_diameter_nm * 1e-9, via_height_nm * 1e-9),
+            "copper": 1.0,
+            "paper_cnt": "> 1 (CNT vias run cooler)",
+            "paper_copper": 1.0,
+        },
+    ]
+
+
+def density_table(length_um: float = 10.0) -> list[dict]:
+    """Minimum-density argument of Section I (experiment E7 companion).
+
+    Compares the resistance of the reference Cu line with CNT bundles of the
+    paper's minimum density (0.096 nm^-2) and of the ideal close-packed
+    density, at the same cross-section.
+    """
+    length = length_um * 1e-6
+    copper = paper_reference_copper_line(length)
+    minimum_density = PAPER_REFERENCE["minimum_cnt_density_per_nm2"] * 1e18
+
+    at_minimum = SWCNTBundle(
+        width=copper.width,
+        height=copper.height,
+        length=length,
+        density=minimum_density,
+        metallic_fraction=1.0,
+    )
+    close_packed = SWCNTBundle(
+        width=copper.width, height=copper.height, length=length, metallic_fraction=1.0
+    )
+    return [
+        {
+            "structure": "Cu 100x50 nm",
+            "density_per_nm2": float("nan"),
+            "resistance_ohm": copper.resistance,
+        },
+        {
+            "structure": "CNT bundle at paper minimum density",
+            "density_per_nm2": at_minimum.effective_density / 1e18,
+            "resistance_ohm": at_minimum.resistance,
+        },
+        {
+            "structure": "CNT bundle close-packed",
+            "density_per_nm2": close_packed.effective_density / 1e18,
+            "resistance_ohm": close_packed.resistance,
+        },
+        {
+            "structure": "ideal packing limit (1 nm tubes)",
+            "density_per_nm2": max_packing_density(1e-9) / 1e18,
+            "resistance_ohm": float("nan"),
+        },
+    ]
+
+
+def doping_resistance_table(lengths_um: tuple[float, ...] = (1.0, 10.0, 100.0, 500.0)) -> list[dict]:
+    """Pristine versus doped MWCNT resistance versus length (compact-model table)."""
+    from repro.core.doping import DopingProfile
+
+    rows = []
+    for length_um in lengths_um:
+        pristine = MWCNTInterconnect(outer_diameter=10e-9, length=length_um * 1e-6)
+        doped = pristine.with_doping(DopingProfile.from_channels(10))
+        rows.append(
+            {
+                "length_um": length_um,
+                "pristine_kohm": pristine.resistance / 1e3,
+                "doped_kohm": doped.resistance / 1e3,
+                "improvement": pristine.resistance / doped.resistance,
+            }
+        )
+    return rows

@@ -1,0 +1,226 @@
+"""Zone-folded band structure of single-wall carbon nanotubes.
+
+The band structure of an (n, m) nanotube is obtained by sampling the graphene
+pi-band dispersion along ``N`` parallel cutting lines in reciprocal space,
+where ``N`` is the number of hexagons in the nanotube unit cell.  Each cutting
+line ``mu`` contributes one valence and one conduction band
+
+    E_{mu, +-}(k) = +- gamma0 | f( mu K1 + k K2_hat ) |
+
+with ``k`` the 1-D wave number along the tube axis in the first Brillouin zone
+``(-pi/T, pi/T]``.  This is the textbook substitute for the paper's DFT band
+structures of Fig. 8c and reproduces the metal/semiconductor dichotomy, the
+linear crossing bands of armchair tubes and the van Hove structure the paper
+relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atomistic.chirality import Chirality
+from repro.atomistic.graphene import dispersion, reciprocal_vectors
+from repro.constants import GRAPHENE_LATTICE_CONSTANT, TB_HOPPING_EV
+
+
+@dataclass(frozen=True)
+class BandStructure:
+    """Band structure of a single-wall carbon nanotube.
+
+    Attributes
+    ----------
+    chirality:
+        The tube the bands belong to.
+    k:
+        1-D wave numbers along the tube axis in rad/metre, shape ``(n_k,)``.
+    energies:
+        Band energies in eV, shape ``(n_bands, n_k)``.  Bands come in +/- pairs
+        (conduction and valence) for each cutting line; the Fermi level of the
+        pristine tube is 0 eV.
+    fermi_level:
+        Fermi level in eV used when deriving occupations (0 for pristine).
+    """
+
+    chirality: Chirality
+    k: np.ndarray
+    energies: np.ndarray
+    fermi_level: float = 0.0
+
+    # numpy arrays are not hashable; keep the dataclass frozen but unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    @property
+    def n_bands(self) -> int:
+        """Total number of bands (2 per cutting line)."""
+        return int(self.energies.shape[0])
+
+    @property
+    def n_k(self) -> int:
+        """Number of k-points along the tube axis."""
+        return int(self.energies.shape[1])
+
+    def band_gap(self) -> float:
+        """Band gap in eV around the Fermi level (0 for metallic tubes).
+
+        Computed as the gap between the lowest conduction-band minimum and the
+        highest valence-band maximum; values below a small numerical floor are
+        reported as exactly zero.
+        """
+        above = self.energies[self.energies > 0.0]
+        below = self.energies[self.energies < 0.0]
+        if above.size == 0 or below.size == 0:
+            return 0.0
+        gap = float(above.min() - below.max())
+        return 0.0 if gap < 1.0e-6 else gap
+
+    def energy_window(self) -> tuple[float, float]:
+        """(min, max) band energy in eV."""
+        return float(self.energies.min()), float(self.energies.max())
+
+    def shifted(self, fermi_shift_ev: float) -> "BandStructure":
+        """Return a copy with the Fermi level rigidly shifted.
+
+        A negative ``fermi_shift_ev`` corresponds to p-type doping (the paper's
+        iodine doping shifts the Fermi level *down* by about 0.6 eV).
+        """
+        return BandStructure(
+            chirality=self.chirality,
+            k=self.k,
+            energies=self.energies,
+            fermi_level=self.fermi_level + fermi_shift_ev,
+        )
+
+    def subband_extrema(self) -> np.ndarray:
+        """Energies of every band extremum (eV), useful for van Hove positions."""
+        mins = self.energies.min(axis=1)
+        maxs = self.energies.max(axis=1)
+        return np.sort(np.concatenate([mins, maxs]))
+
+
+def cutting_line_kpoints(
+    chirality: Chirality, mu: int, k_axis: np.ndarray, a: float = GRAPHENE_LATTICE_CONSTANT
+) -> np.ndarray:
+    """2-D graphene wave vectors sampled by cutting line ``mu`` of a tube.
+
+    Parameters
+    ----------
+    chirality:
+        Tube chirality.
+    mu:
+        Cutting-line index, ``0 <= mu < N``.
+    k_axis:
+        1-D wave numbers along the tube axis in rad/metre.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(len(k_axis), 2)``.
+    """
+    n, m = chirality.n, chirality.m
+    t1, t2 = chirality.translation_indices
+    big_n = chirality.hexagons_per_cell
+    b1, b2 = reciprocal_vectors(a)
+
+    k1 = (-t2 * b1 + t1 * b2) / big_n  # circumferential quantisation vector
+    k2 = (m * b1 - n * b2) / big_n  # along-axis reciprocal vector
+    k2_hat = k2 / np.linalg.norm(k2)
+
+    k_axis = np.asarray(k_axis, dtype=float)
+    return mu * k1[None, :] + k_axis[:, None] * k2_hat[None, :]
+
+
+def _fermi_point_kvalues(
+    chirality: Chirality, a: float = GRAPHENE_LATTICE_CONSTANT, tolerance: float = 1.0e-6
+) -> list[float]:
+    """Axial wave numbers where a cutting line passes through a Dirac point.
+
+    For metallic tubes at least one cutting line passes exactly through a
+    graphene K (or K') point; the band crossing there defines the Fermi
+    points.  A uniform k-grid generally misses those points, which would open
+    a spurious discretisation gap, so :func:`compute_band_structure` inserts
+    them into the grid explicitly.  Semiconducting tubes return an empty list.
+    """
+    from repro.atomistic.graphene import dirac_points
+
+    n, m = chirality.n, chirality.m
+    t1, t2 = chirality.translation_indices
+    big_n = chirality.hexagons_per_cell
+    b1, b2 = reciprocal_vectors(a)
+    k1 = (-t2 * b1 + t1 * b2) / big_n
+    k2 = (m * b1 - n * b2) / big_n
+    k2_hat = k2 / np.linalg.norm(k2)
+
+    bz_edge = math.pi / chirality.translation_length
+    k_point, k_prime = dirac_points(a)
+    # Include nearby reciprocal-lattice copies of K and K'; the cutting lines
+    # tile one reciprocal unit cell whose placement need not contain the
+    # first-zone K points themselves.
+    candidates = []
+    for base in (k_point, k_prime):
+        for i in (-1, 0, 1):
+            for j in (-1, 0, 1):
+                candidates.append(base + i * b1 + j * b2)
+
+    found: list[float] = []
+    scale = np.linalg.norm(b1)
+    for mu in range(big_n):
+        origin = mu * k1
+        for target in candidates:
+            delta = target - origin
+            k_star = float(delta @ k2_hat)
+            perpendicular = delta - k_star * k2_hat
+            if np.linalg.norm(perpendicular) < tolerance * scale and abs(k_star) <= bz_edge * (1 + 1e-9):
+                k_star = max(-bz_edge, min(bz_edge, k_star))
+                if not any(abs(k_star - existing) < tolerance / max(bz_edge, 1.0) for existing in found):
+                    found.append(k_star)
+    return found
+
+
+def compute_band_structure(
+    chirality: Chirality,
+    n_k: int = 201,
+    hopping_ev: float = TB_HOPPING_EV,
+    a: float = GRAPHENE_LATTICE_CONSTANT,
+) -> BandStructure:
+    """Compute the zone-folded band structure of a SWCNT.
+
+    Parameters
+    ----------
+    chirality:
+        Tube chirality (n, m).
+    n_k:
+        Number of k-points along the 1-D Brillouin zone; an odd number keeps
+        the zone centre on the grid.  For metallic tubes the exact Fermi-point
+        wave numbers are inserted into the grid in addition, so the band
+        crossing at the Fermi level is resolved without a discretisation gap.
+    hopping_ev:
+        Tight-binding hopping energy gamma0 in eV.
+
+    Returns
+    -------
+    BandStructure
+        Bands of shape ``(2 N, n_k')`` where ``N`` is the number of hexagons
+        in the unit cell and ``n_k'`` is ``n_k`` plus any inserted Fermi
+        points.
+    """
+    if n_k < 3:
+        raise ValueError("need at least 3 k-points to resolve a band")
+
+    t_length = chirality.translation_length
+    k_axis = np.linspace(-math.pi / t_length, math.pi / t_length, n_k)
+    fermi_points = _fermi_point_kvalues(chirality, a=a)
+    if fermi_points:
+        k_axis = np.unique(np.concatenate([k_axis, np.asarray(fermi_points)]))
+
+    big_n = chirality.hexagons_per_cell
+    bands = np.empty((2 * big_n, k_axis.size), dtype=float)
+    for mu in range(big_n):
+        kpts = cutting_line_kpoints(chirality, mu, k_axis, a=a)
+        magnitude = dispersion(kpts, hopping_ev=hopping_ev, a=a)
+        bands[2 * mu, :] = magnitude
+        bands[2 * mu + 1, :] = -magnitude
+
+    return BandStructure(chirality=chirality, k=k_axis, energies=bands)

@@ -1,0 +1,187 @@
+"""Chirality bookkeeping for single-wall carbon nanotubes.
+
+A SWCNT is fully described by its chiral indices ``(n, m)``: the chiral vector
+``C_h = n a1 + m a2`` wraps the graphene sheet into a cylinder.  Everything
+else -- diameter, chiral angle, metallic or semiconducting character, the
+translation vector along the tube axis and the number of atoms per unit cell
+-- follows from ``(n, m)``.  These quantities are the inputs of the
+zone-folding band-structure calculation in
+:mod:`repro.atomistic.bandstructure`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import CC_BOND_LENGTH, GRAPHENE_LATTICE_CONSTANT
+
+
+@dataclass(frozen=True)
+class Chirality:
+    """Chiral indices of a single-wall carbon nanotube.
+
+    Parameters
+    ----------
+    n, m:
+        Chiral indices.  Convention: ``n >= m >= 0`` and ``n > 0``.
+
+    Examples
+    --------
+    >>> tube = Chirality(7, 7)
+    >>> round(tube.diameter * 1e9, 3)
+    0.949
+    >>> tube.is_metallic
+    True
+    """
+
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"chiral index n must be positive, got {self.n}")
+        if self.m < 0:
+            raise ValueError(f"chiral index m must be non-negative, got {self.m}")
+        if self.m > self.n:
+            raise ValueError(
+                f"chirality convention requires n >= m, got ({self.n}, {self.m})"
+            )
+
+    # --- basic geometry -----------------------------------------------------
+
+    @property
+    def circumference(self) -> float:
+        """Length of the chiral vector |C_h| in metre."""
+        n, m = self.n, self.m
+        return GRAPHENE_LATTICE_CONSTANT * math.sqrt(n * n + n * m + m * m)
+
+    @property
+    def diameter(self) -> float:
+        """Tube diameter in metre."""
+        return self.circumference / math.pi
+
+    @property
+    def chiral_angle(self) -> float:
+        """Chiral angle in radian (0 for zigzag, pi/6 for armchair)."""
+        n, m = self.n, self.m
+        return math.atan2(math.sqrt(3.0) * m, 2.0 * n + m)
+
+    # --- electronic character -------------------------------------------------
+
+    @property
+    def is_metallic(self) -> bool:
+        """True when ``(n - m) mod 3 == 0`` (zone-folding metallicity rule)."""
+        return (self.n - self.m) % 3 == 0
+
+    @property
+    def is_armchair(self) -> bool:
+        """True for (n, n) tubes."""
+        return self.n == self.m
+
+    @property
+    def is_zigzag(self) -> bool:
+        """True for (n, 0) tubes."""
+        return self.m == 0
+
+    @property
+    def family(self) -> str:
+        """Human-readable family name: 'armchair', 'zigzag' or 'chiral'."""
+        if self.is_armchair:
+            return "armchair"
+        if self.is_zigzag:
+            return "zigzag"
+        return "chiral"
+
+    # --- unit cell -----------------------------------------------------------
+
+    @property
+    def d_r(self) -> int:
+        """gcd(2n + m, 2m + n), the reduced greatest common divisor d_R."""
+        return math.gcd(2 * self.n + self.m, 2 * self.m + self.n)
+
+    @property
+    def translation_indices(self) -> tuple[int, int]:
+        """Integer components (t1, t2) of the translation vector T = t1 a1 + t2 a2."""
+        d_r = self.d_r
+        t1 = (2 * self.m + self.n) // d_r
+        t2 = -(2 * self.n + self.m) // d_r
+        return t1, t2
+
+    @property
+    def translation_length(self) -> float:
+        """Length of the translation vector |T| in metre."""
+        return math.sqrt(3.0) * self.circumference / self.d_r
+
+    @property
+    def hexagons_per_cell(self) -> int:
+        """Number N of graphene hexagons in the nanotube unit cell."""
+        n, m = self.n, self.m
+        return 2 * (n * n + n * m + m * m) // self.d_r
+
+    @property
+    def atoms_per_cell(self) -> int:
+        """Number of carbon atoms in the nanotube unit cell (2 per hexagon)."""
+        return 2 * self.hexagons_per_cell
+
+    @property
+    def band_gap_estimate(self) -> float:
+        """Analytic band-gap estimate in eV.
+
+        Metallic tubes return 0.  Semiconducting tubes follow the standard
+        zone-folding estimate ``E_g = 2 a_cc gamma0 / d`` with the hopping
+        energy taken from :data:`repro.constants.TB_HOPPING_EV`.
+        """
+        if self.is_metallic:
+            return 0.0
+        from repro.constants import TB_HOPPING_EV
+
+        return 2.0 * CC_BOND_LENGTH * TB_HOPPING_EV / self.diameter
+
+    # --- constructors ---------------------------------------------------------
+
+    @classmethod
+    def armchair(cls, n: int) -> "Chirality":
+        """Armchair tube (n, n)."""
+        return cls(n, n)
+
+    @classmethod
+    def zigzag(cls, n: int) -> "Chirality":
+        """Zigzag tube (n, 0)."""
+        return cls(n, 0)
+
+    @classmethod
+    def from_diameter(
+        cls, diameter_m: float, family: str = "armchair", metallic: bool | None = None
+    ) -> "Chirality":
+        """Closest (n, m) of the requested family to a target diameter.
+
+        Parameters
+        ----------
+        diameter_m:
+            Target diameter in metre.
+        family:
+            ``"armchair"`` or ``"zigzag"``.
+        metallic:
+            When the family is ``"zigzag"``, optionally force the returned tube
+            to be metallic (``n`` a multiple of 3) or semiconducting.  Ignored
+            for armchair tubes, which are always metallic.
+        """
+        if diameter_m <= 0:
+            raise ValueError("diameter must be positive")
+        if family == "armchair":
+            n = max(1, round(math.pi * diameter_m / (GRAPHENE_LATTICE_CONSTANT * math.sqrt(3.0))))
+            return cls(n, n)
+        if family == "zigzag":
+            n = max(1, round(math.pi * diameter_m / GRAPHENE_LATTICE_CONSTANT))
+            if metallic is True:
+                candidates = [c for c in (n - 1, n, n + 1, n + 2) if c >= 3 and c % 3 == 0]
+                n = min(candidates, key=lambda c: abs(c - n))
+            elif metallic is False:
+                candidates = [c for c in (n - 1, n, n + 1, n + 2) if c >= 1 and c % 3 != 0]
+                n = min(candidates, key=lambda c: abs(c - n))
+            return cls(n, 0)
+        raise ValueError(f"unknown family {family!r}; expected 'armchair' or 'zigzag'")
+
+    def __str__(self) -> str:
+        return f"({self.n},{self.m})"

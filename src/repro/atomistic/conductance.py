@@ -1,0 +1,156 @@
+"""Ballistic conductance of single-wall carbon nanotubes (paper Fig. 8a).
+
+The paper extracts the number of conducting channels from the DFT/NEGF
+ballistic conductance as ``Nc = G_bal / G0`` (Eq. 1) and observes that ``Nc``
+stays close to 2 for metallic tubes regardless of diameter and chirality.
+Here the same quantities are produced from zone-folded tight-binding bands and
+Landauer mode counting, including the finite-temperature average at 300 K that
+softens the small-diameter quantum-confinement variation the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atomistic.bandstructure import BandStructure, compute_band_structure
+from repro.atomistic.chirality import Chirality
+from repro.atomistic.transmission import thermally_averaged_transmission
+from repro.constants import QUANTUM_CONDUCTANCE, ROOM_TEMPERATURE
+
+
+def ballistic_conductance(
+    tube: Chirality | BandStructure,
+    temperature: float = ROOM_TEMPERATURE,
+    fermi_level_ev: float = 0.0,
+    n_k: int = 201,
+) -> float:
+    """Ballistic (Landauer) conductance of a SWCNT in siemens.
+
+    Parameters
+    ----------
+    tube:
+        Either a :class:`Chirality` (the band structure is computed on the
+        fly) or a pre-computed :class:`BandStructure`.
+    temperature:
+        Temperature in kelvin; 0 gives the sharp zero-temperature result.
+    fermi_level_ev:
+        Fermi level in eV relative to the pristine tube's Fermi level
+        (negative for p-type doping).
+    n_k:
+        Number of k-points used when a band structure has to be computed.
+
+    Returns
+    -------
+    float
+        Conductance in siemens.  A pristine metallic tube returns approximately
+        ``2 G0 ~ 0.155 mS``, matching the paper's value for SWCNT(7,7).
+    """
+    bands = tube if isinstance(tube, BandStructure) else compute_band_structure(tube, n_k=n_k)
+    channels = thermally_averaged_transmission(
+        bands, fermi_level_ev=fermi_level_ev, temperature=temperature
+    )
+    return QUANTUM_CONDUCTANCE * channels
+
+
+def conducting_channels(
+    tube: Chirality | BandStructure,
+    temperature: float = ROOM_TEMPERATURE,
+    fermi_level_ev: float = 0.0,
+    n_k: int = 201,
+) -> float:
+    """Number of conducting channels ``Nc = G_bal / G0`` (paper Eq. 1)."""
+    return ballistic_conductance(tube, temperature, fermi_level_ev, n_k) / QUANTUM_CONDUCTANCE
+
+
+@dataclass(frozen=True)
+class ConductancePoint:
+    """One point of the conductance-versus-diameter sweep (Fig. 8a)."""
+
+    chirality: Chirality
+    diameter: float
+    """Tube diameter in metre."""
+    conductance: float
+    """Ballistic conductance in siemens."""
+    channels: float
+    """Number of conducting channels ``G / G0``."""
+
+    @property
+    def family(self) -> str:
+        """'armchair', 'zigzag' or 'chiral'."""
+        return self.chirality.family
+
+
+def conductance_vs_diameter(
+    families: tuple[str, ...] = ("armchair", "zigzag"),
+    diameter_range_m: tuple[float, float] = (0.4e-9, 3.0e-9),
+    temperature: float = ROOM_TEMPERATURE,
+    metallic_only: bool = False,
+    n_k: int = 101,
+) -> list[ConductancePoint]:
+    """Sweep ballistic conductance versus diameter (reproduces Fig. 8a).
+
+    Enumerates armchair (n, n) and zigzag (n, 0) tubes whose diameters fall in
+    the requested range and evaluates their ballistic conductance at the given
+    temperature.
+
+    Parameters
+    ----------
+    families:
+        Which tube families to include (any of ``"armchair"``, ``"zigzag"``).
+    diameter_range_m:
+        (min, max) diameter in metre.
+    temperature:
+        Temperature in kelvin.
+    metallic_only:
+        When True, skip semiconducting zigzag tubes (the paper's Fig. 8a
+        plots metallic tubes, whose conductance clusters near 2 G0).
+    n_k:
+        k-point count per band structure.
+
+    Returns
+    -------
+    list of ConductancePoint, sorted by diameter.
+    """
+    d_min, d_max = diameter_range_m
+    if d_min <= 0 or d_max <= d_min:
+        raise ValueError("diameter range must satisfy 0 < min < max")
+
+    points: list[ConductancePoint] = []
+    for family in families:
+        if family not in ("armchair", "zigzag"):
+            raise ValueError(f"unsupported family {family!r}")
+        n = 1
+        while True:
+            tube = Chirality(n, n) if family == "armchair" else Chirality(n, 0)
+            d = tube.diameter
+            if d > d_max:
+                break
+            if d >= d_min and not (metallic_only and not tube.is_metallic):
+                g = ballistic_conductance(tube, temperature=temperature, n_k=n_k)
+                points.append(
+                    ConductancePoint(
+                        chirality=tube,
+                        diameter=d,
+                        conductance=g,
+                        channels=g / QUANTUM_CONDUCTANCE,
+                    )
+                )
+            n += 1
+
+    points.sort(key=lambda p: p.diameter)
+    return points
+
+
+def conductance_per_unit_area(
+    point: ConductancePoint,
+) -> float:
+    """Ballistic conductance divided by the tube cross-sectional area (S/m^2).
+
+    Supports the paper's remark that "the conductance of CNTs per unit area
+    decreases as the diameter increases" because Nc stays ~2 while the area
+    grows with d^2.
+    """
+    area = np.pi * (point.diameter / 2.0) ** 2
+    return point.conductance / area

@@ -1,0 +1,103 @@
+"""Density of states of single-wall carbon nanotubes.
+
+The 1-D density of states of a nanotube exhibits van Hove singularities at
+every subband edge.  It is computed here directly from the zone-folded band
+structure by histogramming band energies weighted by the inverse group
+velocity, with a small Gaussian broadening to keep the singularities finite.
+The DOS enters the doping model: shifting the Fermi level into regions of
+higher DOS opens additional conduction channels (paper Section III.C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atomistic.bandstructure import BandStructure
+
+
+def density_of_states(
+    band_structure: BandStructure,
+    energies_ev: np.ndarray | None = None,
+    n_points: int = 801,
+    broadening_ev: float = 0.02,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Density of states per unit cell versus energy.
+
+    Parameters
+    ----------
+    band_structure:
+        Zone-folded band structure of the tube.
+    energies_ev:
+        Energy grid in eV.  When omitted a uniform grid covering the bands is
+        used.
+    n_points:
+        Number of points of the automatic energy grid.
+    broadening_ev:
+        Gaussian broadening in eV applied to each state.
+
+    Returns
+    -------
+    (energies, dos):
+        1-D arrays; ``dos`` is in states per eV per unit cell (both spins).
+    """
+    if broadening_ev <= 0.0:
+        raise ValueError("broadening must be positive")
+
+    if energies_ev is None:
+        e_min, e_max = band_structure.energy_window()
+        pad = 5.0 * broadening_ev
+        energies_ev = np.linspace(e_min - pad, e_max + pad, n_points)
+    energies_ev = np.asarray(energies_ev, dtype=float)
+
+    band_energies = band_structure.energies.ravel()
+    n_k = band_structure.n_k
+    # Each sampled (band, k) state carries weight 2 (spin) / n_k so the DOS
+    # integrates to 2 states per band per unit cell.
+    weight = 2.0 / n_k
+
+    diff = energies_ev[:, None] - band_energies[None, :]
+    gauss = np.exp(-0.5 * (diff / broadening_ev) ** 2) / (
+        broadening_ev * np.sqrt(2.0 * np.pi)
+    )
+    dos = weight * gauss.sum(axis=1)
+    return energies_ev, dos
+
+
+def carrier_density_shift(
+    band_structure: BandStructure,
+    fermi_shift_ev: float,
+    temperature: float = 300.0,
+    n_points: int = 2001,
+) -> float:
+    """Change in carriers per unit cell caused by a rigid Fermi-level shift.
+
+    Positive return value means added electrons (n-type doping); negative
+    means added holes (p-type doping, e.g. the paper's iodine/PtCl4 dopants
+    which shift the Fermi level down).
+
+    Parameters
+    ----------
+    band_structure:
+        Zone-folded band structure of the pristine tube (Fermi level 0 eV).
+    fermi_shift_ev:
+        Rigid shift of the Fermi level in eV (negative = p-type).
+    temperature:
+        Temperature in kelvin used for the Fermi-Dirac occupations.
+    n_points:
+        Number of energy integration points.
+    """
+    from repro.constants import BOLTZMANN_EV
+
+    e_min, e_max = band_structure.energy_window()
+    energies, dos = density_of_states(
+        band_structure, np.linspace(e_min - 0.5, e_max + 0.5, n_points)
+    )
+
+    kt = max(BOLTZMANN_EV * temperature, 1.0e-6)
+
+    def occupation(mu: float) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(np.clip((energies - mu) / kt, -60.0, 60.0)))
+
+    n_pristine = np.trapezoid(dos * occupation(0.0), energies)
+    n_doped = np.trapezoid(dos * occupation(fermi_shift_ev), energies)
+    return float(n_doped - n_pristine)

@@ -1,0 +1,78 @@
+"""Graphene pi-band tight-binding dispersion.
+
+The zone-folding description of a carbon nanotube samples the 2-D graphene
+dispersion along a set of parallel "cutting lines" in reciprocal space.  This
+module provides the 2-D dispersion itself together with the real- and
+reciprocal-space lattice vectors in the convention used by
+:mod:`repro.atomistic.bandstructure`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import GRAPHENE_LATTICE_CONSTANT, TB_HOPPING_EV
+
+
+def lattice_vectors(a: float = GRAPHENE_LATTICE_CONSTANT) -> tuple[np.ndarray, np.ndarray]:
+    """Real-space graphene lattice vectors ``a1`` and ``a2``.
+
+    Uses the convention ``a1 = a (sqrt(3)/2, 1/2)``, ``a2 = a (sqrt(3)/2, -1/2)``
+    so that the chiral vector of an (n, m) tube is ``n a1 + m a2``.
+    """
+    a1 = np.array([math.sqrt(3.0) / 2.0, 0.5]) * a
+    a2 = np.array([math.sqrt(3.0) / 2.0, -0.5]) * a
+    return a1, a2
+
+
+def reciprocal_vectors(a: float = GRAPHENE_LATTICE_CONSTANT) -> tuple[np.ndarray, np.ndarray]:
+    """Reciprocal lattice vectors ``b1`` and ``b2`` with ``a_i . b_j = 2 pi delta_ij``."""
+    a1, a2 = lattice_vectors(a)
+    cell = np.column_stack([a1, a2])
+    recip = 2.0 * math.pi * np.linalg.inv(cell).T
+    return recip[:, 0], recip[:, 1]
+
+
+def structure_factor(k: np.ndarray, a: float = GRAPHENE_LATTICE_CONSTANT) -> np.ndarray:
+    """Nearest-neighbour structure factor ``f(k) = 1 + exp(i k.a1) + exp(i k.a2)``.
+
+    Parameters
+    ----------
+    k:
+        Array of wave vectors with shape ``(..., 2)`` in rad/metre.
+    """
+    k = np.asarray(k, dtype=float)
+    a1, a2 = lattice_vectors(a)
+    phase1 = k @ a1
+    phase2 = k @ a2
+    return 1.0 + np.exp(1j * phase1) + np.exp(1j * phase2)
+
+
+def dispersion(
+    k: np.ndarray,
+    hopping_ev: float = TB_HOPPING_EV,
+    a: float = GRAPHENE_LATTICE_CONSTANT,
+) -> np.ndarray:
+    """Magnitude of the graphene pi/pi* band energy at wave vector(s) ``k``.
+
+    Returns ``|E(k)| = gamma0 |f(k)|`` in eV; the conduction (valence) band is
+    ``+|E|`` (``-|E|``).  The Fermi level of pristine graphene is at 0 eV.
+
+    Parameters
+    ----------
+    k:
+        Array of wave vectors with shape ``(..., 2)`` in rad/metre.
+    hopping_ev:
+        Nearest-neighbour hopping energy ``gamma0`` in eV.
+    """
+    return hopping_ev * np.abs(structure_factor(k, a=a))
+
+
+def dirac_points(a: float = GRAPHENE_LATTICE_CONSTANT) -> tuple[np.ndarray, np.ndarray]:
+    """The two inequivalent Dirac points K and K' in rad/metre."""
+    b1, b2 = reciprocal_vectors(a)
+    k_point = (2.0 * b1 + b2) / 3.0
+    k_prime = (b1 + 2.0 * b2) / 3.0
+    return k_point, k_prime

@@ -1,0 +1,105 @@
+"""Raman spectroscopy emulation: the D/G defect metric.
+
+The paper characterises Co-catalyst CNT growth by SEM and Raman spectroscopy
+(Section II.B).  For CNTs the key Raman observable is the ratio of the
+defect-activated D band (~1350 cm^-1) to the graphitic G band (~1590 cm^-1):
+higher D/G means more defective material.  This module synthesises simple
+two-Lorentzian spectra from a growth quality and recovers the D/G ratio from
+a spectrum, closing the measure-then-extract loop used by the growth-window
+benchmark (E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.process.defects import raman_d_over_g
+
+D_BAND_CENTER = 1350.0
+"""D-band centre in 1/cm."""
+
+G_BAND_CENTER = 1590.0
+"""G-band centre in 1/cm."""
+
+BAND_WIDTH = 30.0
+"""Lorentzian half-width of both bands in 1/cm."""
+
+
+@dataclass(frozen=True)
+class RamanSpectrum:
+    """A synthetic Raman spectrum.
+
+    Attributes
+    ----------
+    wavenumbers:
+        Raman shift axis in 1/cm.
+    intensities:
+        Intensity in arbitrary units.
+    """
+
+    wavenumbers: np.ndarray
+    intensities: np.ndarray
+
+
+def _lorentzian(x: np.ndarray, centre: float, width: float) -> np.ndarray:
+    return width**2 / ((x - centre) ** 2 + width**2)
+
+
+def simulate_raman_spectrum(
+    quality: float,
+    noise: float = 0.01,
+    n_points: int = 1200,
+    seed: int | None = 0,
+) -> RamanSpectrum:
+    """Synthesise the Raman spectrum of CNT material of a given growth quality.
+
+    Parameters
+    ----------
+    quality:
+        Growth quality in (0, 1] (see :mod:`repro.process.defects`).
+    noise:
+        Relative intensity noise (1-sigma).
+    n_points:
+        Number of spectral points between 1100 and 1800 cm^-1.
+    seed:
+        Random seed.
+
+    Returns
+    -------
+    RamanSpectrum
+    """
+    if noise < 0:
+        raise ValueError("noise cannot be negative")
+    if n_points < 100:
+        raise ValueError("need at least 100 spectral points")
+    target_ratio = raman_d_over_g(quality)
+
+    wavenumbers = np.linspace(1100.0, 1800.0, n_points)
+    g_band = _lorentzian(wavenumbers, G_BAND_CENTER, BAND_WIDTH)
+    d_band = target_ratio * _lorentzian(wavenumbers, D_BAND_CENTER, BAND_WIDTH)
+    rng = np.random.default_rng(seed)
+    intensities = (g_band + d_band) * (1.0 + rng.normal(0.0, noise, size=wavenumbers.shape))
+    return RamanSpectrum(wavenumbers=wavenumbers, intensities=intensities)
+
+
+def d_over_g_ratio(spectrum: RamanSpectrum, window: float = 50.0) -> float:
+    """Extract the D/G intensity ratio from a spectrum.
+
+    The band intensities are taken as the maximum intensity within ``window``
+    of the nominal band centres, as a fit-free estimator robust to noise.
+    """
+    wavenumbers = spectrum.wavenumbers
+    intensities = spectrum.intensities
+
+    def peak(centre: float) -> float:
+        mask = np.abs(wavenumbers - centre) <= window
+        if not mask.any():
+            raise ValueError(f"spectrum does not cover the {centre} 1/cm band")
+        return float(intensities[mask].max())
+
+    g_intensity = peak(G_BAND_CENTER)
+    if g_intensity <= 0:
+        raise ValueError("G band intensity is not positive")
+    return peak(D_BAND_CENTER) / g_intensity

@@ -1,0 +1,237 @@
+"""Full-wafer electrical test campaign (paper Section IV.A).
+
+"The aim is to do a full wafer electrical characterization to enable the
+transfer from lab to manufacturing."  This module combines the test-structure
+layout (Fig. 13a), the wafer uniformity map (Fig. 5 / 13b) and the
+variability models into a simulated test campaign: every die on the wafer
+carries the test layout, each structure is "measured" through the physical
+models with die-dependent process shifts, and the campaign is summarised the
+way a fab report would be (per-structure statistics, yield against a spec,
+wafer-edge effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.characterization.test_layout import StructureKind, TestLayout, generate_test_layout
+from repro.core.copper import CopperInterconnect
+from repro.core.mwcnt import MWCNTInterconnect
+from repro.process.defects import defect_limited_mfp
+from repro.process.wafer import WaferMap, simulate_wafer_growth
+
+
+@dataclass(frozen=True)
+class DieMeasurement:
+    """One measured structure on one die.
+
+    Attributes
+    ----------
+    die_x, die_y:
+        Die centre coordinates in metre.
+    structure_name:
+        Name of the measured test structure.
+    kind:
+        Structure kind.
+    resistance:
+        Measured resistance in ohm.
+    passes_spec:
+        Whether the measurement falls inside the specification window.
+    """
+
+    die_x: float
+    die_y: float
+    structure_name: str
+    kind: StructureKind
+    resistance: float
+    passes_spec: bool
+
+
+@dataclass(frozen=True)
+class WaferTestCampaign:
+    """Results of a simulated full-wafer electrical characterisation.
+
+    Attributes
+    ----------
+    technology_label:
+        "Cu reference" or "Cu-CNT composite" style label.
+    measurements:
+        Every (die, structure) measurement.
+    wafer:
+        The underlying process wafer map.
+    """
+
+    technology_label: str
+    measurements: tuple[DieMeasurement, ...]
+    wafer: WaferMap
+
+    @property
+    def n_measurements(self) -> int:
+        """Total number of measurements."""
+        return len(self.measurements)
+
+    def yield_fraction(self) -> float:
+        """Fraction of measurements inside the specification window."""
+        if not self.measurements:
+            return float("nan")
+        return sum(m.passes_spec for m in self.measurements) / len(self.measurements)
+
+    def statistics_by_kind(self) -> list[dict]:
+        """Mean / sigma / yield of the resistance per structure kind."""
+        rows = []
+        for kind in StructureKind:
+            values = np.array(
+                [m.resistance for m in self.measurements if m.kind is kind and np.isfinite(m.resistance)]
+            )
+            if values.size == 0:
+                continue
+            passed = [m.passes_spec for m in self.measurements if m.kind is kind]
+            rows.append(
+                {
+                    "kind": kind.value,
+                    "n": int(values.size),
+                    "mean_ohm": float(values.mean()),
+                    "sigma_ohm": float(values.std()),
+                    "cv": float(values.std() / values.mean()) if values.mean() > 0 else float("nan"),
+                    "yield": float(np.mean(passed)),
+                }
+            )
+        return rows
+
+    def edge_to_centre_ratio(self) -> float:
+        """Mean single-line resistance at the wafer edge over the centre.
+
+        Values above 1 reflect the radial process gradient (slower growth /
+        thinner metal towards the edge), the main uniformity concern of the
+        300 mm demonstration.
+        """
+        singles = [m for m in self.measurements if m.kind is StructureKind.SINGLE_LINE]
+        if not singles:
+            return float("nan")
+        radius = np.array([np.hypot(m.die_x, m.die_y) for m in singles])
+        resistance = np.array([m.resistance for m in singles])
+        threshold = np.median(radius)
+        centre = resistance[radius <= threshold].mean()
+        edge = resistance[radius > threshold].mean()
+        return float(edge / centre) if centre > 0 else float("nan")
+
+
+def _structure_resistance(
+    structure, metric_scale: float, technology: str, rng: np.random.Generator
+) -> float:
+    """Nominal resistance of one structure under a die-level process scale."""
+    noise = 1.0 + rng.normal(0.0, 0.02)
+    if technology == "copper":
+        line = CopperInterconnect(
+            width=structure.width,
+            height=max(structure.width / 2.0, 20e-9),
+            length=structure.length,
+        )
+        base = line.resistance
+    else:
+        # Cu-CNT / CNT structures: growth metric scales the conducting quality.
+        quality = min(1.0, 0.5 + 0.5 * metric_scale)
+        tube = MWCNTInterconnect(
+            outer_diameter=10e-9,
+            length=structure.length,
+            contact_resistance=30e3,
+            defect_mfp=defect_limited_mfp(quality),
+        )
+        # Bundle several tubes across the structure width.
+        tubes_in_parallel = max(1, int(structure.width / 20e-9))
+        base = tube.resistance / tubes_in_parallel
+
+    if structure.kind is StructureKind.VIA_CHAIN:
+        base = base * 0.1 + structure.n_elements * 2.0  # chain of via resistances
+    elif structure.kind is StructureKind.MULTI_LINE:
+        base = base / structure.n_elements
+    elif structure.kind in (StructureKind.COMB, StructureKind.EXTRUSION_MONITOR):
+        # Isolation structures: report leakage resistance instead (very high).
+        return float(1e12 * noise)
+    # The die-level growth/thickness metric scales the conductive cross-section.
+    return float(base / max(metric_scale, 0.1) * noise)
+
+
+def run_wafer_campaign(
+    technology: str = "cnt",
+    layout: TestLayout | None = None,
+    wafer: WaferMap | None = None,
+    spec_window: tuple[float, float] = (0.5, 2.0),
+    max_dies: int | None = 60,
+    seed: int | None = 0,
+) -> WaferTestCampaign:
+    """Simulate a full-wafer electrical characterisation campaign.
+
+    Parameters
+    ----------
+    technology:
+        ``"copper"`` for the Cu reference wafer of Fig. 13b or ``"cnt"`` for
+        the Cu-CNT development wafer.
+    layout:
+        Test layout; defaults to the Fig. 13a generator with a reduced width
+        set for speed.
+    wafer:
+        Process wafer map; defaults to a simulated 300 mm growth map.
+    spec_window:
+        Pass window for each measurement as (min, max) multiples of the
+        wafer-median resistance of its structure.
+    max_dies:
+        Cap on the number of dies measured (None = all dies).
+    seed:
+        Random seed of the measurement noise.
+
+    Returns
+    -------
+    WaferTestCampaign
+    """
+    if technology not in ("copper", "cnt"):
+        raise ValueError("technology must be 'copper' or 'cnt'")
+    if spec_window[0] <= 0 or spec_window[1] <= spec_window[0]:
+        raise ValueError("spec window must satisfy 0 < low < high")
+
+    if layout is None:
+        layout = generate_test_layout(
+            widths=(50e-9, 200e-9, 1e-6), lengths=(5e-6, 50e-6), angles=(0.0,)
+        )
+    if wafer is None:
+        wafer = simulate_wafer_growth(seed=seed)
+
+    rng = np.random.default_rng(seed)
+    die_indices = np.arange(wafer.n_dies)
+    if max_dies is not None and wafer.n_dies > max_dies:
+        die_indices = rng.choice(die_indices, size=max_dies, replace=False)
+
+    raw: list[tuple[float, float, object, float]] = []
+    for index in die_indices:
+        metric = wafer.values[index] / wafer.mean
+        for structure in layout.structures:
+            resistance = _structure_resistance(structure, metric, technology, rng)
+            raw.append((wafer.x[index], wafer.y[index], structure, resistance))
+
+    # Specs are defined per structure relative to the wafer median.
+    medians: dict[str, float] = {}
+    for _, _, structure, resistance in raw:
+        medians.setdefault(structure.name, []).append(resistance)  # type: ignore[arg-type]
+    medians = {name: float(np.median(values)) for name, values in medians.items()}
+
+    measurements = []
+    for x, y, structure, resistance in raw:
+        median = medians[structure.name]
+        passes = spec_window[0] * median <= resistance <= spec_window[1] * median
+        measurements.append(
+            DieMeasurement(
+                die_x=float(x),
+                die_y=float(y),
+                structure_name=structure.name,
+                kind=structure.kind,
+                resistance=resistance,
+                passes_spec=bool(passes),
+            )
+        )
+
+    label = "Cu reference wafer" if technology == "copper" else "Cu-CNT development wafer"
+    return WaferTestCampaign(
+        technology_label=label, measurements=tuple(measurements), wafer=wafer
+    )

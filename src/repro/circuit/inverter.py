@@ -1,0 +1,135 @@
+"""CMOS inverter cells and inverter chains.
+
+The paper's circuit benchmark (Fig. 11) drives MWCNT interconnects with
+45 nm-node inverters and observes the signal at a receiving inverter.  The
+:class:`Inverter` helper instantiates the NMOS/PMOS pair of a given
+technology node into a circuit, and :func:`add_inverter_chain` builds the
+driver / receiver arrangement used by the delay benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.technology import NODE_45NM, TechnologyNode
+
+
+@dataclass(frozen=True)
+class Inverter:
+    """A static CMOS inverter instance.
+
+    Attributes
+    ----------
+    name:
+        Instance name, used to derive device and node names.
+    input_node, output_node:
+        Signal nodes the inverter connects to.
+    supply_node:
+        Positive supply node (``vdd`` by convention).
+    technology:
+        Technology node providing device parameters.
+    size:
+        Drive-strength multiplier applied to both device widths.
+    """
+
+    name: str
+    input_node: str
+    output_node: str
+    supply_node: str = "vdd"
+    technology: TechnologyNode = field(default=NODE_45NM)
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("inverter size must be positive")
+
+    @property
+    def input_capacitance(self) -> float:
+        """Gate capacitance presented at the inverter input in farad."""
+        return self.technology.inverter_input_capacitance * self.size
+
+    def output_resistance(self) -> float:
+        """Switching-effective output resistance in ohm (average of N and P)."""
+        from repro.circuit.mosfet import MOSFET
+
+        nmos = MOSFET("tmp_n", "d", "g", "s", self.technology.nmos_parameters(self.size))
+        pmos = MOSFET("tmp_p", "d", "g", "s", self.technology.pmos_parameters(self.size))
+        v_dd = self.technology.supply_voltage
+        return 0.5 * (nmos.effective_resistance(v_dd) + pmos.effective_resistance(v_dd))
+
+    def add_to(self, circuit: Circuit) -> None:
+        """Instantiate the NMOS/PMOS pair (plus output diffusion cap) into a circuit."""
+        circuit.add_mosfet(
+            f"{self.name}_n",
+            drain=self.output_node,
+            gate=self.input_node,
+            source="0",
+            parameters=self.technology.nmos_parameters(self.size),
+        )
+        circuit.add_mosfet(
+            f"{self.name}_p",
+            drain=self.output_node,
+            gate=self.input_node,
+            source=self.supply_node,
+            parameters=self.technology.pmos_parameters(self.size),
+        )
+        # Output (drain diffusion) self-loading, approximated as half the input
+        # gate capacitance -- standard logical-effort bookkeeping.
+        circuit.add_capacitor(
+            f"{self.name}_cout", self.output_node, "0", 0.5 * self.input_capacitance
+        )
+
+
+def add_supply(circuit: Circuit, technology: TechnologyNode = NODE_45NM, node: str = "vdd") -> None:
+    """Add the DC supply source of a technology node to a circuit."""
+    circuit.add_voltage_source(f"supply_{node}", node, "0", technology.supply_voltage)
+
+
+def add_inverter_chain(
+    circuit: Circuit,
+    node_names: list[str],
+    technology: TechnologyNode = NODE_45NM,
+    sizes: list[float] | None = None,
+    name_prefix: str = "inv",
+) -> list[Inverter]:
+    """Add a chain of inverters between consecutive nodes of ``node_names``.
+
+    ``node_names`` has one more entry than the number of inverters: the chain
+    input, the intermediate nodes and the chain output.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to add the devices to (must already contain the supply).
+    node_names:
+        Signal nodes, in order.
+    technology:
+        Technology node for all inverters.
+    sizes:
+        Optional per-inverter drive strengths (defaults to all 1x).
+
+    Returns
+    -------
+    list of the created :class:`Inverter` helpers.
+    """
+    if len(node_names) < 2:
+        raise ValueError("an inverter chain needs at least an input and an output node")
+    n_inverters = len(node_names) - 1
+    if sizes is None:
+        sizes = [1.0] * n_inverters
+    if len(sizes) != n_inverters:
+        raise ValueError("sizes must have one entry per inverter")
+
+    inverters = []
+    for index in range(n_inverters):
+        inverter = Inverter(
+            name=f"{name_prefix}{index}",
+            input_node=node_names[index],
+            output_node=node_names[index + 1],
+            technology=technology,
+            size=sizes[index],
+        )
+        inverter.add_to(circuit)
+        inverters.append(inverter)
+    return inverters

@@ -1,0 +1,180 @@
+"""Analytic MOSFET large-signal model.
+
+A compact square-law model with channel-length modulation and a smooth
+sub-threshold tail, adequate for the delay benchmarking of Fig. 11-12 where
+the transistor only has to provide a realistic drive current / effective
+output resistance.  The model supplies the current and its derivatives
+(``gm``, ``gds``) so Newton iterations in the DC and transient solvers
+converge quickly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MOSFETParameters:
+    """Device parameters of the square-law model.
+
+    Attributes
+    ----------
+    polarity:
+        ``+1`` for NMOS, ``-1`` for PMOS.
+    threshold_voltage:
+        Magnitude of the threshold voltage in volt.
+    transconductance:
+        Process transconductance ``k' = mu C_ox`` in A/V^2.
+    width, length:
+        Drawn gate width / length in metre.
+    channel_length_modulation:
+        ``lambda`` in 1/V.
+    subthreshold_slope:
+        Exponential sub-threshold slope parameter ``n kT/q`` in volt; keeps
+        the model smooth (and the Jacobian non-singular) below threshold.
+    gate_capacitance_per_area:
+        Gate oxide capacitance in F/m^2 (used by the inverter cell for input
+        loading).
+    """
+
+    polarity: int
+    threshold_voltage: float
+    transconductance: float
+    width: float
+    length: float
+    channel_length_modulation: float = 0.1
+    subthreshold_slope: float = 0.035
+    gate_capacitance_per_area: float = 0.012
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (-1, 1):
+            raise ValueError("polarity must be +1 (NMOS) or -1 (PMOS)")
+        if self.threshold_voltage <= 0:
+            raise ValueError("threshold voltage magnitude must be positive")
+        if self.transconductance <= 0:
+            raise ValueError("transconductance must be positive")
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("width and length must be positive")
+
+    @property
+    def beta(self) -> float:
+        """Gain factor ``k' W / L`` in A/V^2."""
+        return self.transconductance * self.width / self.length
+
+    @property
+    def gate_capacitance(self) -> float:
+        """Total gate capacitance in farad (area term only)."""
+        return self.gate_capacitance_per_area * self.width * self.length
+
+
+@dataclass(frozen=True)
+class MOSFET:
+    """A MOSFET instance wired between drain, gate and source nodes.
+
+    The bulk is assumed tied to the source (no body effect), which is the
+    usual configuration of a static CMOS inverter.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    parameters: MOSFETParameters
+
+    # --- normalised (N-type, vds >= 0) model --------------------------------------
+
+    def _normal_mode(self, vgs: float, vds: float) -> tuple[float, float, float]:
+        """Current and derivatives of an N-type device with ``vds >= 0``.
+
+        Returns ``(i_d, di/dvgs, di/dvds)``.  The gate overdrive is replaced by
+        the softplus ``V_eff = n_s ln(1 + exp((V_gs - V_th) / n_s))`` so that
+        the square-law expressions blend smoothly into an exponential
+        sub-threshold tail; the current and both derivatives are continuous
+        everywhere, which keeps the Newton iterations of the MNA solver stable
+        around the switching threshold.
+        """
+        p = self.parameters
+        beta = p.beta
+        lam = p.channel_length_modulation
+        slope = p.subthreshold_slope
+        overdrive = vgs - p.threshold_voltage
+
+        # Softplus effective overdrive and its derivative (logistic function).
+        x = overdrive / slope
+        if x > 30.0:
+            v_eff = overdrive
+            dv_eff = 1.0
+        elif x < -30.0:
+            v_eff = slope * math.exp(x)
+            dv_eff = math.exp(x)
+        else:
+            v_eff = slope * math.log1p(math.exp(x))
+            dv_eff = 1.0 / (1.0 + math.exp(-x))
+
+        if vds < v_eff:
+            # Triode region.
+            core = v_eff * vds - 0.5 * vds**2
+            i_d = beta * core * (1.0 + lam * vds)
+            d_vgs = beta * vds * (1.0 + lam * vds) * dv_eff
+            d_vds = beta * (v_eff - vds) * (1.0 + lam * vds) + beta * core * lam
+            return i_d, d_vgs, d_vds
+
+        # Saturation.
+        i_d = 0.5 * beta * v_eff**2 * (1.0 + lam * vds)
+        d_vgs = beta * v_eff * (1.0 + lam * vds) * dv_eff
+        d_vds = 0.5 * beta * v_eff**2 * lam
+        return i_d, d_vgs, d_vds
+
+    # --- terminal-referred model -----------------------------------------------------
+
+    def evaluate(self, v_gs: float, v_ds: float) -> tuple[float, float, float]:
+        """Current and small-signal derivatives ``(i_ds, gm, gds)``.
+
+        ``i_ds`` is the current flowing from the drain terminal to the source
+        terminal (negative for a conducting PMOS).  ``gm = d i_ds / d v_gs``
+        and ``gds = d i_ds / d v_ds`` are the derivatives with respect to the
+        *terminal* voltages, which is what the MNA Newton stamps need.
+        """
+        sign = float(self.parameters.polarity)
+        vgs_n = sign * v_gs
+        vds_n = sign * v_ds
+
+        if vds_n >= 0.0:
+            i_n, d_vgs_n, d_vds_n = self._normal_mode(vgs_n, vds_n)
+        else:
+            # Reverse conduction: drain and source swap roles.  The controlling
+            # voltage becomes v_gd and the current reverses.
+            i_f, d_vg_f, d_vd_f = self._normal_mode(vgs_n - vds_n, -vds_n)
+            i_n = -i_f
+            d_vgs_n = -d_vg_f
+            d_vds_n = d_vg_f + d_vd_f
+
+        # d(sign * i_n)/d(v_gs) = sign * d(i_n)/d(vgs_n) * sign = d(i_n)/d(vgs_n)
+        return sign * i_n, d_vgs_n, d_vds_n
+
+    def drain_current(self, v_gs: float, v_ds: float) -> float:
+        """Drain-to-source current in ampere for the given terminal voltages."""
+        current, _, _ = self.evaluate(v_gs, v_ds)
+        return current
+
+    # --- convenience --------------------------------------------------------------
+
+    def saturation_current(self, v_dd: float) -> float:
+        """On-current magnitude with full gate and drain bias (ampere)."""
+        p = self.parameters
+        overdrive = v_dd - p.threshold_voltage
+        if overdrive <= 0:
+            return 0.0
+        return 0.5 * p.beta * overdrive**2 * (1.0 + p.channel_length_modulation * v_dd)
+
+    def effective_resistance(self, v_dd: float) -> float:
+        """Switching-effective output resistance in ohm.
+
+        Uses the standard ``R_eff ~ 3/4 * V_DD / I_on`` approximation for the
+        average resistance during an output transition.
+        """
+        i_on = self.saturation_current(v_dd)
+        if i_on <= 0:
+            return float("inf")
+        return 0.75 * v_dd / i_on

@@ -1,0 +1,89 @@
+"""Distributed RC ladder expansion of interconnect lines.
+
+Turns a :class:`~repro.core.line.DistributedRC` description (or any compact
+model wrapped in :class:`~repro.core.line.InterconnectLine`) into resistor /
+capacitor elements of a :class:`~repro.circuit.netlist.Circuit`, which is how
+the paper's "extracted RC netlists ... in a SPICE-like format" enter the
+circuit benchmark of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.core.line import DistributedRC, InterconnectLine
+
+
+def add_rc_ladder(
+    circuit: Circuit,
+    ladder: DistributedRC | InterconnectLine,
+    input_node: str,
+    output_node: str,
+    name_prefix: str = "line",
+    ground: str = "0",
+) -> list[str]:
+    """Add a distributed RC ladder between two nodes of a circuit.
+
+    The ladder uses the standard pi-like segmentation: each of the
+    ``n_segments`` segments contributes a series resistance followed by a
+    shunt capacitance to ground; the lumped contact resistance (quantum +
+    imperfect metal-CNT contact) is split between the two ends.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to add elements to.
+    ladder:
+        Distributed description of the line (an :class:`InterconnectLine` is
+        expanded automatically).
+    input_node, output_node:
+        Nodes the line connects.
+    name_prefix:
+        Prefix for element and internal-node names (must be unique per line).
+    ground:
+        Ground node name for the shunt capacitors.
+
+    Returns
+    -------
+    list of the internal node names created for this line, in order from the
+    input side to the output side.
+    """
+    if isinstance(ladder, InterconnectLine):
+        ladder = ladder.distributed()
+
+    internal_nodes: list[str] = []
+    n = ladder.n_segments
+    segment_r = ladder.segment_resistance
+    segment_c = ladder.segment_capacitance
+    end_r = ladder.end_resistance
+
+    # Entry contact resistance (if any).
+    current_node = input_node
+    if end_r > 0.0:
+        node = f"{name_prefix}_in"
+        circuit.add_resistor(f"{name_prefix}_rc_in", current_node, node, end_r)
+        internal_nodes.append(node)
+        current_node = node
+
+    for index in range(n):
+        is_last = index == n - 1
+        if is_last and end_r <= 0.0:
+            next_node = output_node
+        else:
+            next_node = f"{name_prefix}_{index + 1}"
+            internal_nodes.append(next_node)
+
+        if segment_r > 0.0:
+            circuit.add_resistor(f"{name_prefix}_r{index}", current_node, next_node, segment_r)
+        else:
+            # Degenerate (resistance-free) segment: tie the nodes with a tiny resistor
+            # so the ladder stays a connected two-port.
+            circuit.add_resistor(f"{name_prefix}_r{index}", current_node, next_node, 1.0e-6)
+        if segment_c > 0.0:
+            circuit.add_capacitor(f"{name_prefix}_c{index}", next_node, ground, segment_c)
+        current_node = next_node
+
+    # Exit contact resistance (if any).
+    if end_r > 0.0:
+        circuit.add_resistor(f"{name_prefix}_rc_out", current_node, output_node, end_r)
+
+    return internal_nodes

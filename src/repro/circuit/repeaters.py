@@ -1,0 +1,225 @@
+"""Repeater insertion and sizing for long interconnects.
+
+The paper's conclusion calls for "physical design, design space exploration"
+tooling on top of the CNT compact models.  The classic knob for long
+global-level wires is repeater insertion: splitting a line of total
+resistance ``R_w`` and capacitance ``C_w`` into ``k`` segments driven by
+inverters of size ``h`` minimises the delay at
+
+    k_opt = sqrt( 0.4 R_w C_w / (0.7 R_0 C_0) )
+    h_opt = sqrt( R_0 C_w / (R_w C_0) )
+
+with ``R_0``/``C_0`` the unit inverter's output resistance and input
+capacitance (Bakoglu's formulas).  Because doped CNT lines have a different
+R/C balance than copper, the optimal repeater count, the achievable delay and
+the energy cost all shift -- which is exactly the design-space question the
+reproduction's E12 extension experiments explore.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.inverter import Inverter
+from repro.circuit.technology import NODE_45NM, TechnologyNode
+from repro.core.line import InterconnectLine
+
+SWITCHING_ACTIVITY_DEFAULT = 0.15
+"""Default signal switching activity used for energy estimates."""
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """A repeater insertion solution for one interconnect.
+
+    Attributes
+    ----------
+    n_repeaters:
+        Number of repeater stages ``k`` (1 means a single driver, no
+        intermediate repeaters).
+    repeater_size:
+        Drive strength ``h`` of each repeater relative to a unit inverter.
+    total_delay:
+        End-to-end 50 % delay estimate in second.
+    delay_per_length:
+        Delay divided by line length, in second per metre.
+    total_energy:
+        Energy per transition (line + repeater capacitance switched) in joule.
+    energy_delay_product:
+        ``total_energy * total_delay`` in joule second.
+    repeater_area:
+        Total repeater gate width in metre (a proxy for area cost).
+    """
+
+    n_repeaters: int
+    repeater_size: float
+    total_delay: float
+    delay_per_length: float
+    total_energy: float
+    energy_delay_product: float
+    repeater_area: float
+
+
+def _unit_driver(technology: TechnologyNode) -> tuple[float, float]:
+    """(output resistance, input capacitance) of a unit inverter."""
+    unit = Inverter("unit", "a", "b", technology=technology, size=1.0)
+    return unit.output_resistance(), unit.input_capacitance
+
+
+def segment_delay(
+    line: InterconnectLine,
+    n_repeaters: int,
+    repeater_size: float,
+    technology: TechnologyNode = NODE_45NM,
+) -> float:
+    """Delay of a line split into ``n_repeaters`` equal repeater-driven segments.
+
+    Each segment is modelled with the Elmore expression of
+    :meth:`repro.core.line.DistributedRC.elmore_delay`; the repeater's own
+    switching delay (driving the next repeater's input capacitance) is
+    included through the load term.
+    """
+    if n_repeaters < 1:
+        raise ValueError("need at least one driver stage")
+    if repeater_size <= 0:
+        raise ValueError("repeater size must be positive")
+
+    r_unit, c_unit = _unit_driver(technology)
+    driver_resistance = r_unit / repeater_size
+    load_capacitance = c_unit * repeater_size
+
+    ladder = line.distributed()
+    segment = ladder.resized(max(1, ladder.n_segments // n_repeaters))
+    segment_rc = type(segment)(
+        total_resistance=ladder.total_resistance / n_repeaters,
+        total_capacitance=ladder.total_capacitance / n_repeaters,
+        contact_resistance=ladder.contact_resistance / n_repeaters,
+        n_segments=segment.n_segments,
+    )
+    per_stage = segment_rc.elmore_delay(driver_resistance, load_capacitance)
+    return n_repeaters * per_stage
+
+
+def optimal_repeater_design(
+    line: InterconnectLine,
+    technology: TechnologyNode = NODE_45NM,
+    max_repeaters: int = 200,
+    supply_voltage: float | None = None,
+    switching_activity: float = SWITCHING_ACTIVITY_DEFAULT,
+) -> RepeaterDesign:
+    """Delay-optimal repeater insertion for an interconnect line.
+
+    Starts from Bakoglu's closed-form estimate and refines the integer
+    repeater count by local search around it, then reports delay, energy and
+    area of the chosen design.
+
+    Parameters
+    ----------
+    line:
+        The interconnect to optimise (CNT, Cu or composite).
+    technology:
+        Technology node of the repeaters.
+    max_repeaters:
+        Upper bound on the repeater count.
+    supply_voltage:
+        Supply used for the energy estimate; defaults to the node's nominal.
+    switching_activity:
+        Fraction of cycles the wire toggles (energy bookkeeping only).
+    """
+    if max_repeaters < 1:
+        raise ValueError("max repeaters must be at least 1")
+    r_unit, c_unit = _unit_driver(technology)
+    v_dd = supply_voltage if supply_voltage is not None else technology.supply_voltage
+
+    r_wire = max(line.total_resistance, 1e-3)
+    c_wire = max(line.total_capacitance, 1e-21)
+
+    k_estimate = math.sqrt(0.4 * r_wire * c_wire / (0.7 * r_unit * c_unit))
+    h_optimal = math.sqrt(r_unit * c_wire / (r_wire * c_unit))
+    h_optimal = max(1.0, min(h_optimal, 200.0))
+
+    candidates = sorted(
+        {
+            max(1, min(max_repeaters, k))
+            for k in (
+                1,
+                int(math.floor(k_estimate)),
+                int(math.ceil(k_estimate)),
+                int(round(k_estimate * 0.5)),
+                int(round(k_estimate * 1.5)),
+                int(round(k_estimate * 2.0)),
+            )
+            if k >= 1
+        }
+    )
+    if not candidates:
+        candidates = [1]
+
+    best: tuple[float, int] | None = None
+    for k in candidates:
+        delay = segment_delay(line, k, h_optimal, technology)
+        if best is None or delay < best[0]:
+            best = (delay, k)
+    best_delay, best_k = best
+
+    # Local refinement around the best candidate.
+    improved = True
+    while improved:
+        improved = False
+        for k in (best_k - 1, best_k + 1):
+            if k < 1 or k > max_repeaters:
+                continue
+            delay = segment_delay(line, k, h_optimal, technology)
+            if delay < best_delay:
+                best_delay, best_k = delay, k
+                improved = True
+
+    repeater_capacitance = best_k * h_optimal * c_unit * 1.5  # input + output loading
+    switched_capacitance = line.total_capacitance + repeater_capacitance
+    energy = switching_activity * switched_capacitance * v_dd**2
+    area = best_k * h_optimal * (technology.nmos_width + technology.pmos_width)
+
+    return RepeaterDesign(
+        n_repeaters=best_k,
+        repeater_size=h_optimal,
+        total_delay=best_delay,
+        delay_per_length=best_delay / line.length,
+        total_energy=energy,
+        energy_delay_product=energy * best_delay,
+        repeater_area=area,
+    )
+
+
+def compare_repeated_lines(
+    lines: dict[str, InterconnectLine],
+    technology: TechnologyNode = NODE_45NM,
+) -> list[dict]:
+    """Optimal-repeater comparison across materials (design-space table).
+
+    Parameters
+    ----------
+    lines:
+        Mapping from a label ("Cu", "MWCNT pristine", ...) to the line to
+        optimise; all lines should share the same length for a fair table.
+
+    Returns
+    -------
+    One record per label with repeater count, delay, energy and EDP.
+    """
+    records = []
+    for label, line in lines.items():
+        design = optimal_repeater_design(line, technology=technology)
+        records.append(
+            {
+                "line": label,
+                "length_um": line.length * 1e6,
+                "n_repeaters": design.n_repeaters,
+                "repeater_size": design.repeater_size,
+                "delay_ps": design.total_delay * 1e12,
+                "delay_ps_per_mm": design.delay_per_length * 1e12 * 1e-3,
+                "energy_fJ": design.total_energy * 1e15,
+                "edp_fJ_ns": design.energy_delay_product * 1e15 * 1e9,
+            }
+        )
+    return records

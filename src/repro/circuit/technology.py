@@ -1,0 +1,125 @@
+"""Technology-node parameter sets for the circuit benchmark.
+
+The paper's circuit benchmark (Fig. 11) uses CMOS 45 nm inverters; the TCAD
+extraction example (Fig. 10) refers to a 14 nm inverter layout.  The numbers
+below are representative text-book/PTM-level values -- the reproduction does
+not claim foundry accuracy, only a realistic drive resistance and input
+capacitance so that the interconnect comparison of Fig. 12 is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.mosfet import MOSFETParameters
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """CMOS technology-node parameters used to build inverter cells.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name ("45nm", "14nm").
+    supply_voltage:
+        Nominal supply in volt.
+    gate_length:
+        Drawn channel length in metre.
+    nmos_width, pmos_width:
+        Default inverter device widths in metre (PMOS wider to balance the
+        weaker hole mobility).
+    nmos_threshold, pmos_threshold:
+        Threshold-voltage magnitudes in volt.
+    nmos_transconductance, pmos_transconductance:
+        Process transconductance ``mu C_ox`` in A/V^2.
+    gate_capacitance_per_area:
+        Gate capacitance in F/m^2.
+    wire_pitch:
+        Minimum metal pitch of the node in metre (used by TCAD structures).
+    metal_thickness:
+        Typical M1/M2 thickness in metre.
+    """
+
+    name: str
+    supply_voltage: float
+    gate_length: float
+    nmos_width: float
+    pmos_width: float
+    nmos_threshold: float
+    pmos_threshold: float
+    nmos_transconductance: float
+    pmos_transconductance: float
+    gate_capacitance_per_area: float
+    wire_pitch: float
+    metal_thickness: float
+
+    def nmos_parameters(self, width_multiplier: float = 1.0) -> MOSFETParameters:
+        """NMOS parameters for this node, optionally scaled in width."""
+        return MOSFETParameters(
+            polarity=+1,
+            threshold_voltage=self.nmos_threshold,
+            transconductance=self.nmos_transconductance,
+            width=self.nmos_width * width_multiplier,
+            length=self.gate_length,
+            gate_capacitance_per_area=self.gate_capacitance_per_area,
+        )
+
+    def pmos_parameters(self, width_multiplier: float = 1.0) -> MOSFETParameters:
+        """PMOS parameters for this node, optionally scaled in width."""
+        return MOSFETParameters(
+            polarity=-1,
+            threshold_voltage=self.pmos_threshold,
+            transconductance=self.pmos_transconductance,
+            width=self.pmos_width * width_multiplier,
+            length=self.gate_length,
+            gate_capacitance_per_area=self.gate_capacitance_per_area,
+        )
+
+    @property
+    def inverter_input_capacitance(self) -> float:
+        """Gate capacitance presented by a 1x inverter input in farad."""
+        return (
+            self.nmos_parameters().gate_capacitance + self.pmos_parameters().gate_capacitance
+        )
+
+
+NODE_45NM = TechnologyNode(
+    name="45nm",
+    supply_voltage=1.0,
+    gate_length=45.0e-9,
+    nmos_width=135.0e-9,
+    pmos_width=270.0e-9,
+    nmos_threshold=0.35,
+    pmos_threshold=0.35,
+    nmos_transconductance=4.0e-4,
+    pmos_transconductance=2.0e-4,
+    gate_capacitance_per_area=0.012,
+    wire_pitch=140.0e-9,
+    metal_thickness=140.0e-9,
+)
+"""Representative 45 nm node (the paper's Fig. 11 benchmark drivers)."""
+
+NODE_14NM = TechnologyNode(
+    name="14nm",
+    supply_voltage=0.8,
+    gate_length=20.0e-9,
+    nmos_width=80.0e-9,
+    pmos_width=120.0e-9,
+    nmos_threshold=0.30,
+    pmos_threshold=0.30,
+    nmos_transconductance=6.0e-4,
+    pmos_transconductance=3.5e-4,
+    gate_capacitance_per_area=0.018,
+    wire_pitch=64.0e-9,
+    metal_thickness=60.0e-9,
+)
+"""Representative 14 nm node (the paper's Fig. 10 TCAD inverter)."""
+
+
+def node_by_name(name: str) -> TechnologyNode:
+    """Look up a technology node by its name string ("45nm" or "14nm")."""
+    nodes = {NODE_45NM.name: NODE_45NM, NODE_14NM.name: NODE_14NM}
+    if name not in nodes:
+        raise ValueError(f"unknown technology node {name!r}; available: {sorted(nodes)}")
+    return nodes[name]

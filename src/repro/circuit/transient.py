@@ -1,0 +1,146 @@
+"""Transient analysis with trapezoidal or backward-Euler integration.
+
+The solver marches the circuit from a consistent starting point (by default
+the DC operating point at ``t = 0``) with a fixed time step, solving the
+nonlinear MNA system by Newton iteration at every step.  Results are exposed
+as numpy arrays per node, which is what the delay-measurement helpers of
+:mod:`repro.circuit.delay` operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.mna import CompanionState, MNAAssembler, newton_solve
+from repro.circuit.netlist import Circuit, is_ground
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Waveforms produced by a transient analysis.
+
+    Attributes
+    ----------
+    times:
+        1-D array of time points in second.
+    node_voltages:
+        Mapping from node name to a 1-D voltage array (same length as
+        ``times``).
+    source_currents:
+        Mapping from voltage-source name to a 1-D branch-current array.
+    """
+
+    times: np.ndarray
+    node_voltages: dict[str, np.ndarray]
+    source_currents: dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Voltage waveform of a node (zeros for ground)."""
+        if node in self.node_voltages:
+            return self.node_voltages[node]
+        if is_ground(node):
+            return np.zeros_like(self.times)
+        raise KeyError(f"unknown node {node!r}")
+
+    def current(self, source_name: str) -> np.ndarray:
+        """Branch-current waveform of a voltage source."""
+        return self.source_currents[source_name]
+
+    def final_voltage(self, node: str) -> float:
+        """Last computed voltage of a node in volt."""
+        return float(self.voltage(node)[-1])
+
+    @property
+    def n_points(self) -> int:
+        """Number of stored time points."""
+        return int(self.times.size)
+
+
+def transient_analysis(
+    circuit: Circuit,
+    stop_time: float,
+    time_step: float,
+    method: str = "trapezoidal",
+    use_dc_start: bool = True,
+    max_newton_iterations: int = 60,
+) -> TransientResult:
+    """Run a fixed-step transient analysis.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    stop_time:
+        Final simulation time in second.
+    time_step:
+        Fixed step size in second.
+    method:
+        ``"trapezoidal"`` (default) or ``"backward_euler"``.
+    use_dc_start:
+        When True the initial condition is the DC operating point with the
+        sources at their ``t = 0`` values; when False all node voltages start
+        at 0 V and capacitor initial voltages are honoured.
+    max_newton_iterations:
+        Per-step Newton cap.
+
+    Returns
+    -------
+    TransientResult
+    """
+    if stop_time <= 0 or time_step <= 0:
+        raise ValueError("stop time and time step must be positive")
+    if time_step > stop_time:
+        raise ValueError("time step cannot exceed the stop time")
+
+    assembler = MNAAssembler(circuit)
+    n_steps = int(round(stop_time / time_step))
+    times = np.linspace(0.0, n_steps * time_step, n_steps + 1)
+
+    solution = np.zeros(assembler.size)
+    state = CompanionState.initial(circuit)
+
+    if use_dc_start and assembler.size > 0:
+        dc = dc_operating_point(circuit, time=0.0)
+        for name, voltage in dc.node_voltages.items():
+            solution[assembler.node_index(name)] = voltage
+        for position, source in enumerate(circuit.voltage_sources):
+            solution[assembler.vsource_index(position)] = dc.source_currents[source.name]
+        # Capacitors start charged to their DC voltages.
+        state = CompanionState(
+            capacitor_voltages={
+                c.name: dc.voltage(c.a) - dc.voltage(c.b) for c in circuit.capacitors
+            },
+            capacitor_currents={c.name: 0.0 for c in circuit.capacitors},
+            inductor_currents={l.name: 0.0 for l in circuit.inductors},
+            inductor_voltages={l.name: 0.0 for l in circuit.inductors},
+        )
+
+    voltages = {name: np.zeros(n_steps + 1) for name in assembler.node_names}
+    currents = {source.name: np.zeros(n_steps + 1) for source in circuit.voltage_sources}
+
+    def record(step: int, vector: np.ndarray) -> None:
+        for name in assembler.node_names:
+            voltages[name][step] = vector[assembler.node_index(name)]
+        for position, source in enumerate(circuit.voltage_sources):
+            currents[source.name][step] = vector[assembler.vsource_index(position)]
+
+    record(0, solution)
+
+    for step in range(1, n_steps + 1):
+        time = times[step]
+        solution = newton_solve(
+            assembler,
+            time,
+            solution,
+            state=state,
+            dt=time_step,
+            method=method,
+            max_iterations=max_newton_iterations,
+        )
+        state = assembler.update_state(solution, state, time_step, method=method)
+        record(step, solution)
+
+    return TransientResult(times=times, node_voltages=voltages, source_currents=currents)

@@ -1,0 +1,117 @@
+"""Physical constants used throughout the CNT interconnect models.
+
+All values are in SI units unless the name says otherwise.  The handful of
+CNT-specific constants (quantum conductance, quantum capacitance per channel,
+kinetic inductance per channel, shell pitch) are the ones the paper quotes in
+Section III; they are derived from the fundamental constants below so that the
+relationships between them stay consistent.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants (SI, 2019 redefinition) -------------------------
+
+ELEMENTARY_CHARGE = 1.602176634e-19
+"""Elementary charge ``e`` in coulomb."""
+
+PLANCK = 6.62607015e-34
+"""Planck constant ``h`` in joule second."""
+
+HBAR = PLANCK / (2.0 * math.pi)
+"""Reduced Planck constant in joule second."""
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant ``k_B`` in joule per kelvin."""
+
+BOLTZMANN_EV = BOLTZMANN / ELEMENTARY_CHARGE
+"""Boltzmann constant in electronvolt per kelvin (~8.617e-5 eV/K)."""
+
+VACUUM_PERMITTIVITY = 8.8541878128e-12
+"""Vacuum permittivity ``epsilon_0`` in farad per metre."""
+
+ROOM_TEMPERATURE = 300.0
+"""Default simulation temperature in kelvin."""
+
+# --- quantum transport ------------------------------------------------------
+
+QUANTUM_CONDUCTANCE = 2.0 * ELEMENTARY_CHARGE**2 / PLANCK
+"""Conductance quantum ``G0 = 2 e^2 / h`` of one spin-degenerate channel.
+
+Approximately 77.5 uS, i.e. the 0.077 mS the paper quotes below Eq. (1).
+"""
+
+QUANTUM_RESISTANCE = 1.0 / QUANTUM_CONDUCTANCE
+"""Resistance quantum ``h / 2 e^2``, approximately 12.9 kOhm (Eq. 4 text)."""
+
+FERMI_VELOCITY = 8.0e5
+"""Fermi velocity of graphene/CNT pi electrons in metre per second."""
+
+QUANTUM_CAPACITANCE_PER_CHANNEL = 2.0 * ELEMENTARY_CHARGE**2 / (PLANCK * FERMI_VELOCITY)
+"""Quantum capacitance per conducting channel in farad per metre.
+
+Evaluates to ~96.8 aF/um, matching the 96.5 aF/um value of Eq. (5)
+(difference is the rounding of the Fermi velocity used by the authors).
+"""
+
+KINETIC_INDUCTANCE_PER_CHANNEL = PLANCK / (2.0 * ELEMENTARY_CHARGE**2 * FERMI_VELOCITY)
+"""Kinetic inductance per conducting channel in henry per metre (~16 nH/um)."""
+
+# --- graphene / CNT lattice -------------------------------------------------
+
+CC_BOND_LENGTH = 0.142e-9
+"""Carbon-carbon bond length ``a_cc`` in metre."""
+
+GRAPHENE_LATTICE_CONSTANT = CC_BOND_LENGTH * math.sqrt(3.0)
+"""Graphene lattice constant ``a = sqrt(3) a_cc`` (~0.246 nm) in metre."""
+
+TB_HOPPING_EV = 2.7
+"""Nearest-neighbour pi-orbital tight-binding hopping energy in eV."""
+
+VDW_SHELL_PITCH = 0.34e-9
+"""Inter-shell (van der Waals) spacing of a MWCNT in metre."""
+
+MFP_DIAMETER_RATIO = 1000.0
+"""Mean free path over diameter for a metallic shell at 300 K.
+
+The Naeemi-Meindl compact model (paper reference [19]) takes the electron
+mean free path of an undamaged metallic shell as approximately 1000 times
+its diameter at room temperature.
+"""
+
+# --- copper reference values ------------------------------------------------
+
+COPPER_BULK_RESISTIVITY = 1.72e-8
+"""Bulk copper resistivity at 300 K in ohm metre (1.72 uOhm cm)."""
+
+COPPER_MEAN_FREE_PATH = 39.0e-9
+"""Electron mean free path of bulk copper at 300 K in metre."""
+
+COPPER_THERMAL_CONDUCTIVITY = 385.0
+"""Thermal conductivity of copper in watt per metre kelvin (paper Sec. I)."""
+
+COPPER_EM_CURRENT_DENSITY_LIMIT = 1.0e10
+"""Electromigration-limited current density of Cu in ampere per square metre.
+
+The paper quotes 1e6 A/cm^2, i.e. 1e10 A/m^2.
+"""
+
+CNT_MAX_CURRENT_DENSITY = 1.0e13
+"""Breakdown current density of metallic SWCNT bundles in ampere per square metre.
+
+The paper quotes 1e9 A/cm^2, i.e. 1e13 A/m^2.
+"""
+
+CNT_THERMAL_CONDUCTIVITY_RANGE = (3000.0, 10000.0)
+"""Room-temperature thermal conductivity range of SWCNT bundles in W/(m K)."""
+
+CNT_MAX_CURRENT_PER_TUBE = 25.0e-6
+"""Maximum current carried by a single ~1 nm CNT in ampere (20-25 uA, Sec. I)."""
+
+CU_REFERENCE_LINE_MAX_CURRENT = 50.0e-6
+"""Maximum current of the paper's reference 100 nm x 50 nm Cu line in ampere."""
+
+MIN_CNT_DENSITY_FOR_DELAY = 0.096e18
+"""Minimum CNT areal density (tubes per square metre) required for pure CNT
+interconnects to beat Cu on resistance, quoted as 0.096 nm^-2 in Sec. I."""

@@ -1,0 +1,212 @@
+"""SWCNT bundle (via / line) compact model.
+
+Vertically aligned SWCNT bundles are the candidate replacement for copper
+vias; the paper notes that to match copper on resistance a pure CNT
+interconnect needs a minimum tube density of 0.096 nm^-2 (Section I,
+ITRS-derived figure).  This module models a bundle as a parallel array of
+SWCNTs with a given areal density and metallic fraction, providing
+resistance, ampacity and the density checks the paper quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.constants import (
+    CNT_MAX_CURRENT_PER_TUBE,
+    MIN_CNT_DENSITY_FOR_DELAY,
+    ROOM_TEMPERATURE,
+)
+from repro.core.doping import DopingProfile
+from repro.core.swcnt import SWCNTInterconnect
+
+HEXAGONAL_PACKING_FRACTION = math.pi / (2.0 * math.sqrt(3.0))
+"""Area fraction of circles in an ideal hexagonal close packing (~0.907)."""
+
+DEFAULT_METALLIC_FRACTION = 1.0 / 3.0
+"""Statistical metallic fraction of as-grown CNTs (2/3 are semiconducting)."""
+
+
+def max_packing_density(diameter: float, spacing: float = 0.34e-9) -> float:
+    """Maximum areal density (tubes per square metre) of a close-packed bundle.
+
+    Tubes of diameter ``d`` separated by the van der Waals distance pack
+    hexagonally with pitch ``d + spacing``.
+
+    Parameters
+    ----------
+    diameter:
+        Tube diameter in metre.
+    spacing:
+        Wall-to-wall spacing in metre (van der Waals distance by default).
+    """
+    if diameter <= 0:
+        raise ValueError("diameter must be positive")
+    pitch = diameter + spacing
+    return 2.0 / (math.sqrt(3.0) * pitch**2)
+
+
+@dataclass(frozen=True)
+class SWCNTBundle:
+    """A bundle of parallel SWCNTs filling a rectangular cross-section.
+
+    Attributes
+    ----------
+    width, height:
+        Cross-section of the trench or via the bundle fills, in metre.
+    length:
+        Bundle length in metre.
+    tube_diameter:
+        Individual tube diameter in metre.
+    density:
+        Areal tube density in tubes per square metre.  ``None`` uses the
+        ideal close-packed density.
+    metallic_fraction:
+        Fraction of tubes that conduct (1/3 for as-grown, 1.0 for sorted or
+        effectively-metallic doped tubes).
+    doping:
+        Doping profile applied to the conducting tubes.
+    contact_resistance_per_tube:
+        Extra contact resistance per tube in ohm.
+    temperature:
+        Operating temperature in kelvin.
+    """
+
+    width: float
+    height: float
+    length: float
+    tube_diameter: float = 1.0e-9
+    density: float | None = None
+    metallic_fraction: float = DEFAULT_METALLIC_FRACTION
+    doping: DopingProfile = field(default_factory=DopingProfile.pristine)
+    contact_resistance_per_tube: float = 0.0
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0 or self.length <= 0:
+            raise ValueError("width, height and length must be positive")
+        if self.tube_diameter <= 0:
+            raise ValueError("tube diameter must be positive")
+        if not 0.0 < self.metallic_fraction <= 1.0:
+            raise ValueError("metallic fraction must lie in (0, 1]")
+        if self.density is not None and self.density <= 0:
+            raise ValueError("density must be positive when given")
+
+    # --- geometry -------------------------------------------------------------
+
+    @property
+    def cross_section_area(self) -> float:
+        """Bundle cross-section area in square metre."""
+        return self.width * self.height
+
+    @property
+    def effective_density(self) -> float:
+        """Areal density in tubes per square metre actually used by the model."""
+        if self.density is not None:
+            return min(self.density, max_packing_density(self.tube_diameter))
+        return max_packing_density(self.tube_diameter)
+
+    @property
+    def tube_count(self) -> int:
+        """Total number of tubes in the cross-section."""
+        return max(1, int(self.effective_density * self.cross_section_area))
+
+    @property
+    def conducting_tube_count(self) -> int:
+        """Number of (metallic) tubes that carry current."""
+        return max(1, int(round(self.tube_count * self.metallic_fraction)))
+
+    # --- electrical ---------------------------------------------------------------
+
+    def _single_tube(self) -> SWCNTInterconnect:
+        return SWCNTInterconnect(
+            diameter=self.tube_diameter,
+            length=self.length,
+            doping=self.doping,
+            contact_resistance=self.contact_resistance_per_tube,
+            temperature=self.temperature,
+        )
+
+    @property
+    def single_tube_resistance(self) -> float:
+        """Resistance of one conducting tube in ohm."""
+        return self._single_tube().resistance
+
+    @property
+    def resistance(self) -> float:
+        """Bundle resistance in ohm (conducting tubes in parallel)."""
+        return self.single_tube_resistance / self.conducting_tube_count
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Ground capacitance per unit length in farad per metre.
+
+        The bundle fills a trench of the given drawn width; its electrostatic
+        capacitance is approximated by the parallel-plate (plus fringe)
+        expression over a 50 nm low-k ILD, like the copper reference line.
+        """
+        from repro.core.electrostatics import parallel_plate_capacitance
+
+        return parallel_plate_capacitance(self.width, 50.0e-9)
+
+    @property
+    def capacitance(self) -> float:
+        """Total line capacitance in farad."""
+        return self.capacitance_per_length * self.length
+
+    @property
+    def effective_conductivity(self) -> float:
+        """Conductivity referred to the full cross-section in siemens per metre."""
+        return self.length / (self.resistance * self.cross_section_area)
+
+    @property
+    def effective_resistivity(self) -> float:
+        """Effective resistivity in ohm metre."""
+        return 1.0 / self.effective_conductivity
+
+    # --- ampacity ---------------------------------------------------------------------
+
+    @property
+    def max_current(self) -> float:
+        """Maximum current of the bundle in ampere (20-25 uA per conducting tube)."""
+        return self.conducting_tube_count * CNT_MAX_CURRENT_PER_TUBE
+
+    @property
+    def max_current_density(self) -> float:
+        """Maximum current density referred to the full cross-section (A/m^2)."""
+        return self.max_current / self.cross_section_area
+
+    # --- paper checks -------------------------------------------------------------------
+
+    def meets_minimum_density(self) -> bool:
+        """True when the areal density reaches the paper's 0.096 nm^-2 threshold."""
+        return self.effective_density >= MIN_CNT_DENSITY_FOR_DELAY
+
+    def density_shortfall_factor(self) -> float:
+        """How far below (or above) the minimum density the bundle sits.
+
+        Values below 1 mean the bundle is too sparse for a pure-CNT
+        interconnect to compete with copper on resistance.
+        """
+        return self.effective_density / MIN_CNT_DENSITY_FOR_DELAY
+
+    def tubes_to_match_current(self, target_current: float) -> int:
+        """Number of conducting tubes needed to carry ``target_current`` ampere.
+
+        The paper's reliability argument: a handful of CNTs suffice to match
+        the ~50 uA capability of a 100 nm x 50 nm Cu line.
+        """
+        if target_current <= 0:
+            raise ValueError("target current must be positive")
+        return int(math.ceil(target_current / CNT_MAX_CURRENT_PER_TUBE))
+
+    # --- convenience -----------------------------------------------------------------------
+
+    def with_density(self, density: float) -> "SWCNTBundle":
+        """Copy of this bundle with a different areal density."""
+        return replace(self, density=density)
+
+    def with_length(self, length: float) -> "SWCNTBundle":
+        """Copy of this bundle with a different length."""
+        return replace(self, length=length)

@@ -1,0 +1,239 @@
+"""Cu-CNT composite interconnect model (paper Section II.C).
+
+Embedding CNTs in a copper matrix trades some of copper's low resistivity for
+the CNTs' enormous current-carrying capacity, while keeping integration
+(void-free fill, CMP, patterning) manufacturable.  The paper motivates the
+composite with reference [14] (Subramaniam et al.), which demonstrated a
+hundred-fold increase in ampacity at near-copper conductivity.
+
+The composite is modelled as two conduction paths in parallel (rule of
+mixtures along the wire axis):
+
+* a copper matrix occupying volume fraction ``1 - f`` with size-effect
+  resistivity, and
+* a CNT phase occupying volume fraction ``f`` whose conductivity comes from
+  the bundle model (length dependent through the ballistic term).
+
+Ampacity adds the two phases' limits; in addition the copper limit itself is
+raised by a configurable EM-suppression factor because the CNT network keeps
+conducting (and keeps the line intact) after copper voiding starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.constants import CNT_MAX_CURRENT_PER_TUBE, COPPER_EM_CURRENT_DENSITY_LIMIT, ROOM_TEMPERATURE
+from repro.core.bundle import SWCNTBundle
+from repro.core.copper import CopperInterconnect
+from repro.core.doping import DopingProfile
+
+
+@dataclass(frozen=True)
+class CuCNTComposite:
+    """A copper line with an embedded CNT volume fraction.
+
+    Attributes
+    ----------
+    width, height, length:
+        Line geometry in metre.
+    cnt_volume_fraction:
+        Fraction ``f`` of the cross-section occupied by CNTs (0 = pure Cu,
+        1 = pure CNT bundle).
+    tube_diameter:
+        Diameter of the embedded tubes in metre.
+    metallic_fraction:
+        Fraction of embedded tubes that conduct.
+    doping:
+        Doping applied to the embedded tubes.
+    fill_quality:
+        Fraction of the copper phase that is void-free (1 = ideal ELD/ECD
+        fill); voids reduce the conducting copper area.
+    em_suppression_factor:
+        Multiplier (>= 1) on the copper EM current-density limit due to the
+        CNT scaffold; literature composite demonstrations justify values of
+        10-100.
+    temperature:
+        Operating temperature in kelvin.
+    """
+
+    width: float
+    height: float
+    length: float
+    cnt_volume_fraction: float = 0.3
+    tube_diameter: float = 2.0e-9
+    metallic_fraction: float = 1.0 / 3.0
+    doping: DopingProfile = field(default_factory=DopingProfile.pristine)
+    fill_quality: float = 1.0
+    em_suppression_factor: float = 10.0
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0 or self.length <= 0:
+            raise ValueError("width, height and length must be positive")
+        if not 0.0 <= self.cnt_volume_fraction <= 1.0:
+            raise ValueError("CNT volume fraction must lie in [0, 1]")
+        if not 0.0 < self.fill_quality <= 1.0:
+            raise ValueError("fill quality must lie in (0, 1]")
+        if self.em_suppression_factor < 1.0:
+            raise ValueError("EM suppression factor must be >= 1")
+
+    # --- constituent phases -----------------------------------------------------
+
+    @property
+    def cross_section_area(self) -> float:
+        """Total cross-section area in square metre."""
+        return self.width * self.height
+
+    @property
+    def copper_area(self) -> float:
+        """Void-free copper cross-section area in square metre."""
+        return self.cross_section_area * (1.0 - self.cnt_volume_fraction) * self.fill_quality
+
+    @property
+    def cnt_area(self) -> float:
+        """CNT-phase cross-section area in square metre."""
+        return self.cross_section_area * self.cnt_volume_fraction
+
+    _NEGLIGIBLE_FRACTION = 1.0e-9
+    """Volume fractions below this are treated as an absent phase."""
+
+    def copper_phase(self) -> CopperInterconnect | None:
+        """Copper constituent as a :class:`CopperInterconnect` (None if f = 1)."""
+        if self.cnt_volume_fraction >= 1.0 - self._NEGLIGIBLE_FRACTION:
+            return None
+        # Preserve the aspect ratio while shrinking to the copper area.
+        scale = (self.copper_area / self.cross_section_area) ** 0.5
+        return CopperInterconnect(
+            width=self.width * scale,
+            height=self.height * scale,
+            length=self.length,
+            temperature=self.temperature,
+        )
+
+    def cnt_phase(self) -> SWCNTBundle | None:
+        """CNT constituent as a :class:`SWCNTBundle` (None if f = 0)."""
+        if self.cnt_volume_fraction <= self._NEGLIGIBLE_FRACTION:
+            return None
+        scale = (self.cnt_area / self.cross_section_area) ** 0.5
+        return SWCNTBundle(
+            width=self.width * scale,
+            height=self.height * scale,
+            length=self.length,
+            tube_diameter=self.tube_diameter,
+            metallic_fraction=self.metallic_fraction,
+            doping=self.doping,
+            temperature=self.temperature,
+        )
+
+    # --- electrical -----------------------------------------------------------------
+
+    @property
+    def resistance(self) -> float:
+        """End-to-end resistance in ohm (phases in parallel)."""
+        conductance = 0.0
+        copper = self.copper_phase()
+        if copper is not None:
+            conductance += 1.0 / copper.resistance
+        cnt = self.cnt_phase()
+        if cnt is not None:
+            conductance += 1.0 / cnt.resistance
+        if conductance == 0.0:
+            raise ValueError("composite has no conducting phase")
+        return 1.0 / conductance
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Ground capacitance per unit length in farad per metre.
+
+        The composite line presents the same outer geometry as a copper line
+        of identical drawn dimensions, so the standard parallel-plate (plus
+        fringe) expression over a 50 nm low-k ILD is used.
+        """
+        from repro.core.electrostatics import parallel_plate_capacitance
+
+        return parallel_plate_capacitance(self.width, 50.0e-9)
+
+    @property
+    def capacitance(self) -> float:
+        """Total line capacitance in farad."""
+        return self.capacitance_per_length * self.length
+
+    @property
+    def effective_conductivity(self) -> float:
+        """Conductivity referred to the full cross-section in siemens per metre."""
+        return self.length / (self.resistance * self.cross_section_area)
+
+    @property
+    def effective_resistivity(self) -> float:
+        """Effective resistivity in ohm metre."""
+        return 1.0 / self.effective_conductivity
+
+    # --- ampacity --------------------------------------------------------------------
+
+    @property
+    def max_current(self) -> float:
+        """Maximum current in ampere (copper EM limit boosted by the CNT scaffold
+        plus the CNT phase's own capability)."""
+        copper_limit = (
+            COPPER_EM_CURRENT_DENSITY_LIMIT * self.em_suppression_factor * self.copper_area
+        )
+        cnt = self.cnt_phase()
+        cnt_limit = cnt.max_current if cnt is not None else 0.0
+        return copper_limit + cnt_limit
+
+    @property
+    def max_current_density(self) -> float:
+        """Maximum current density referred to the full cross-section (A/m^2)."""
+        return self.max_current / self.cross_section_area
+
+    @property
+    def ampacity_gain_over_copper(self) -> float:
+        """Ratio of composite ampacity to a pure-Cu line of the same drawn size."""
+        pure_cu_limit = COPPER_EM_CURRENT_DENSITY_LIMIT * self.cross_section_area
+        return self.max_current / pure_cu_limit
+
+    @property
+    def resistivity_penalty_over_copper(self) -> float:
+        """Ratio of composite resistivity to a pure-Cu line of the same drawn size."""
+        pure_cu = CopperInterconnect(
+            width=self.width, height=self.height, length=self.length, temperature=self.temperature
+        )
+        return self.effective_resistivity / (1.0 / pure_cu.effective_conductivity)
+
+    # --- convenience --------------------------------------------------------------------
+
+    def with_volume_fraction(self, fraction: float) -> "CuCNTComposite":
+        """Copy of this composite with a different CNT volume fraction."""
+        return replace(self, cnt_volume_fraction=fraction)
+
+
+def tradeoff_sweep(
+    width: float,
+    height: float,
+    length: float,
+    fractions: list[float],
+    **kwargs,
+) -> list[dict]:
+    """Resistivity / ampacity trade-off versus CNT volume fraction.
+
+    Returns one record per volume fraction with the effective resistivity,
+    the ampacity gain over pure copper and the resistivity penalty -- the
+    "efficient trade-off between resistivity and ampacity" the paper claims
+    for the composite approach.
+    """
+    records = []
+    for fraction in fractions:
+        composite = CuCNTComposite(
+            width=width, height=height, length=length, cnt_volume_fraction=fraction, **kwargs
+        )
+        records.append(
+            {
+                "cnt_volume_fraction": fraction,
+                "effective_resistivity": composite.effective_resistivity,
+                "resistivity_penalty": composite.resistivity_penalty_over_copper,
+                "ampacity_gain": composite.ampacity_gain_over_copper,
+                "max_current_density": composite.max_current_density,
+            }
+        )
+    return records

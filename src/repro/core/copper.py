@@ -1,0 +1,297 @@
+"""Copper interconnect reference models.
+
+The paper benchmarks CNT interconnects against state-of-the-art copper BEOL
+metallization (Fig. 9 and the ampacity discussion of Section I).  At the
+dimensions of interest (tens of nanometres) the copper resistivity is far
+above its bulk value because of surface scattering (Fuchs-Sondheimer) and
+grain-boundary scattering (Mayadas-Shatzkes).  This module implements the
+standard approximate combination of both mechanisms, plus a
+:class:`CopperInterconnect` convenience wrapper that mirrors the CNT model
+interfaces (resistance, capacitance, effective conductivity, ampacity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.constants import (
+    COPPER_BULK_RESISTIVITY,
+    COPPER_EM_CURRENT_DENSITY_LIMIT,
+    COPPER_MEAN_FREE_PATH,
+    ROOM_TEMPERATURE,
+)
+from repro.core.electrostatics import DEFAULT_OXIDE_PERMITTIVITY, parallel_plate_capacitance
+
+DEFAULT_SURFACE_SPECULARITY = 0.2
+"""Fraction of specular (non-resistive) surface scattering events."""
+
+DEFAULT_GRAIN_REFLECTIVITY = 0.3
+"""Electron reflection coefficient at grain boundaries."""
+
+COPPER_TEMPERATURE_COEFFICIENT = 0.0039
+"""Linear temperature coefficient of copper resistivity (1/K)."""
+
+
+def fuchs_sondheimer_increase(
+    width: float,
+    height: float,
+    specularity: float = DEFAULT_SURFACE_SPECULARITY,
+    mean_free_path: float = COPPER_MEAN_FREE_PATH,
+) -> float:
+    """Additive resistivity increase factor from surface scattering.
+
+    Uses the thin-wire approximation of the Fuchs-Sondheimer model,
+
+        delta_rho / rho0 = (3/8) (1 - p) lambda (1/w + 1/h),
+
+    valid when the cross-section dimensions are not much smaller than the
+    mean free path -- adequate down to the ~20 nm half-pitches discussed in
+    the paper.
+
+    Parameters
+    ----------
+    width, height:
+        Line cross-section in metre.
+    specularity:
+        Fraction ``p`` of specular surface scattering (0 = fully diffuse).
+    mean_free_path:
+        Bulk electron mean free path in metre.
+
+    Returns
+    -------
+    float
+        ``delta_rho / rho0`` (dimensionless, >= 0).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    if not 0.0 <= specularity <= 1.0:
+        raise ValueError("specularity must lie in [0, 1]")
+    return 0.375 * (1.0 - specularity) * mean_free_path * (1.0 / width + 1.0 / height)
+
+
+def mayadas_shatzkes_factor(
+    grain_size: float,
+    reflectivity: float = DEFAULT_GRAIN_REFLECTIVITY,
+    mean_free_path: float = COPPER_MEAN_FREE_PATH,
+) -> float:
+    """Multiplicative resistivity increase factor from grain-boundary scattering.
+
+    Mayadas-Shatzkes:
+
+        rho / rho0 = 1 / (3 [ 1/3 - alpha/2 + alpha^2 - alpha^3 ln(1 + 1/alpha) ])
+
+    with ``alpha = (lambda / d_grain) * R / (1 - R)``.
+
+    Parameters
+    ----------
+    grain_size:
+        Average grain diameter in metre (commonly ~ the line width for damascene Cu).
+    reflectivity:
+        Grain-boundary reflection coefficient ``R`` in [0, 1).
+    mean_free_path:
+        Bulk electron mean free path in metre.
+
+    Returns
+    -------
+    float
+        ``rho / rho0`` (dimensionless, >= 1).
+    """
+    if grain_size <= 0:
+        raise ValueError("grain size must be positive")
+    if not 0.0 <= reflectivity < 1.0:
+        raise ValueError("reflectivity must lie in [0, 1)")
+    if reflectivity == 0.0:
+        return 1.0
+    alpha = (mean_free_path / grain_size) * reflectivity / (1.0 - reflectivity)
+    bracket = 1.0 / 3.0 - alpha / 2.0 + alpha**2 - alpha**3 * math.log(1.0 + 1.0 / alpha)
+    if bracket <= 0.0:
+        # Extremely resistive limit (alpha -> infinity); return the asymptote.
+        return 4.0 * alpha / (3.0 * 0.99999)
+    return 1.0 / (3.0 * bracket)
+
+
+def copper_resistivity(
+    width: float,
+    height: float,
+    temperature: float = ROOM_TEMPERATURE,
+    specularity: float = DEFAULT_SURFACE_SPECULARITY,
+    grain_reflectivity: float = DEFAULT_GRAIN_REFLECTIVITY,
+    grain_size: float | None = None,
+    include_size_effects: bool = True,
+) -> float:
+    """Effective copper resistivity of a rectangular line in ohm metre.
+
+    Combines grain-boundary (multiplicative) and surface (additive) scattering
+    on top of the temperature-scaled bulk resistivity.
+
+    Parameters
+    ----------
+    width, height:
+        Line cross-section in metre.
+    temperature:
+        Temperature in kelvin.
+    specularity:
+        Surface specularity ``p``.
+    grain_reflectivity:
+        Grain-boundary reflection coefficient ``R``.
+    grain_size:
+        Average grain size in metre; defaults to the line width.
+    include_size_effects:
+        When False, return only the temperature-scaled bulk value (ablation
+        knob for the Fig. 9 comparison).
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    bulk = COPPER_BULK_RESISTIVITY * (
+        1.0 + COPPER_TEMPERATURE_COEFFICIENT * (temperature - ROOM_TEMPERATURE)
+    )
+    if not include_size_effects:
+        return bulk
+    grain = grain_size if grain_size is not None else width
+    ms = mayadas_shatzkes_factor(grain, grain_reflectivity)
+    fs = fuchs_sondheimer_increase(width, height, specularity)
+    return bulk * (ms + fs)
+
+
+@dataclass(frozen=True)
+class CopperInterconnect:
+    """A rectangular copper line, the reference the paper benchmarks CNTs against.
+
+    Attributes
+    ----------
+    width, height:
+        Cross-section in metre (the paper's reference line is 100 nm x 50 nm).
+    length:
+        Line length in metre.
+    temperature:
+        Operating temperature in kelvin.
+    specularity, grain_reflectivity:
+        Size-effect scattering parameters (see :func:`copper_resistivity`).
+    grain_size:
+        Average grain size in metre; ``None`` uses the line width.
+    include_size_effects:
+        Disable to model an ideal bulk-resistivity line.
+    dielectric_thickness:
+        ILD thickness below the line in metre (sets the capacitance).
+    relative_permittivity:
+        Dielectric constant of the ILD.
+    barrier_thickness:
+        Thickness of the resistive diffusion barrier in metre; it consumes
+        cross-section area without conducting, as in real damascene lines.
+    """
+
+    width: float
+    height: float
+    length: float
+    temperature: float = ROOM_TEMPERATURE
+    specularity: float = DEFAULT_SURFACE_SPECULARITY
+    grain_reflectivity: float = DEFAULT_GRAIN_REFLECTIVITY
+    grain_size: float | None = None
+    include_size_effects: bool = True
+    dielectric_thickness: float = 50.0e-9
+    relative_permittivity: float = DEFAULT_OXIDE_PERMITTIVITY
+    barrier_thickness: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0 or self.length <= 0:
+            raise ValueError("width, height and length must be positive")
+        if self.barrier_thickness < 0:
+            raise ValueError("barrier thickness cannot be negative")
+        if 2.0 * self.barrier_thickness >= min(self.width, self.height):
+            raise ValueError("barrier consumes the whole line cross-section")
+
+    # --- resistivity and resistance ------------------------------------------------
+
+    @property
+    def conducting_width(self) -> float:
+        """Width of the copper core after subtracting the barrier (metre)."""
+        return self.width - 2.0 * self.barrier_thickness
+
+    @property
+    def conducting_height(self) -> float:
+        """Height of the copper core after subtracting the barrier (metre)."""
+        return self.height - self.barrier_thickness
+
+    @property
+    def resistivity(self) -> float:
+        """Effective resistivity in ohm metre (size effects included)."""
+        return copper_resistivity(
+            self.conducting_width,
+            self.conducting_height,
+            temperature=self.temperature,
+            specularity=self.specularity,
+            grain_reflectivity=self.grain_reflectivity,
+            grain_size=self.grain_size,
+            include_size_effects=self.include_size_effects,
+        )
+
+    @property
+    def cross_section_area(self) -> float:
+        """Full (drawn) cross-section area in square metre."""
+        return self.width * self.height
+
+    @property
+    def conducting_area(self) -> float:
+        """Copper-core cross-section area in square metre."""
+        return self.conducting_width * self.conducting_height
+
+    @property
+    def resistance(self) -> float:
+        """End-to-end resistance in ohm."""
+        return self.resistivity * self.length / self.conducting_area
+
+    @property
+    def resistance_per_length(self) -> float:
+        """Resistance per unit length in ohm per metre."""
+        return self.resistivity / self.conducting_area
+
+    # --- capacitance ------------------------------------------------------------------
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Ground capacitance per unit length in farad per metre."""
+        return parallel_plate_capacitance(
+            self.width, self.dielectric_thickness, self.relative_permittivity
+        )
+
+    @property
+    def capacitance(self) -> float:
+        """Total line capacitance in farad."""
+        return self.capacitance_per_length * self.length
+
+    # --- figures of merit -----------------------------------------------------------------
+
+    @property
+    def effective_conductivity(self) -> float:
+        """Conductivity referred to the drawn cross-section in siemens per metre.
+
+        Dividing by the *drawn* area (including the barrier) makes the value
+        directly comparable to the CNT effective conductivities of Fig. 9.
+        """
+        return self.length / (self.resistance * self.cross_section_area)
+
+    @property
+    def max_current(self) -> float:
+        """Electromigration-limited current in ampere (~50 uA for 100x50 nm)."""
+        return COPPER_EM_CURRENT_DENSITY_LIMIT * self.conducting_area
+
+    @property
+    def max_current_density(self) -> float:
+        """Electromigration current-density limit in ampere per square metre."""
+        return COPPER_EM_CURRENT_DENSITY_LIMIT
+
+    # --- convenience --------------------------------------------------------------------------
+
+    def with_length(self, length: float) -> "CopperInterconnect":
+        """Copy of this line with a different length."""
+        return replace(self, length=length)
+
+    def rc_delay_estimate(self) -> float:
+        """Distributed-RC (Elmore) delay estimate ``0.5 R C`` in second."""
+        return 0.5 * self.resistance * self.capacitance
+
+
+def paper_reference_copper_line(length: float = 1.0e-6) -> CopperInterconnect:
+    """The paper's reference Cu cross-section: 100 nm wide, 50 nm tall."""
+    return CopperInterconnect(width=100.0e-9, height=50.0e-9, length=length)

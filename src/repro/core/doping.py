@@ -1,0 +1,199 @@
+"""Doping enhancement model for CNT interconnect compact models.
+
+Section III.C of the paper introduces doping through a single knob: the number
+of conducting channels per shell ``Nc``.  A pristine metallic shell has
+``Nc = 2``; charge-transfer doping (iodine or PtCl4) shifts the Fermi level
+into regions of higher subband density, opening additional channels, and the
+paper sweeps ``Nc`` from 2 to 10 to represent different doping concentrations.
+
+This module provides:
+
+* :class:`DopingProfile` -- a declarative description of a doping state
+  (dopant species, site, Fermi shift and/or explicit ``Nc``),
+* :func:`channels_per_shell_from_fermi_shift` -- the bridge from the
+  atomistic rigid-band picture to the compact-model ``Nc`` knob,
+* convenience constructors for the paper's pristine / iodine / PtCl4 cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.constants import ROOM_TEMPERATURE
+
+PRISTINE_CHANNELS_PER_SHELL = 2.0
+"""Conducting channels of an undoped metallic shell (paper Eq. 1 discussion)."""
+
+MAX_CHANNELS_PER_SHELL = 10.0
+"""Upper end of the paper's doping sweep (Fig. 12)."""
+
+
+class DopantSite(Enum):
+    """Where the dopant sits relative to the tube.
+
+    The paper distinguishes *external* doping (PtCl4 solution applied to the
+    outside, Fig. 2d) from *internal* doping (dopants inserted through opened
+    tube ends, Fig. 3) and reports from simulation that internal doping is
+    more stable.  The stability consequences are modelled in
+    :mod:`repro.process.doping_process`; here the site is carried as metadata.
+    """
+
+    NONE = "none"
+    EXTERNAL = "external"
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class DopingProfile:
+    """Doping state of a CNT interconnect for compact modelling.
+
+    Attributes
+    ----------
+    channels_per_shell:
+        Conducting channels per shell ``Nc`` (2 for pristine, up to ~10 for
+        heavy doping in the paper's sweep).
+    dopant:
+        Dopant species label ("iodine", "PtCl4", ...).
+    site:
+        Dopant site (:class:`DopantSite`).
+    fermi_shift_ev:
+        Rigid-band Fermi shift in eV associated with this doping level
+        (negative for p-type); informational unless the profile was built
+        from a shift.
+    """
+
+    channels_per_shell: float = PRISTINE_CHANNELS_PER_SHELL
+    dopant: str = "none"
+    site: DopantSite = DopantSite.NONE
+    fermi_shift_ev: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.channels_per_shell < PRISTINE_CHANNELS_PER_SHELL:
+            raise ValueError(
+                "channels per shell cannot drop below the pristine value of "
+                f"{PRISTINE_CHANNELS_PER_SHELL}"
+            )
+
+    @property
+    def is_doped(self) -> bool:
+        """True when the profile increases the channel count above pristine."""
+        return self.channels_per_shell > PRISTINE_CHANNELS_PER_SHELL
+
+    @property
+    def enhancement_factor(self) -> float:
+        """Channel-count ratio doped / pristine (resistance reduction factor)."""
+        return self.channels_per_shell / PRISTINE_CHANNELS_PER_SHELL
+
+    # --- constructors ---------------------------------------------------------
+
+    @classmethod
+    def pristine(cls) -> "DopingProfile":
+        """Undoped metallic CNT (Nc = 2)."""
+        return cls()
+
+    @classmethod
+    def from_channels(
+        cls, channels_per_shell: float, dopant: str = "generic", site: DopantSite = DopantSite.INTERNAL
+    ) -> "DopingProfile":
+        """Profile specified directly by the compact-model knob ``Nc``."""
+        return cls(channels_per_shell=channels_per_shell, dopant=dopant, site=site)
+
+    @classmethod
+    def iodine(cls, channels_per_shell: float = 5.0, site: DopantSite = DopantSite.INTERNAL) -> "DopingProfile":
+        """Iodine charge-transfer doping.
+
+        The default ``Nc = 5`` reproduces the paper's doped SWCNT(7,7)
+        ballistic conductance of 0.387 mS (five quantum channels).
+        """
+        return cls(
+            channels_per_shell=channels_per_shell,
+            dopant="iodine",
+            site=site,
+            fermi_shift_ev=-0.6,
+        )
+
+    @classmethod
+    def ptcl4(cls, channels_per_shell: float = 4.0, site: DopantSite = DopantSite.EXTERNAL) -> "DopingProfile":
+        """PtCl4 solution doping as used for the side-contacted MWCNT of Fig. 2d."""
+        return cls(
+            channels_per_shell=channels_per_shell,
+            dopant="PtCl4",
+            site=site,
+            fermi_shift_ev=-0.4,
+        )
+
+    @classmethod
+    def from_fermi_shift(
+        cls,
+        chirality,
+        fermi_shift_ev: float,
+        dopant: str = "generic",
+        site: DopantSite = DopantSite.INTERNAL,
+        temperature: float = ROOM_TEMPERATURE,
+    ) -> "DopingProfile":
+        """Build a profile from an atomistic rigid-band Fermi shift.
+
+        The channel count is evaluated with the tight-binding Landauer model
+        of :mod:`repro.atomistic`; the result is clamped to at least the
+        pristine value so a small shift never *reduces* the compact-model
+        channel count.
+        """
+        channels = channels_per_shell_from_fermi_shift(
+            chirality, fermi_shift_ev, temperature=temperature
+        )
+        return cls(
+            channels_per_shell=max(channels, PRISTINE_CHANNELS_PER_SHELL),
+            dopant=dopant,
+            site=site,
+            fermi_shift_ev=fermi_shift_ev,
+        )
+
+
+def channels_per_shell_from_fermi_shift(
+    chirality,
+    fermi_shift_ev: float,
+    temperature: float = ROOM_TEMPERATURE,
+    n_k: int = 201,
+) -> float:
+    """Conducting channels per shell for a given rigid-band Fermi shift.
+
+    This is the quantitative bridge between the atomistic doping picture
+    (Fig. 8b/c: Fermi shift) and the circuit-level compact model (Fig. 12:
+    channels per shell ``Nc``).
+
+    Parameters
+    ----------
+    chirality:
+        :class:`repro.atomistic.Chirality` of the shell.
+    fermi_shift_ev:
+        Rigid Fermi-level shift in eV (negative = p-type).
+    temperature:
+        Temperature in kelvin.
+    n_k:
+        Number of k-points for the band structure.
+    """
+    from repro.atomistic.doping import channels_after_doping
+
+    return channels_after_doping(chirality, fermi_shift_ev, temperature=temperature, n_k=n_k)
+
+
+def doping_sweep(n_levels: int = 9) -> list[DopingProfile]:
+    """The paper's Fig. 12 doping sweep: Nc from 2 (pristine) to 10.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of evenly spaced channel counts between 2 and 10 inclusive.
+    """
+    if n_levels < 2:
+        raise ValueError("need at least two levels (pristine and one doped)")
+    step = (MAX_CHANNELS_PER_SHELL - PRISTINE_CHANNELS_PER_SHELL) / (n_levels - 1)
+    profiles = []
+    for i in range(n_levels):
+        channels = PRISTINE_CHANNELS_PER_SHELL + i * step
+        if i == 0:
+            profiles.append(DopingProfile.pristine())
+        else:
+            profiles.append(DopingProfile.from_channels(channels))
+    return profiles

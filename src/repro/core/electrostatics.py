@@ -1,0 +1,145 @@
+"""Geometry-dependent electrostatic capacitance models.
+
+The compact model of Eq. (5) needs the electrostatic capacitance ``C_E`` of
+the interconnect, which depends only on the surrounding geometry and the
+dielectric, not on doping.  The expressions below are the standard
+closed-form results used in CNT interconnect compact modelling (paper
+references [19]-[21]): an isolated cylinder over a ground plane, a cylinder
+between two planes, parallel-plate capacitance for wide copper lines, and
+the coupling capacitance between neighbouring cylinders.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import VACUUM_PERMITTIVITY
+
+DEFAULT_OXIDE_PERMITTIVITY = 2.2
+"""Relative permittivity of a typical BEOL low-k inter-layer dielectric."""
+
+
+def wire_over_plane_capacitance(
+    diameter: float, height_above_plane: float, relative_permittivity: float = DEFAULT_OXIDE_PERMITTIVITY
+) -> float:
+    """Per-unit-length capacitance of a cylindrical wire over a ground plane.
+
+    Uses the exact image-charge result
+    ``C_E = 2 pi epsilon / arccosh(2 h / d)`` where ``h`` is the distance from
+    the wire *axis* to the plane.
+
+    Parameters
+    ----------
+    diameter:
+        Wire diameter in metre.
+    height_above_plane:
+        Distance between the wire axis and the ground plane in metre; must be
+        larger than the wire radius.
+    relative_permittivity:
+        Relative permittivity of the surrounding dielectric.
+
+    Returns
+    -------
+    float
+        Capacitance per unit length in farad per metre.
+    """
+    if diameter <= 0:
+        raise ValueError("diameter must be positive")
+    if height_above_plane <= diameter / 2.0:
+        raise ValueError("wire axis must be above the plane by more than its radius")
+    epsilon = relative_permittivity * VACUUM_PERMITTIVITY
+    return 2.0 * math.pi * epsilon / math.acosh(2.0 * height_above_plane / diameter)
+
+
+def wire_between_planes_capacitance(
+    diameter: float, plane_separation: float, relative_permittivity: float = DEFAULT_OXIDE_PERMITTIVITY
+) -> float:
+    """Per-unit-length capacitance of a wire centred between two ground planes.
+
+    Approximates the two plane contributions as independent image problems
+    (each plane at half the separation), which is accurate when the wire
+    diameter is small compared to the separation -- the regime of CNT
+    interconnects between adjacent metal levels.
+
+    Parameters
+    ----------
+    diameter:
+        Wire diameter in metre.
+    plane_separation:
+        Distance between the two planes in metre; the wire sits midway.
+    relative_permittivity:
+        Relative permittivity of the surrounding dielectric.
+    """
+    if plane_separation <= diameter:
+        raise ValueError("plane separation must exceed the wire diameter")
+    half = plane_separation / 2.0
+    single = wire_over_plane_capacitance(diameter, half, relative_permittivity)
+    return 2.0 * single
+
+
+def coupled_line_capacitance(
+    diameter: float, centre_spacing: float, relative_permittivity: float = DEFAULT_OXIDE_PERMITTIVITY
+) -> float:
+    """Per-unit-length coupling capacitance between two parallel cylinders.
+
+    Exact two-cylinder result ``C = pi epsilon / arccosh(s / d)`` with ``s``
+    the centre-to-centre spacing.  This is the line-to-line crosstalk term
+    highlighted by the TCAD extraction of Fig. 10a.
+
+    Parameters
+    ----------
+    diameter:
+        Wire diameter in metre (both wires identical).
+    centre_spacing:
+        Centre-to-centre spacing in metre; must exceed the diameter.
+    relative_permittivity:
+        Relative permittivity of the surrounding dielectric.
+    """
+    if centre_spacing <= diameter:
+        raise ValueError("centre spacing must exceed the wire diameter")
+    epsilon = relative_permittivity * VACUUM_PERMITTIVITY
+    return math.pi * epsilon / math.acosh(centre_spacing / diameter)
+
+
+def parallel_plate_capacitance(
+    width: float,
+    dielectric_thickness: float,
+    relative_permittivity: float = DEFAULT_OXIDE_PERMITTIVITY,
+    fringe_factor: float = 1.15,
+) -> float:
+    """Per-unit-length capacitance of a wide (copper) line over a plane.
+
+    ``C = fringe_factor * epsilon * w / t`` -- the plate term with a simple
+    multiplicative allowance for fringing fields, adequate for the aspect
+    ratios of the Cu reference lines in the paper's benchmark.
+
+    Parameters
+    ----------
+    width:
+        Line width in metre.
+    dielectric_thickness:
+        Dielectric thickness between line bottom and ground plane in metre.
+    relative_permittivity:
+        Relative permittivity of the dielectric.
+    fringe_factor:
+        Multiplier accounting for fringing fields (>= 1).
+    """
+    if width <= 0 or dielectric_thickness <= 0:
+        raise ValueError("width and dielectric thickness must be positive")
+    if fringe_factor < 1.0:
+        raise ValueError("fringe factor must be >= 1")
+    epsilon = relative_permittivity * VACUUM_PERMITTIVITY
+    return fringe_factor * epsilon * width / dielectric_thickness
+
+
+def series_capacitance(c1: float, c2: float) -> float:
+    """Series combination of two per-unit-length capacitances.
+
+    Used for the quantum/electrostatic series combination of Eq. (5);
+    degenerate inputs (either capacitance zero) return 0.
+    """
+    if c1 < 0 or c2 < 0:
+        raise ValueError("capacitances must be non-negative")
+    if c1 == 0.0 or c2 == 0.0:
+        return 0.0
+    return c1 * c2 / (c1 + c2)

@@ -1,0 +1,78 @@
+"""Kinetic and magnetic inductance of CNT interconnects.
+
+The inductance of a CNT interconnect is dominated by the kinetic term
+``L_K = h / (2 e^2 v_F)`` per conducting channel (~16 nH/um), orders of
+magnitude above the magnetic inductance of the same geometry.  Inductance
+does not enter the paper's delay-ratio experiment directly (RC-dominated
+lengths), but the compact model carries it so RLC analyses remain possible
+and so the dominance of the kinetic term can be demonstrated.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import (
+    KINETIC_INDUCTANCE_PER_CHANNEL,
+    VACUUM_PERMITTIVITY,
+)
+
+VACUUM_PERMEABILITY = 4.0e-7 * math.pi
+"""Vacuum permeability in henry per metre."""
+
+
+def kinetic_inductance(total_channels: float) -> float:
+    """Kinetic inductance per unit length of ``total_channels`` parallel channels.
+
+    Parameters
+    ----------
+    total_channels:
+        Total number of conducting channels (``Nc`` for a SWCNT,
+        ``Nc * Ns`` for a MWCNT, tubes x channels for a bundle).
+
+    Returns
+    -------
+    float
+        Inductance in henry per metre.
+    """
+    if total_channels <= 0:
+        raise ValueError("channel count must be positive")
+    return KINETIC_INDUCTANCE_PER_CHANNEL / total_channels
+
+
+def magnetic_inductance_over_plane(diameter: float, height_above_plane: float) -> float:
+    """Magnetic (external) inductance of a wire over a ground plane (H/m).
+
+    Dual of the image-charge capacitance formula:
+    ``L_M = (mu_0 / 2 pi) arccosh(2 h / d)``.
+
+    Parameters
+    ----------
+    diameter:
+        Wire diameter in metre.
+    height_above_plane:
+        Distance from the wire axis to the return plane in metre.
+    """
+    if diameter <= 0:
+        raise ValueError("diameter must be positive")
+    if height_above_plane <= diameter / 2.0:
+        raise ValueError("wire axis must be above the plane by more than its radius")
+    return VACUUM_PERMEABILITY / (2.0 * math.pi) * math.acosh(2.0 * height_above_plane / diameter)
+
+
+def kinetic_to_magnetic_ratio(
+    total_channels: float, diameter: float, height_above_plane: float
+) -> float:
+    """Ratio of kinetic to magnetic inductance (>> 1 for realistic CNTs)."""
+    return kinetic_inductance(total_channels) / magnetic_inductance_over_plane(
+        diameter, height_above_plane
+    )
+
+
+def total_inductance_per_length(
+    total_channels: float, diameter: float, height_above_plane: float
+) -> float:
+    """Series combination of kinetic and magnetic inductance in henry per metre."""
+    return kinetic_inductance(total_channels) + magnetic_inductance_over_plane(
+        diameter, height_above_plane
+    )

@@ -1,0 +1,294 @@
+"""Multi-wall CNT interconnect compact model (paper Eqs. 4-5).
+
+A MWCNT of outer diameter ``D`` is a set of nested shells separated by the
+van der Waals distance.  The paper's doped compact model treats every shell
+as contributing ``Nc`` conducting channels (the doping enhancement factor)
+and sums the shell conductances:
+
+    R_MW = 1 / (Nc * Ns * G_1channel)                       (Eq. 4)
+    G_1channel = G0 / (1 + L / L_mfp)
+    C_MW = (Nc Ns C_Q * C_E) / (Nc Ns C_Q + C_E) ~ C_E       (Eq. 5)
+
+Two shell-filling rules are provided: the paper's simplified
+``Ns = diameter(nm) - 1`` and the physical van-der-Waals filling (shells
+spaced by 0.34 nm down to an inner diameter of ``D/2``), which DESIGN.md
+flags as an ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.constants import (
+    KINETIC_INDUCTANCE_PER_CHANNEL,
+    MFP_DIAMETER_RATIO,
+    QUANTUM_CAPACITANCE_PER_CHANNEL,
+    QUANTUM_CONDUCTANCE,
+    ROOM_TEMPERATURE,
+    VDW_SHELL_PITCH,
+)
+from repro.core.doping import DopingProfile
+from repro.core.electrostatics import (
+    DEFAULT_OXIDE_PERMITTIVITY,
+    series_capacitance,
+    wire_over_plane_capacitance,
+)
+
+
+class ShellFillingRule(Enum):
+    """How the number of shells of a MWCNT is derived from its outer diameter."""
+
+    PAPER_SIMPLIFIED = "paper"
+    """The paper's rule below Eq. (5): ``Ns = diameter(nm) - 1``, shells spread
+    evenly between ``D`` and ``D/2``."""
+
+    VAN_DER_WAALS = "vdw"
+    """Physical filling: shell diameters ``D, D - 2*0.34 nm, ...`` down to
+    ``D/2`` (the paper's stated inner-diameter cut-off)."""
+
+
+def shell_diameters(
+    outer_diameter: float,
+    rule: ShellFillingRule = ShellFillingRule.PAPER_SIMPLIFIED,
+    inner_diameter_ratio: float = 0.5,
+) -> list[float]:
+    """Diameters (metre) of every shell of a MWCNT, outermost first.
+
+    Parameters
+    ----------
+    outer_diameter:
+        Outer shell diameter in metre.
+    rule:
+        Shell-filling rule (see :class:`ShellFillingRule`).
+    inner_diameter_ratio:
+        Innermost shell diameter as a fraction of the outer diameter; the
+        paper assumes shells are present down to ``D/2``.
+    """
+    if outer_diameter <= 0:
+        raise ValueError("outer diameter must be positive")
+    if not 0.0 < inner_diameter_ratio < 1.0:
+        raise ValueError("inner diameter ratio must lie in (0, 1)")
+
+    inner_diameter = outer_diameter * inner_diameter_ratio
+
+    if rule is ShellFillingRule.PAPER_SIMPLIFIED:
+        n_shells = max(1, round(outer_diameter * 1.0e9) - 1)
+        if n_shells == 1:
+            return [outer_diameter]
+        step = (outer_diameter - inner_diameter) / (n_shells - 1)
+        return [outer_diameter - i * step for i in range(n_shells)]
+
+    if rule is ShellFillingRule.VAN_DER_WAALS:
+        diameters = []
+        d = outer_diameter
+        while d >= inner_diameter - 1.0e-15:
+            diameters.append(d)
+            d -= 2.0 * VDW_SHELL_PITCH
+        return diameters
+
+    raise ValueError(f"unknown shell filling rule {rule!r}")
+
+
+@dataclass(frozen=True)
+class MWCNTInterconnect:
+    """Compact model of a multi-wall CNT interconnect (paper Eqs. 4-5).
+
+    Attributes
+    ----------
+    outer_diameter:
+        Outermost shell diameter ``D_max`` in metre (paper uses 10/14/22 nm).
+    length:
+        Interconnect length in metre.
+    doping:
+        Doping profile; ``channels_per_shell`` is the paper's ``Nc`` knob.
+    filling_rule:
+        How shells are counted (paper simplified rule or van der Waals).
+    contact_resistance:
+        Extra metal-CNT contact resistance in ohm (per tube, both contacts
+        combined) added to the intrinsic term.  0 models an ideal contact.
+    height_above_plane:
+        Tube-axis height above the return plane in metre (sets ``C_E``).
+    relative_permittivity:
+        Dielectric constant of the surrounding ILD.
+    temperature:
+        Operating temperature in kelvin.
+    per_shell_mfp:
+        When True (default) each shell uses its own mean free path
+        ``1000 d_shell``; when False all shells reuse the outer-shell value,
+        exactly as written in Eq. (4).
+    defect_mfp:
+        Optional defect-limited mean free path in metre (Matthiessen).
+    """
+
+    outer_diameter: float
+    length: float
+    doping: DopingProfile = field(default_factory=DopingProfile.pristine)
+    filling_rule: ShellFillingRule = ShellFillingRule.PAPER_SIMPLIFIED
+    contact_resistance: float = 0.0
+    height_above_plane: float = 60.0e-9
+    relative_permittivity: float = DEFAULT_OXIDE_PERMITTIVITY
+    temperature: float = ROOM_TEMPERATURE
+    per_shell_mfp: bool = False
+    defect_mfp: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.outer_diameter <= 0:
+            raise ValueError("outer diameter must be positive")
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        if self.contact_resistance < 0:
+            raise ValueError("contact resistance cannot be negative")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+
+    # --- shells and channels ---------------------------------------------------
+
+    @property
+    def shells(self) -> list[float]:
+        """Shell diameters in metre, outermost first."""
+        return shell_diameters(self.outer_diameter, self.filling_rule)
+
+    @property
+    def shell_count(self) -> int:
+        """Number of shells ``Ns``."""
+        return len(self.shells)
+
+    @property
+    def channels_per_shell(self) -> float:
+        """Conducting channels per shell ``Nc`` (doping knob)."""
+        return self.doping.channels_per_shell
+
+    @property
+    def total_channels(self) -> float:
+        """Total conducting channels ``N_tot = Ns * Nc`` (paper Section III.C)."""
+        return self.shell_count * self.channels_per_shell
+
+    def _shell_mfp(self, shell_diameter: float) -> float:
+        reference = shell_diameter if self.per_shell_mfp else self.outer_diameter
+        phonon = MFP_DIAMETER_RATIO * reference * (ROOM_TEMPERATURE / self.temperature)
+        if self.defect_mfp is None:
+            return phonon
+        return 1.0 / (1.0 / phonon + 1.0 / self.defect_mfp)
+
+    @property
+    def mean_free_path(self) -> float:
+        """Outer-shell mean free path in metre (the ``L_mfp`` of Eq. 4)."""
+        return self._shell_mfp(self.outer_diameter)
+
+    # --- resistance (Eq. 4) -------------------------------------------------------
+
+    def shell_conductance(self, shell_diameter: float) -> float:
+        """Conductance of one shell, ``Nc * G0 / (1 + L / L_mfp)`` in siemens."""
+        mfp = self._shell_mfp(shell_diameter)
+        per_channel = QUANTUM_CONDUCTANCE / (1.0 + self.length / mfp)
+        return self.channels_per_shell * per_channel
+
+    @property
+    def intrinsic_resistance(self) -> float:
+        """Resistance of the parallel shell stack without extra contact R (ohm)."""
+        total = sum(self.shell_conductance(d) for d in self.shells)
+        return 1.0 / total
+
+    @property
+    def resistance(self) -> float:
+        """Total two-terminal resistance in ohm (Eq. 4 plus contact term)."""
+        return self.contact_resistance + self.intrinsic_resistance
+
+    @property
+    def conductance(self) -> float:
+        """Total two-terminal conductance in siemens."""
+        return 1.0 / self.resistance
+
+    @property
+    def resistance_per_length(self) -> float:
+        """Distributed (scattering-only) resistance in ohm per metre.
+
+        This is the slope of ``R(L)``, used when the line is expanded into a
+        distributed RC ladder for transient simulation.
+        """
+        per_shell = [
+            self.channels_per_shell * QUANTUM_CONDUCTANCE * self._shell_mfp(d)
+            for d in self.shells
+        ]
+        # Each shell contributes conductance Nc*G0*mfp/L in the diffusive
+        # limit; the distributed resistance per length is the reciprocal sum.
+        return 1.0 / sum(per_shell)
+
+    @property
+    def lumped_contact_resistance(self) -> float:
+        """Length-independent part of the resistance (quantum + imperfect contacts)."""
+        total_quantum = sum(
+            self.channels_per_shell * QUANTUM_CONDUCTANCE for _ in self.shells
+        )
+        return self.contact_resistance + 1.0 / total_quantum
+
+    # --- capacitance (Eq. 5) ---------------------------------------------------------
+
+    @property
+    def quantum_capacitance_per_length(self) -> float:
+        """``Nc * Ns * C_Q`` in farad per metre."""
+        return self.total_channels * QUANTUM_CAPACITANCE_PER_CHANNEL
+
+    @property
+    def electrostatic_capacitance_per_length(self) -> float:
+        """Electrostatic capacitance ``C_E`` in farad per metre (doping independent)."""
+        return wire_over_plane_capacitance(
+            self.outer_diameter, self.height_above_plane, self.relative_permittivity
+        )
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Series combination of Eq. (5) in farad per metre (~ ``C_E``)."""
+        return series_capacitance(
+            self.quantum_capacitance_per_length, self.electrostatic_capacitance_per_length
+        )
+
+    @property
+    def capacitance(self) -> float:
+        """Total line capacitance in farad."""
+        return self.capacitance_per_length * self.length
+
+    # --- inductance ---------------------------------------------------------------------
+
+    @property
+    def kinetic_inductance_per_length(self) -> float:
+        """Kinetic inductance of the parallel channel stack in henry per metre."""
+        return KINETIC_INDUCTANCE_PER_CHANNEL / self.total_channels
+
+    @property
+    def inductance(self) -> float:
+        """Total (kinetic) inductance in henry."""
+        return self.kinetic_inductance_per_length * self.length
+
+    # --- derived figures of merit -----------------------------------------------------------
+
+    @property
+    def cross_section_area(self) -> float:
+        """Geometric cross-section ``pi D^2 / 4`` in square metre."""
+        return math.pi * self.outer_diameter**2 / 4.0
+
+    @property
+    def effective_conductivity(self) -> float:
+        """Effective conductivity ``L / (R A)`` in siemens per metre (Fig. 9)."""
+        return self.length / (self.resistance * self.cross_section_area)
+
+    @property
+    def effective_resistivity(self) -> float:
+        """Effective resistivity ``R A / L`` in ohm metre."""
+        return 1.0 / self.effective_conductivity
+
+    # --- convenience ----------------------------------------------------------------------------
+
+    def with_length(self, length: float) -> "MWCNTInterconnect":
+        """Copy of this interconnect with a different length."""
+        return replace(self, length=length)
+
+    def with_doping(self, doping: DopingProfile) -> "MWCNTInterconnect":
+        """Copy of this interconnect with a different doping profile."""
+        return replace(self, doping=doping)
+
+    def rc_delay_estimate(self) -> float:
+        """Distributed-RC (Elmore) delay estimate ``0.5 R C`` in second."""
+        return 0.5 * self.resistance * self.capacitance

@@ -1,0 +1,203 @@
+"""Single-wall CNT interconnect compact model.
+
+A metallic SWCNT of diameter ``d`` behaves as a quantum wire with ``Nc``
+conducting channels (2 when pristine).  Its two-terminal resistance follows
+the standard ballistic-to-diffusive interpolation used by the paper's
+compact models (references [19]-[21]):
+
+    R(L) = R_contact + (R_Q / Nc) * (1 + L / lambda_mfp)
+
+with the quantum resistance ``R_Q = h / 2 e^2 ~ 12.9 kOhm`` and a mean free
+path ``lambda_mfp ~ 1000 d`` at room temperature.  Capacitance is the series
+combination of the quantum capacitance (``Nc`` channels in parallel) and the
+geometry-dependent electrostatic capacitance; inductance is dominated by the
+kinetic term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.constants import (
+    KINETIC_INDUCTANCE_PER_CHANNEL,
+    MFP_DIAMETER_RATIO,
+    QUANTUM_CAPACITANCE_PER_CHANNEL,
+    QUANTUM_RESISTANCE,
+    ROOM_TEMPERATURE,
+)
+from repro.core.doping import DopingProfile
+from repro.core.electrostatics import (
+    DEFAULT_OXIDE_PERMITTIVITY,
+    series_capacitance,
+    wire_over_plane_capacitance,
+)
+
+
+@dataclass(frozen=True)
+class SWCNTInterconnect:
+    """Compact model of a single-wall CNT interconnect.
+
+    Attributes
+    ----------
+    diameter:
+        Tube diameter in metre (typical local-interconnect CNTs: ~1 nm).
+    length:
+        Interconnect length in metre.
+    doping:
+        Doping profile; controls the number of conducting channels.
+    contact_resistance:
+        *Extra* (imperfect) metal-CNT contact resistance in ohm, added on top
+        of the intrinsic quantum resistance.  0 models an ideal contact.
+    height_above_plane:
+        Distance of the tube axis above the return plane in metre; sets the
+        electrostatic capacitance.
+    relative_permittivity:
+        Dielectric constant of the surrounding inter-layer dielectric.
+    temperature:
+        Operating temperature in kelvin (scales the mean free path as 1/T
+        relative to room temperature, the usual acoustic-phonon limit).
+    defect_mfp:
+        Optional defect-limited mean free path in metre; combined with the
+        phonon mean free path by Matthiessen's rule.  ``None`` means an
+        undamaged tube.
+    """
+
+    diameter: float
+    length: float
+    doping: DopingProfile = field(default_factory=DopingProfile.pristine)
+    contact_resistance: float = 0.0
+    height_above_plane: float = 60.0e-9
+    relative_permittivity: float = DEFAULT_OXIDE_PERMITTIVITY
+    temperature: float = ROOM_TEMPERATURE
+    defect_mfp: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.diameter <= 0:
+            raise ValueError("diameter must be positive")
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        if self.contact_resistance < 0:
+            raise ValueError("contact resistance cannot be negative")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.defect_mfp is not None and self.defect_mfp <= 0:
+            raise ValueError("defect mean free path must be positive when given")
+
+    # --- channels and scattering ------------------------------------------------
+
+    @property
+    def channels(self) -> float:
+        """Number of conducting channels ``Nc`` of the tube."""
+        return self.doping.channels_per_shell
+
+    @property
+    def mean_free_path(self) -> float:
+        """Effective electron mean free path in metre.
+
+        The phonon-limited mean free path ``1000 d`` at 300 K scales inversely
+        with temperature; a defect-limited mean free path, when present, is
+        combined through Matthiessen's rule.
+        """
+        phonon = MFP_DIAMETER_RATIO * self.diameter * (ROOM_TEMPERATURE / self.temperature)
+        if self.defect_mfp is None:
+            return phonon
+        return 1.0 / (1.0 / phonon + 1.0 / self.defect_mfp)
+
+    # --- resistance ---------------------------------------------------------------
+
+    @property
+    def quantum_contact_resistance(self) -> float:
+        """Intrinsic (unavoidable) contact resistance ``R_Q / Nc`` in ohm."""
+        return QUANTUM_RESISTANCE / self.channels
+
+    @property
+    def resistance_per_length(self) -> float:
+        """Distributed (scattering) resistance in ohm per metre."""
+        return QUANTUM_RESISTANCE / (self.channels * self.mean_free_path)
+
+    @property
+    def resistance(self) -> float:
+        """Total two-terminal resistance in ohm (Eq. 4 specialised to one shell)."""
+        intrinsic = self.quantum_contact_resistance * (1.0 + self.length / self.mean_free_path)
+        return self.contact_resistance + intrinsic
+
+    @property
+    def conductance(self) -> float:
+        """Total two-terminal conductance in siemens."""
+        return 1.0 / self.resistance
+
+    # --- capacitance ----------------------------------------------------------------
+
+    @property
+    def quantum_capacitance_per_length(self) -> float:
+        """Quantum capacitance ``Nc * C_Q`` in farad per metre."""
+        return self.channels * QUANTUM_CAPACITANCE_PER_CHANNEL
+
+    @property
+    def electrostatic_capacitance_per_length(self) -> float:
+        """Electrostatic capacitance ``C_E`` in farad per metre (geometry only)."""
+        return wire_over_plane_capacitance(
+            self.diameter, self.height_above_plane, self.relative_permittivity
+        )
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Series combination of quantum and electrostatic capacitance (F/m)."""
+        return series_capacitance(
+            self.quantum_capacitance_per_length, self.electrostatic_capacitance_per_length
+        )
+
+    @property
+    def capacitance(self) -> float:
+        """Total line capacitance in farad."""
+        return self.capacitance_per_length * self.length
+
+    # --- inductance -----------------------------------------------------------------
+
+    @property
+    def kinetic_inductance_per_length(self) -> float:
+        """Kinetic inductance ``L_K / Nc`` in henry per metre."""
+        return KINETIC_INDUCTANCE_PER_CHANNEL / self.channels
+
+    @property
+    def inductance(self) -> float:
+        """Total (kinetic) inductance in henry."""
+        return self.kinetic_inductance_per_length * self.length
+
+    # --- derived figures of merit ------------------------------------------------------
+
+    @property
+    def cross_section_area(self) -> float:
+        """Geometric cross-section ``pi d^2 / 4`` in square metre."""
+        return math.pi * self.diameter**2 / 4.0
+
+    @property
+    def effective_conductivity(self) -> float:
+        """Effective conductivity ``L / (R A)`` in siemens per metre.
+
+        This is the quantity plotted against Cu in Fig. 9: for short lengths
+        the ballistic (length-independent) resistance makes the effective
+        conductivity rise linearly with length before it saturates at the
+        diffusive value.
+        """
+        return self.length / (self.resistance * self.cross_section_area)
+
+    @property
+    def effective_resistivity(self) -> float:
+        """Effective resistivity ``R A / L`` in ohm metre."""
+        return 1.0 / self.effective_conductivity
+
+    # --- convenience -------------------------------------------------------------------
+
+    def with_length(self, length: float) -> "SWCNTInterconnect":
+        """Copy of this interconnect with a different length."""
+        return replace(self, length=length)
+
+    def with_doping(self, doping: DopingProfile) -> "SWCNTInterconnect":
+        """Copy of this interconnect with a different doping profile."""
+        return replace(self, doping=doping)
+
+    def rc_delay_estimate(self) -> float:
+        """Distributed-RC (Elmore) delay estimate ``0.5 R C`` in second."""
+        return 0.5 * self.resistance * self.capacitance

@@ -1,0 +1,226 @@
+"""CNT through-silicon vias (TSVs) for 3-D integration.
+
+Section I of the paper notes that the same properties that make CNTs
+attractive as BEOL interconnects "also make CNTs desirable as vertical
+through-silicon via for three-dimensional (3D) integration".  A TSV is a much
+larger object than a BEOL via (micrometre diameters, tens of micrometres
+deep), so copper TSVs suffer from thermo-mechanical stress and current
+crowding while a CNT-bundle TSV brings high ampacity, lower weight and a
+better thermal path.  This module provides an electrical + thermal compact
+model for copper, CNT-bundle and Cu-CNT composite TSVs built on the existing
+bundle/composite/thermal models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.constants import COPPER_EM_CURRENT_DENSITY_LIMIT, ROOM_TEMPERATURE
+from repro.core.bundle import SWCNTBundle
+from repro.core.composite import CuCNTComposite
+from repro.core.copper import copper_resistivity
+from repro.core.doping import DopingProfile
+from repro.thermal.via import via_thermal_resistance
+
+
+@dataclass(frozen=True)
+class ThroughSiliconVia:
+    """A vertical through-silicon via.
+
+    Attributes
+    ----------
+    diameter:
+        Via diameter in metre (typical TSVs: 2-10 um).
+    height:
+        Via depth in metre (thinned-die thickness, typically 30-100 um).
+    fill:
+        ``"copper"``, ``"cnt"`` (CNT bundle) or ``"composite"`` (Cu-CNT).
+    cnt_fill_fraction:
+        CNT volume fraction for bundle / composite fills.
+    tube_diameter:
+        Diameter of the individual tubes of the bundle in metre.
+    metallic_fraction:
+        Conducting-tube fraction of the bundle.
+    doping:
+        Doping applied to the CNT phase.
+    liner_thickness:
+        Dielectric liner thickness in metre (consumes conducting area and adds
+        the liner capacitance to the substrate).
+    liner_permittivity:
+        Relative permittivity of the liner.
+    temperature:
+        Operating temperature in kelvin.
+    """
+
+    diameter: float
+    height: float
+    fill: str = "cnt"
+    cnt_fill_fraction: float = 0.5
+    tube_diameter: float = 2.0e-9
+    metallic_fraction: float = 1.0 / 3.0
+    doping: DopingProfile = None  # type: ignore[assignment]
+    liner_thickness: float = 200.0e-9
+    liner_permittivity: float = 3.9
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self) -> None:
+        if self.diameter <= 0 or self.height <= 0:
+            raise ValueError("diameter and height must be positive")
+        if self.fill not in ("copper", "cnt", "composite"):
+            raise ValueError("fill must be 'copper', 'cnt' or 'composite'")
+        if not 0.0 < self.cnt_fill_fraction <= 1.0:
+            raise ValueError("CNT fill fraction must lie in (0, 1]")
+        if self.liner_thickness < 0 or 2.0 * self.liner_thickness >= self.diameter:
+            raise ValueError("liner must be non-negative and thinner than the via radius")
+        if self.doping is None:
+            object.__setattr__(self, "doping", DopingProfile.pristine())
+
+    # --- geometry ----------------------------------------------------------------
+
+    @property
+    def conducting_diameter(self) -> float:
+        """Diameter of the conducting core inside the liner (metre)."""
+        return self.diameter - 2.0 * self.liner_thickness
+
+    @property
+    def conducting_area(self) -> float:
+        """Conducting cross-section in square metre."""
+        return math.pi * self.conducting_diameter**2 / 4.0
+
+    # --- constituent models ------------------------------------------------------------
+
+    def _equivalent_square_side(self) -> float:
+        return math.sqrt(self.conducting_area)
+
+    def _bundle(self) -> SWCNTBundle:
+        side = self._equivalent_square_side() * math.sqrt(self.cnt_fill_fraction)
+        return SWCNTBundle(
+            width=side,
+            height=side,
+            length=self.height,
+            tube_diameter=self.tube_diameter,
+            metallic_fraction=self.metallic_fraction,
+            doping=self.doping,
+            temperature=self.temperature,
+        )
+
+    def _composite(self) -> CuCNTComposite:
+        side = self._equivalent_square_side()
+        return CuCNTComposite(
+            width=side,
+            height=side,
+            length=self.height,
+            cnt_volume_fraction=self.cnt_fill_fraction,
+            tube_diameter=self.tube_diameter,
+            metallic_fraction=self.metallic_fraction,
+            doping=self.doping,
+            temperature=self.temperature,
+        )
+
+    # --- electrical -------------------------------------------------------------------------
+
+    @property
+    def resistance(self) -> float:
+        """End-to-end TSV resistance in ohm."""
+        if self.fill == "copper":
+            rho = copper_resistivity(
+                self.conducting_diameter, self.conducting_diameter, temperature=self.temperature
+            )
+            return rho * self.height / self.conducting_area
+        if self.fill == "cnt":
+            return self._bundle().resistance
+        return self._composite().resistance
+
+    @property
+    def max_current(self) -> float:
+        """Current-carrying capability in ampere."""
+        if self.fill == "copper":
+            return COPPER_EM_CURRENT_DENSITY_LIMIT * self.conducting_area
+        if self.fill == "cnt":
+            return self._bundle().max_current
+        return self._composite().max_current
+
+    @property
+    def capacitance(self) -> float:
+        """TSV-to-substrate capacitance through the liner in farad.
+
+        Coaxial-capacitor expression with the silicon substrate as the outer
+        electrode.
+        """
+        from repro.constants import VACUUM_PERMITTIVITY
+
+        inner = self.conducting_diameter / 2.0
+        outer = self.diameter / 2.0
+        if self.liner_thickness == 0:
+            # No liner: fall back to a thin effective oxide to keep it finite.
+            outer = inner * 1.001
+        return (
+            2.0
+            * math.pi
+            * self.liner_permittivity
+            * VACUUM_PERMITTIVITY
+            * self.height
+            / math.log(outer / inner)
+        )
+
+    # --- thermal ------------------------------------------------------------------------------
+
+    @property
+    def thermal_resistance(self) -> float:
+        """Vertical thermal resistance of the TSV in K/W."""
+        return via_thermal_resistance(
+            self.conducting_diameter,
+            self.height,
+            material=self.fill if self.fill != "copper" else "copper",
+            fill_fraction=self.cnt_fill_fraction,
+            temperature=self.temperature,
+        )
+
+    def temperature_rise(self, heat_flow: float) -> float:
+        """Temperature drop across the TSV for a given heat flow (kelvin)."""
+        if heat_flow < 0:
+            raise ValueError("heat flow cannot be negative")
+        return heat_flow * self.thermal_resistance
+
+    # --- figures of merit -----------------------------------------------------------------------
+
+    def rc_product(self) -> float:
+        """Electrical RC time constant of the TSV in second."""
+        return self.resistance * self.capacitance
+
+    def with_fill(self, fill: str) -> "ThroughSiliconVia":
+        """Copy of this TSV with a different fill material."""
+        return replace(self, fill=fill)
+
+
+def tsv_comparison(
+    diameter: float = 5.0e-6,
+    height: float = 50.0e-6,
+    cnt_fill_fraction: float = 0.5,
+    doped_channels: float | None = None,
+) -> list[dict]:
+    """Copper vs CNT vs composite TSV comparison table (extension experiment E13)."""
+    doping = (
+        DopingProfile.from_channels(doped_channels) if doped_channels else DopingProfile.pristine()
+    )
+    rows = []
+    for fill in ("copper", "cnt", "composite"):
+        tsv = ThroughSiliconVia(
+            diameter=diameter,
+            height=height,
+            fill=fill,
+            cnt_fill_fraction=cnt_fill_fraction,
+            doping=doping,
+        )
+        rows.append(
+            {
+                "fill": fill,
+                "resistance_mohm": tsv.resistance * 1e3,
+                "max_current_mA": tsv.max_current * 1e3,
+                "capacitance_fF": tsv.capacitance * 1e15,
+                "thermal_resistance_K_per_W": tsv.thermal_resistance,
+                "rc_ps": tsv.rc_product() * 1e12,
+            }
+        )
+    return rows

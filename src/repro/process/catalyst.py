@@ -1,0 +1,96 @@
+"""Catalyst models and the CMOS temperature-budget check.
+
+The paper's baseline growth uses a 1 nm iron catalyst film on an
+aluminosilicate support inside 30 nm via holes (Section II.A); for CMOS
+compatibility a cobalt catalyst was developed because cobalt is already used
+in BEOL flows, and the growth temperature has to stay below 400 C
+(Section II.B).  Each catalyst is described by an activation energy and a
+prefactor for the growth-rate Arrhenius law plus a quality parameter, which
+is what the growth model of :mod:`repro.process.growth` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import celsius_to_kelvin
+
+CMOS_BEOL_TEMPERATURE_LIMIT = celsius_to_kelvin(400.0)
+"""Maximum BEOL processing temperature for CMOS compatibility (kelvin)."""
+
+
+@dataclass(frozen=True)
+class Catalyst:
+    """A CVD growth catalyst.
+
+    Attributes
+    ----------
+    name:
+        Catalyst label ("Fe", "Co", ...).
+    activation_energy_ev:
+        Apparent activation energy of the growth rate in eV.
+    rate_prefactor:
+        Growth-rate prefactor in metre per second (Arrhenius law).
+    optimal_temperature:
+        Temperature of best-quality growth in kelvin.
+    quality_width:
+        Width (kelvin) of the quality window around the optimum.
+    cmos_compatible_material:
+        Whether the catalyst material itself is acceptable in a CMOS BEOL
+        flow (cobalt yes, iron generally no).
+    """
+
+    name: str
+    activation_energy_ev: float
+    rate_prefactor: float
+    optimal_temperature: float
+    quality_width: float
+    cmos_compatible_material: bool
+
+    def __post_init__(self) -> None:
+        if self.activation_energy_ev <= 0:
+            raise ValueError("activation energy must be positive")
+        if self.rate_prefactor <= 0:
+            raise ValueError("rate prefactor must be positive")
+        if self.optimal_temperature <= 0 or self.quality_width <= 0:
+            raise ValueError("temperatures must be positive")
+
+
+FE_CATALYST = Catalyst(
+    name="Fe",
+    activation_energy_ev=1.2,
+    rate_prefactor=5.0,
+    optimal_temperature=celsius_to_kelvin(700.0),
+    quality_width=120.0,
+    cmos_compatible_material=False,
+)
+"""Iron catalyst (the paper's baseline single-MWCNT via growth)."""
+
+CO_CATALYST = Catalyst(
+    name="Co",
+    activation_energy_ev=1.2,
+    rate_prefactor=50.0,
+    optimal_temperature=celsius_to_kelvin(500.0),
+    quality_width=150.0,
+    cmos_compatible_material=True,
+)
+"""Cobalt catalyst developed for CMOS-compatible growth (Section II.B)."""
+
+
+def cmos_compatible(catalyst: Catalyst, growth_temperature: float) -> bool:
+    """Whether a growth step is CMOS-BEOL compatible.
+
+    Both conditions of Section II.B must hold: the catalyst material must be
+    acceptable in a BEOL flow and the growth temperature must not exceed
+    400 C.
+
+    Parameters
+    ----------
+    catalyst:
+        The catalyst used.
+    growth_temperature:
+        Growth temperature in kelvin.
+    """
+    if growth_temperature <= 0:
+        raise ValueError("growth temperature must be positive")
+    return catalyst.cmos_compatible_material and growth_temperature <= CMOS_BEOL_TEMPERATURE_LIMIT

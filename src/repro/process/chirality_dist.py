@@ -1,0 +1,130 @@
+"""Chirality and diameter sampling of as-grown CNT populations.
+
+CVD growth does not control chirality: statistically two thirds of the tubes
+are semiconducting and one third metallic (Section II.A calls this one of the
+inherent challenges of the CVD method).  Diameters follow a log-normal
+distribution around the catalyst-determined mean.  This module samples tube
+populations with those statistics; they feed the variability analysis of
+:mod:`repro.process.variability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atomistic.chirality import Chirality
+
+
+@dataclass(frozen=True)
+class ChiralityDistribution:
+    """Statistical description of an as-grown CNT population.
+
+    Attributes
+    ----------
+    mean_diameter:
+        Mean tube (outer) diameter in metre.
+    diameter_sigma:
+        Log-normal shape parameter of the diameter distribution
+        (dimensionless; ~0.15-0.3 for CVD growth).
+    metallic_fraction:
+        Probability that a tube (or a MWCNT shell) is metallic; 1/3 for
+        uncontrolled growth, larger for sorted or effectively-metallic doped
+        material.
+    """
+
+    mean_diameter: float = 7.5e-9
+    diameter_sigma: float = 0.2
+    metallic_fraction: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.mean_diameter <= 0:
+            raise ValueError("mean diameter must be positive")
+        if self.diameter_sigma < 0:
+            raise ValueError("diameter sigma cannot be negative")
+        if not 0.0 < self.metallic_fraction <= 1.0:
+            raise ValueError("metallic fraction must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SampledTube:
+    """One sampled tube of a population.
+
+    Attributes
+    ----------
+    diameter:
+        Outer diameter in metre.
+    is_metallic:
+        Whether the (outer shell of the) tube conducts like a metal.
+    chirality:
+        A representative (n, m) assignment of the requested family whose
+        diameter is closest to the sampled one.
+    """
+
+    diameter: float
+    is_metallic: bool
+    chirality: Chirality
+
+
+def sample_tubes(
+    distribution: ChiralityDistribution,
+    n_tubes: int,
+    seed: int | None = 0,
+    family: str = "zigzag",
+) -> list[SampledTube]:
+    """Sample a population of tubes from a chirality distribution.
+
+    Parameters
+    ----------
+    distribution:
+        Population statistics.
+    n_tubes:
+        Number of tubes to draw.
+    seed:
+        Random seed (None for non-reproducible sampling).
+    family:
+        Chirality family used for the representative (n, m) assignment.
+
+    Returns
+    -------
+    list of SampledTube
+    """
+    if n_tubes < 1:
+        raise ValueError("need at least one tube")
+    rng = np.random.default_rng(seed)
+
+    if distribution.diameter_sigma > 0:
+        diameters = rng.lognormal(
+            mean=np.log(distribution.mean_diameter),
+            sigma=distribution.diameter_sigma,
+            size=n_tubes,
+        )
+    else:
+        diameters = np.full(n_tubes, distribution.mean_diameter)
+    metallic_flags = rng.random(n_tubes) < distribution.metallic_fraction
+
+    tubes = []
+    for diameter, metallic in zip(diameters, metallic_flags):
+        chirality = Chirality.from_diameter(float(diameter), family=family, metallic=bool(metallic))
+        tubes.append(
+            SampledTube(diameter=float(diameter), is_metallic=bool(metallic), chirality=chirality)
+        )
+    return tubes
+
+
+def metallic_fraction_of(tubes: list[SampledTube]) -> float:
+    """Observed metallic fraction of a sampled population."""
+    if not tubes:
+        raise ValueError("empty population")
+    return sum(tube.is_metallic for tube in tubes) / len(tubes)
+
+
+def diameter_statistics(tubes: list[SampledTube]) -> dict[str, float]:
+    """Mean / standard deviation / coefficient of variation of the diameters."""
+    if not tubes:
+        raise ValueError("empty population")
+    diameters = np.array([tube.diameter for tube in tubes])
+    mean = float(diameters.mean())
+    std = float(diameters.std())
+    return {"mean": mean, "std": std, "cv": std / mean if mean > 0 else float("nan")}

@@ -1,0 +1,160 @@
+"""Cu-CNT composite fill process models (ELD versus ECD, paper Section II.C).
+
+Two routes to impregnating CNT bundles with copper are studied in the paper:
+electroless deposition (ELD -- low equipment effort, many chemicals, CMOS
+compatibility questions) and electrochemical deposition (ECD -- needs a
+conductive substrate, many control knobs).  Both were demonstrated for
+vertically (VA) and horizontally aligned (HA) CNTs, with void-free filling
+shown in Figs. 6-7.  The model below predicts the fill quality (void
+fraction) of a process run as a function of bundle density and process
+parameters, and hands the result to the electrical composite model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.composite import CuCNTComposite
+
+
+class FillMethod(Enum):
+    """Copper impregnation route."""
+
+    ELECTROLESS = "ELD"
+    ELECTROCHEMICAL = "ECD"
+
+
+class BundleOrientation(Enum):
+    """CNT bundle orientation relative to the substrate."""
+
+    VERTICAL = "VA"
+    HORIZONTAL = "HA"
+
+
+@dataclass(frozen=True)
+class FillProcess:
+    """Parameters of a Cu impregnation run.
+
+    Attributes
+    ----------
+    method:
+        ELD or ECD.
+    orientation:
+        Vertically or horizontally aligned CNTs (HA bundles need the special
+        CEA preparation step the paper mentions; without it the fill quality
+        is degraded).
+    cnt_volume_fraction:
+        Volume fraction of CNTs in the bundle to be filled.
+    deposition_time:
+        Deposition time in second.
+    ha_preparation:
+        Whether the HA-CNT preparation step was applied (ignored for VA).
+    conductive_seed:
+        Whether a conductive seed/substrate is present (required by ECD).
+    """
+
+    method: FillMethod = FillMethod.ELECTROCHEMICAL
+    orientation: BundleOrientation = BundleOrientation.VERTICAL
+    cnt_volume_fraction: float = 0.3
+    deposition_time: float = 1800.0
+    ha_preparation: bool = True
+    conductive_seed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cnt_volume_fraction < 1.0:
+            raise ValueError("CNT volume fraction must lie in [0, 1)")
+        if self.deposition_time <= 0:
+            raise ValueError("deposition time must be positive")
+
+
+@dataclass(frozen=True)
+class FillResult:
+    """Outcome of a fill simulation.
+
+    Attributes
+    ----------
+    fill_quality:
+        Fraction of the copper phase that is void-free, in (0, 1].
+    void_fraction:
+        ``1 - fill_quality``.
+    cmos_compatibility_concern:
+        True when the route raises the CMOS-compatibility question the paper
+        flags (ELD chemistry).
+    feasible:
+        Whether the run is physically possible (ECD without a conductive
+        seed is not).
+    """
+
+    fill_quality: float
+    void_fraction: float
+    cmos_compatibility_concern: bool
+    feasible: bool
+
+
+# Characteristic fill time constants in second; denser bundles fill more slowly.
+_FILL_TIME_CONSTANT = {
+    FillMethod.ELECTROLESS: 1200.0,
+    FillMethod.ELECTROCHEMICAL: 700.0,
+}
+
+
+def simulate_fill(process: FillProcess) -> FillResult:
+    """Predict the fill quality of a Cu impregnation run.
+
+    The fill quality saturates exponentially with deposition time; dense
+    bundles (high CNT volume fraction) and unprepared HA bundles fill less
+    completely.  ECD without a conductive seed cannot deposit at all.
+    """
+    if process.method is FillMethod.ELECTROCHEMICAL and not process.conductive_seed:
+        return FillResult(
+            fill_quality=0.0,
+            void_fraction=1.0,
+            cmos_compatibility_concern=False,
+            feasible=False,
+        )
+
+    time_constant = _FILL_TIME_CONSTANT[process.method]
+    # Denser CNT networks slow the copper in-diffusion.
+    time_constant *= 1.0 + 2.0 * process.cnt_volume_fraction
+    saturation = 1.0 - math.exp(-process.deposition_time / time_constant)
+
+    ceiling = 0.995
+    if process.orientation is BundleOrientation.HORIZONTAL and not process.ha_preparation:
+        ceiling = 0.80  # unprepared HA carpets trap voids
+
+    fill_quality = max(1e-3, ceiling * saturation)
+    return FillResult(
+        fill_quality=fill_quality,
+        void_fraction=1.0 - fill_quality,
+        cmos_compatibility_concern=process.method is FillMethod.ELECTROLESS,
+        feasible=True,
+    )
+
+
+def composite_from_process(
+    process: FillProcess,
+    width: float,
+    height: float,
+    length: float,
+    **composite_kwargs,
+) -> CuCNTComposite:
+    """Build the electrical composite model corresponding to a fill run.
+
+    Raises
+    ------
+    ValueError
+        If the process is infeasible (e.g. ECD without a conductive seed).
+    """
+    result = simulate_fill(process)
+    if not result.feasible:
+        raise ValueError("the fill process is infeasible; no composite is formed")
+    return CuCNTComposite(
+        width=width,
+        height=height,
+        length=length,
+        cnt_volume_fraction=process.cnt_volume_fraction,
+        fill_quality=result.fill_quality,
+        **composite_kwargs,
+    )

@@ -1,0 +1,66 @@
+"""Defect density versus growth conditions and its electrical consequence.
+
+Section II.A names the "presence of defects due to low-temperature growth
+compared to the Arc-discharged method" as a main source of resistance
+variation.  The model below maps growth quality (from
+:mod:`repro.process.growth`) to a linear defect density along the tube and
+from there to a defect-limited electron mean free path, which plugs directly
+into the ``defect_mfp`` argument of the compact models.
+"""
+
+from __future__ import annotations
+
+import math
+
+REFERENCE_DEFECT_SPACING = 4.0e-6
+"""Mean distance between scattering defects of a high-quality (quality = 1)
+CVD tube, in metre (arc-discharge material would be better still)."""
+
+DEFECT_SCATTERING_CROSS_SECTION = 1.0
+"""Scattering effectiveness per defect (1 = every defect scatters)."""
+
+
+def defect_density(quality: float) -> float:
+    """Linear defect density in defects per metre for a growth quality.
+
+    Quality 1 corresponds to the reference spacing; lower quality increases
+    the density super-linearly because low-temperature growth both nucleates
+    more defects and heals fewer of them.
+
+    Parameters
+    ----------
+    quality:
+        Growth quality in (0, 1] (see :func:`repro.process.growth.growth_quality`).
+    """
+    if not 0.0 < quality <= 1.0:
+        raise ValueError("quality must lie in (0, 1]")
+    return 1.0 / (REFERENCE_DEFECT_SPACING * quality**2)
+
+
+def defect_limited_mfp(quality: float) -> float:
+    """Defect-limited electron mean free path in metre for a growth quality.
+
+    This is the value to pass as ``defect_mfp`` to the compact models; it is
+    combined with the phonon-limited mean free path by Matthiessen's rule
+    inside those models.
+    """
+    return 1.0 / (defect_density(quality) * DEFECT_SCATTERING_CROSS_SECTION)
+
+
+def raman_d_over_g(quality: float) -> float:
+    """Raman D/G intensity ratio corresponding to a growth quality.
+
+    The D/G ratio is the standard spectroscopic defect metric the paper's
+    SEM/Raman characterisation of the Co-catalyst growth uses; it scales with
+    the defect density, normalised so quality 1 gives the ~0.1 ratio of good
+    CVD material.
+    """
+    return 0.1 * defect_density(quality) / defect_density(1.0)
+
+
+def quality_from_raman(d_over_g: float) -> float:
+    """Invert :func:`raman_d_over_g`: growth quality from a measured D/G ratio."""
+    if d_over_g <= 0:
+        raise ValueError("D/G ratio must be positive")
+    quality = math.sqrt(0.1 / d_over_g)
+    return min(1.0, quality)

@@ -1,0 +1,90 @@
+"""Material table for the TCAD field solver.
+
+Each material carries a relative permittivity (used by the capacitance
+extraction, Eq. 2) and an electrical conductivity (used by the resistance
+extraction, Eq. 3).  The CNT entries use effective conductivities derived
+from the compact models so that the field solver and the compact models stay
+consistent -- the "advanced models for conductivity ... of both Cu and CNT
+are implemented using ab-initio results" workflow of Section III.B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import COPPER_BULK_RESISTIVITY
+
+
+@dataclass(frozen=True)
+class Material:
+    """A material usable by the field solver.
+
+    Attributes
+    ----------
+    name:
+        Material label.
+    relative_permittivity:
+        Relative dielectric constant (1 for vacuum).
+    conductivity:
+        Electrical conductivity in siemens per metre (0 for ideal insulators).
+    is_conductor:
+        Whether the material is treated as a conductor region (equipotential
+        candidate for capacitance extraction, conducting domain for
+        resistance extraction).
+    """
+
+    name: str
+    relative_permittivity: float
+    conductivity: float
+    is_conductor: bool
+
+    def __post_init__(self) -> None:
+        if self.relative_permittivity <= 0:
+            raise ValueError("relative permittivity must be positive")
+        if self.conductivity < 0:
+            raise ValueError("conductivity cannot be negative")
+
+
+VACUUM = Material("vacuum", 1.0, 0.0, False)
+SILICON_DIOXIDE = Material("SiO2", 3.9, 0.0, False)
+LOW_K_DIELECTRIC = Material("low-k", 2.2, 0.0, False)
+SILICON = Material("Si", 11.7, 0.0, False)
+
+COPPER = Material("Cu", 1.0, 1.0 / COPPER_BULK_RESISTIVITY, True)
+
+# Effective CNT conductivities (bundle/MWCNT level) are length dependent; the
+# values below correspond to the long-length (diffusive) limit of the compact
+# models and are good defaults for field-solver structures.  Use
+# `cnt_material` to derive a value for a specific geometry.
+CNT_BUNDLE = Material("CNT-bundle", 1.0, 5.0e7, True)
+CU_CNT_COMPOSITE = Material("Cu-CNT", 1.0, 4.5e7, True)
+
+MATERIALS: dict[str, Material] = {
+    material.name: material
+    for material in (
+        VACUUM,
+        SILICON_DIOXIDE,
+        LOW_K_DIELECTRIC,
+        SILICON,
+        COPPER,
+        CNT_BUNDLE,
+        CU_CNT_COMPOSITE,
+    )
+}
+"""Registry of the built-in materials, keyed by name."""
+
+
+def cnt_material(effective_conductivity: float, name: str = "CNT-custom") -> Material:
+    """Build a conductor material from a compact-model effective conductivity.
+
+    Parameters
+    ----------
+    effective_conductivity:
+        Conductivity in siemens per metre, e.g.
+        ``MWCNTInterconnect(...).effective_conductivity``.
+    name:
+        Label of the new material.
+    """
+    if effective_conductivity <= 0:
+        raise ValueError("effective conductivity must be positive")
+    return Material(name, 1.0, effective_conductivity, True)

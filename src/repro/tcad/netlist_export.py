@@ -1,0 +1,102 @@
+"""SPICE-like RC netlist export of field-solver extractions.
+
+Section III.B closes with "Extracted RC netlists are provided in a SPICE-like
+format for circuit-level simulation".  This module builds a
+:class:`~repro.circuit.netlist.Circuit` (and its SPICE text) from a
+capacitance matrix and optional per-conductor resistances, so the TCAD and
+circuit layers of the reproduction connect exactly the way the paper's flow
+does.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.tcad.capacitance import CapacitanceMatrix
+
+
+def rc_netlist_from_extraction(
+    capacitances: CapacitanceMatrix,
+    node_names: dict[int, str] | None = None,
+    resistances: dict[int, float] | None = None,
+    ground_conductor: int | None = None,
+    length: float = 1.0,
+    title: str = "TCAD extracted RC netlist",
+) -> Circuit:
+    """Build a circuit from an extracted capacitance matrix.
+
+    Parameters
+    ----------
+    capacitances:
+        Maxwell capacitance matrix from :func:`repro.tcad.capacitance.capacitance_matrix`.
+        For 2-D extractions the values are per unit length and are multiplied
+        by ``length``.
+    node_names:
+        Optional mapping from conductor identifier to circuit node name;
+        defaults to ``n<conductor>``.
+    resistances:
+        Optional end-to-end resistance per conductor in ohm; each is added as
+        a series resistor splitting the conductor node into ``<node>_in`` and
+        ``<node>`` (far end).
+    ground_conductor:
+        Conductor identifier to treat as the circuit ground (e.g. a ground
+        plane); its capacitances become capacitances to node ``0``.
+    length:
+        Physical length in metre used to scale per-unit-length capacitances
+        (use 1.0 for 3-D extractions).
+    title:
+        Circuit title.
+
+    Returns
+    -------
+    Circuit
+        Ready for :func:`repro.circuit.transient.transient_analysis` or for
+        export through :meth:`repro.circuit.netlist.Circuit.to_spice`.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+
+    circuit = Circuit(title=title)
+    conductors = list(capacitances.conductors)
+
+    def name_of(conductor: int) -> str:
+        if ground_conductor is not None and conductor == ground_conductor:
+            return "0"
+        if node_names and conductor in node_names:
+            return node_names[conductor]
+        return f"n{conductor}"
+
+    # Ground capacitance of every conductor: Maxwell row sum.
+    for conductor in conductors:
+        if ground_conductor is not None and conductor == ground_conductor:
+            continue
+        node = name_of(conductor)
+        row_sum = capacitances.ground_capacitance(conductor) * length
+        if row_sum > 0:
+            circuit.add_capacitor(f"cg_{conductor}", node, "0", row_sum)
+
+    # Coupling capacitances between conductor pairs.
+    for i, first in enumerate(conductors):
+        for second in conductors[i + 1 :]:
+            coupling = capacitances.coupling_capacitance(first, second) * length
+            if coupling <= 0:
+                continue
+            node_a = name_of(first)
+            node_b = name_of(second)
+            if node_a == node_b:
+                continue
+            if node_a == "0" or node_b == "0":
+                target = node_b if node_a == "0" else node_a
+                circuit.add_capacitor(f"cc_{first}_{second}", target, "0", coupling)
+            else:
+                circuit.add_capacitor(f"cc_{first}_{second}", node_a, node_b, coupling)
+
+    # Series resistances (driver side node <node>_in, far end <node>).
+    for conductor, resistance in (resistances or {}).items():
+        if resistance <= 0:
+            raise ValueError("resistances must be positive")
+        node = name_of(conductor)
+        if node == "0":
+            continue
+        circuit.add_resistor(f"r_{conductor}", f"{node}_in", node, resistance)
+
+    return circuit

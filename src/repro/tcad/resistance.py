@@ -1,0 +1,138 @@
+"""Resistance extraction and current-density maps (paper Fig. 10b).
+
+The resistance of a conductor between two contact faces is extracted by
+solving the conduction Laplace problem of Eq. (3) inside the conductor with
+the contacts held at 0 V and 1 V, integrating the current through a contact
+and applying ``R = V / I``.  The local current density ``J = kappa |grad
+psi|`` exposes the hot-spots the paper's Fig. 10b highlights (current
+crowding at via landings and line corners).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tcad.laplace import LaplaceSolution, solve_laplace
+
+
+@dataclass(frozen=True)
+class ResistanceExtraction:
+    """Result of a resistance extraction.
+
+    Attributes
+    ----------
+    resistance:
+        Extracted resistance in ohm (ohm times metre of depth for 2-D grids).
+    current:
+        Current flowing between the contacts at 1 V bias, in ampere
+        (ampere per metre of depth for 2-D grids).
+    solution:
+        The underlying Laplace solution (potentials inside the conductor).
+    """
+
+    resistance: float
+    current: float
+    solution: LaplaceSolution
+
+
+def _face_mask(grid, conductor_mask: np.ndarray, axis: int, side: str) -> np.ndarray:
+    """Mask of the conductor nodes on one outer face of the conductor."""
+    coords = np.argwhere(conductor_mask)
+    if coords.size == 0:
+        raise ValueError("conductor has no nodes")
+    along = coords[:, axis]
+    target = along.min() if side == "low" else along.max()
+    face = np.zeros(grid.shape, dtype=bool)
+    selected = coords[along == target]
+    face[tuple(selected.T)] = True
+    return face
+
+
+def extract_resistance(
+    grid,
+    conductor: int,
+    axis: int = 0,
+    contact_a: np.ndarray | None = None,
+    contact_b: np.ndarray | None = None,
+    bias: float = 1.0,
+) -> ResistanceExtraction:
+    """Extract the resistance of a conductor between two contacts.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`~repro.tcad.grid.StructuredGrid`.
+    conductor:
+        Conductor identifier whose interior forms the conduction domain.
+    axis:
+        When no explicit contacts are given, the two outer faces of the
+        conductor along this axis are used as contacts.
+    contact_a, contact_b:
+        Optional boolean node masks for the contact regions (must lie inside
+        the conductor).
+    bias:
+        Voltage applied between the contacts in volt.
+
+    Returns
+    -------
+    ResistanceExtraction
+    """
+    if bias <= 0:
+        raise ValueError("bias must be positive")
+    domain = grid.conductor_mask(conductor)
+    if not domain.any():
+        raise ValueError(f"conductor {conductor} has no nodes in the grid")
+
+    if contact_a is None:
+        contact_a = _face_mask(grid, domain, axis, "low")
+    if contact_b is None:
+        contact_b = _face_mask(grid, domain, axis, "high")
+    contact_a = contact_a & domain
+    contact_b = contact_b & domain
+    if not contact_a.any() or not contact_b.any():
+        raise ValueError("contact masks must overlap the conductor")
+    if (contact_a & contact_b).any():
+        raise ValueError("contacts overlap each other")
+
+    solution = solve_laplace(
+        grid,
+        dirichlet_values={},
+        coefficient="conductivity",
+        domain_mask=domain,
+        extra_dirichlet=[(contact_a, 0.0), (contact_b, bias)],
+    )
+
+    # Current flowing out of the biased contact into the conductor body.
+    current = solution.flux_into_region(contact_b)
+    if current <= 0:
+        raise RuntimeError("no current flows between the contacts; check the geometry")
+    return ResistanceExtraction(resistance=bias / current, current=current, solution=solution)
+
+
+def current_density_map(extraction: ResistanceExtraction) -> np.ndarray:
+    """Local current-density magnitude ``J = kappa |grad psi|`` in A/m^2.
+
+    Nodes outside the conduction domain hold ``numpy.nan``.  The maximum of
+    this map is the hot-spot metric used by experiment E4 (Fig. 10b).
+    """
+    solution = extraction.solution
+    field = solution.field_magnitude()
+    density = solution.coefficient * field
+    density = np.where(solution.domain_mask, density, np.nan)
+    return density
+
+
+def hotspot_factor(extraction: ResistanceExtraction) -> float:
+    """Peak-to-average current-density ratio inside the conductor (>= 1).
+
+    A value well above 1 signals current crowding, the reliability hazard the
+    paper's Fig. 10b visualisation is meant to expose.
+    """
+    density = current_density_map(extraction)
+    values = density[np.isfinite(density)]
+    positive = values[values > 0]
+    if positive.size == 0:
+        return float("nan")
+    return float(positive.max() / positive.mean())

@@ -1,0 +1,215 @@
+"""Parametric interconnect structures for the field solver (paper Fig. 10).
+
+Builders for the geometries used by experiment E4: a 2-D cross-section of
+parallel BEOL lines over a ground plane (crosstalk extraction), a 3-D M1/M2
+crossing as found above a standard-cell inverter, and a 3-D via between two
+metal levels (current-crowding / hot-spot extraction).  All builders accept a
+technology node so the default dimensions track the paper's 14 nm example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.technology import NODE_14NM, TechnologyNode
+from repro.tcad.grid import StructuredGrid
+from repro.tcad.materials import COPPER, LOW_K_DIELECTRIC, Material
+
+
+@dataclass(frozen=True)
+class StructureDescription:
+    """A built structure together with the conductor roles.
+
+    Attributes
+    ----------
+    grid:
+        The populated grid.
+    conductors:
+        Mapping from a human-readable role ("ground", "line0", "m1", ...) to
+        the conductor identifier painted in the grid.
+    """
+
+    grid: StructuredGrid
+    conductors: dict[str, int]
+
+
+def parallel_lines_structure(
+    n_lines: int = 3,
+    technology: TechnologyNode = NODE_14NM,
+    line_material: Material = COPPER,
+    dielectric: Material = LOW_K_DIELECTRIC,
+    aspect_ratio: float = 2.0,
+    resolution: int = 4,
+    include_ground_plane: bool = True,
+) -> StructureDescription:
+    """2-D cross-section of parallel lines over a ground plane.
+
+    The lines use the technology node's minimum pitch (width = spacing =
+    pitch / 2) and the given aspect ratio.  Conductor 0 is the ground plane
+    (when present); lines are numbered left to right starting at 1.
+
+    Parameters
+    ----------
+    n_lines:
+        Number of parallel signal lines.
+    technology:
+        Technology node supplying pitch and thickness defaults.
+    line_material, dielectric:
+        Materials for the lines and the surrounding dielectric.
+    aspect_ratio:
+        Line height / line width.
+    resolution:
+        Grid nodes per half-pitch; higher is more accurate but slower.
+    include_ground_plane:
+        Paint a ground plane (conductor 0) below the lines.
+    """
+    if n_lines < 1:
+        raise ValueError("need at least one line")
+    if resolution < 2:
+        raise ValueError("resolution must be at least 2 nodes per half-pitch")
+
+    pitch = technology.wire_pitch
+    width = pitch / 2.0
+    spacing = pitch / 2.0
+    height = width * aspect_ratio
+    ild_below = height  # dielectric thickness between ground plane and lines
+
+    margin = pitch
+    total_width = 2 * margin + n_lines * width + (n_lines - 1) * spacing
+    total_height = 3.0 * height + ild_below
+
+    dx = width / resolution
+    dy = dx
+    nx = int(round(total_width / dx)) + 1
+    ny = int(round(total_height / dy)) + 1
+
+    grid = StructuredGrid(shape=(nx, ny), spacing=(dx, dy), background=dielectric)
+
+    conductors: dict[str, int] = {}
+    plane_top = 0.0
+    if include_ground_plane:
+        plane_thickness = 2 * dy
+        grid.fill_box(line_material, (0.0, 0.0), (total_width, plane_thickness), conductor=0)
+        conductors["ground"] = 0
+        plane_top = plane_thickness
+
+    y0 = plane_top + ild_below
+    for index in range(n_lines):
+        x0 = margin + index * (width + spacing)
+        grid.fill_box(
+            line_material, (x0, y0), (x0 + width, y0 + height), conductor=index + 1
+        )
+        conductors[f"line{index}"] = index + 1
+
+    return StructureDescription(grid=grid, conductors=conductors)
+
+
+def m1_m2_crossing_structure(
+    technology: TechnologyNode = NODE_14NM,
+    line_material: Material = COPPER,
+    dielectric: Material = LOW_K_DIELECTRIC,
+    resolution: int = 3,
+) -> StructureDescription:
+    """3-D structure of an M1 line crossed by an orthogonal M2 line above it.
+
+    This is the minimal representative of the "cross-talk between lines up to
+    the M2 interconnect level" situation of Fig. 10a.  Conductor 1 is the M1
+    (victim) line, conductor 2 the M2 (aggressor) line, conductor 0 the
+    substrate ground plane.
+    """
+    if resolution < 2:
+        raise ValueError("resolution must be at least 2")
+
+    pitch = technology.wire_pitch
+    width = pitch / 2.0
+    thickness = technology.metal_thickness
+    span = 4.0 * pitch
+
+    h = width / resolution
+    nx = int(round(span / h)) + 1
+    ny = int(round(span / h)) + 1
+    total_height = 2.0 * thickness + 3.0 * thickness
+    nz = int(round(total_height / h)) + 1
+
+    grid = StructuredGrid(shape=(nx, ny, nz), spacing=(h, h, h), background=dielectric)
+
+    # Ground plane at the bottom.
+    grid.fill_box(line_material, (0.0, 0.0, 0.0), (span, span, h), conductor=0)
+
+    # M1 line along x, centred in y.
+    m1_z0 = thickness
+    y_mid = span / 2.0
+    grid.fill_box(
+        line_material,
+        (0.0, y_mid - width / 2.0, m1_z0),
+        (span, y_mid + width / 2.0, m1_z0 + thickness),
+        conductor=1,
+    )
+
+    # M2 line along y, centred in x, one ILD thickness above M1.
+    m2_z0 = m1_z0 + 2.0 * thickness
+    x_mid = span / 2.0
+    grid.fill_box(
+        line_material,
+        (x_mid - width / 2.0, 0.0, m2_z0),
+        (x_mid + width / 2.0, span, m2_z0 + thickness),
+        conductor=2,
+    )
+
+    return StructureDescription(
+        grid=grid, conductors={"ground": 0, "m1": 1, "m2": 2}
+    )
+
+
+def via_structure(
+    via_width: float = 30.0e-9,
+    via_height: float = 60.0e-9,
+    landing_width: float = 90.0e-9,
+    landing_thickness: float = 30.0e-9,
+    conductor_material: Material = COPPER,
+    dielectric: Material = LOW_K_DIELECTRIC,
+    resolution: float = 10.0e-9,
+) -> StructureDescription:
+    """3-D via connecting two metal landing pads (single conductor).
+
+    The whole structure (bottom pad, via, top pad) is painted as conductor 1
+    so :func:`repro.tcad.resistance.extract_resistance` can extract its
+    end-to-end resistance and current-density map -- the 30 nm via-hole
+    geometry of the paper's Fig. 2 growth experiments, now as an electrical
+    test structure.
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    if via_width >= landing_width:
+        raise ValueError("the via must be narrower than its landing pads")
+
+    span = landing_width
+    total_height = 2.0 * landing_thickness + via_height
+    h = resolution
+    nx = max(int(round(span / h)) + 1, 5)
+    ny = nx
+    nz = max(int(round(total_height / h)) + 1, 5)
+
+    grid = StructuredGrid(shape=(nx, ny, nz), spacing=(h, h, h), background=dielectric)
+
+    centre = span / 2.0
+    # Bottom landing pad.
+    grid.fill_box(
+        conductor_material, (0.0, 0.0, 0.0), (span, span, landing_thickness), conductor=1
+    )
+    # Via.
+    grid.fill_box(
+        conductor_material,
+        (centre - via_width / 2.0, centre - via_width / 2.0, landing_thickness),
+        (centre + via_width / 2.0, centre + via_width / 2.0, landing_thickness + via_height),
+        conductor=1,
+    )
+    # Top landing pad.
+    grid.fill_box(
+        conductor_material,
+        (0.0, 0.0, landing_thickness + via_height),
+        (span, span, total_height),
+        conductor=1,
+    )
+
+    return StructureDescription(grid=grid, conductors={"via": 1})

@@ -1,0 +1,42 @@
+"""Thermal substrate: conductivity models, self-heating and SThM emulation.
+
+Section IV.B of the paper motivates thermal studies of CNT interconnects:
+their thermal conductivity (3000-10000 W/mK versus 385 W/mK for copper) can
+relieve thermal design constraints, self-heating of MWCNT lines is studied by
+scanning thermal microscopy (SThM), and thermal conductivity is extracted
+from those measurements.  This subpackage provides:
+
+* :mod:`repro.thermal.conductivity` -- CNT / Cu thermal conductivity models,
+* :mod:`repro.thermal.heat1d` -- a 1-D steady-state heat solver for powered
+  interconnect lines,
+* :mod:`repro.thermal.selfheating` -- coupled electro-thermal iteration
+  (Joule heating vs temperature-dependent resistance),
+* :mod:`repro.thermal.sthm` -- scanning-thermal-microscopy measurement
+  emulation and conductivity extraction,
+* :mod:`repro.thermal.via` -- thermal resistance of Cu versus CNT vias.
+"""
+
+from repro.thermal.conductivity import (
+    cnt_thermal_conductivity,
+    copper_thermal_conductivity,
+    bundle_thermal_conductivity,
+)
+from repro.thermal.heat1d import HeatLineProblem, solve_heat_line
+from repro.thermal.selfheating import ElectroThermalResult, self_heating_analysis
+from repro.thermal.sthm import SThMScan, simulate_sthm_scan, extract_thermal_conductivity
+from repro.thermal.via import via_thermal_resistance, via_temperature_rise
+
+__all__ = [
+    "cnt_thermal_conductivity",
+    "copper_thermal_conductivity",
+    "bundle_thermal_conductivity",
+    "HeatLineProblem",
+    "solve_heat_line",
+    "ElectroThermalResult",
+    "self_heating_analysis",
+    "SThMScan",
+    "simulate_sthm_scan",
+    "extract_thermal_conductivity",
+    "via_thermal_resistance",
+    "via_temperature_rise",
+]

@@ -1,0 +1,102 @@
+"""Thermal conductivity models for CNTs and copper.
+
+The paper quotes a room-temperature thermal conductivity of 3000-10000 W/mK
+for SWCNT bundles (estimated from measured film conductivities combined with
+electrical-conductivity observations, reference [9]) against 385 W/mK for
+copper.  Individual-tube conductivity is length- and defect-dependent; the
+models below capture the leading dependences needed by the self-heating and
+via experiments (E8).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import (
+    CNT_THERMAL_CONDUCTIVITY_RANGE,
+    COPPER_THERMAL_CONDUCTIVITY,
+    ROOM_TEMPERATURE,
+)
+
+PHONON_MFP_CNT = 500.0e-9
+"""Representative phonon mean free path of a high-quality CNT at 300 K (metre)."""
+
+
+def cnt_thermal_conductivity(
+    length: float = 1.0e-6,
+    temperature: float = ROOM_TEMPERATURE,
+    quality: float = 1.0,
+    intrinsic: float = CNT_THERMAL_CONDUCTIVITY_RANGE[1],
+) -> float:
+    """Thermal conductivity of an individual CNT in W/(m K).
+
+    Three effects reduce the intrinsic (defect-free, long-tube) value:
+
+    * ballistic suppression for tubes shorter than the phonon mean free path
+      (factor ``L / (L + mfp)``),
+    * growth quality below 1 (defect scattering), and
+    * Umklapp scattering above room temperature (factor ``300 / T``).
+
+    Parameters
+    ----------
+    length:
+        Tube length in metre.
+    temperature:
+        Temperature in kelvin.
+    quality:
+        Growth-quality factor in (0, 1]; 1 is a defect-free tube.
+    intrinsic:
+        Intrinsic conductivity of a long, perfect tube in W/(m K).
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    if not 0.0 < quality <= 1.0:
+        raise ValueError("quality must lie in (0, 1]")
+    length_factor = length / (length + PHONON_MFP_CNT)
+    temperature_factor = min(1.0, ROOM_TEMPERATURE / temperature)
+    return intrinsic * length_factor * quality * temperature_factor
+
+
+def copper_thermal_conductivity(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Thermal conductivity of copper in W/(m K) (weak temperature dependence)."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    # Copper's conductivity falls by roughly 6 % between 300 K and 400 K.
+    return COPPER_THERMAL_CONDUCTIVITY * (1.0 - 6.0e-4 * (temperature - ROOM_TEMPERATURE))
+
+
+def bundle_thermal_conductivity(
+    fill_fraction: float,
+    tube_length: float = 1.0e-6,
+    temperature: float = ROOM_TEMPERATURE,
+    quality: float = 1.0,
+    matrix_conductivity: float = 1.4,
+) -> float:
+    """Effective thermal conductivity of a CNT bundle / composite in W/(m K).
+
+    Rule of mixtures along the tube axis: the tubes conduct in parallel with
+    whatever fills the space between them (dielectric or copper).
+
+    Parameters
+    ----------
+    fill_fraction:
+        Volume fraction occupied by CNTs, in [0, 1].
+    tube_length, temperature, quality:
+        Passed to :func:`cnt_thermal_conductivity`.
+    matrix_conductivity:
+        Thermal conductivity of the filling material in W/(m K) (1.4 for
+        SiO2, 385 for copper in a Cu-CNT composite).
+    """
+    if not 0.0 <= fill_fraction <= 1.0:
+        raise ValueError("fill fraction must lie in [0, 1]")
+    if matrix_conductivity < 0:
+        raise ValueError("matrix conductivity cannot be negative")
+    tube = cnt_thermal_conductivity(tube_length, temperature, quality)
+    return fill_fraction * tube + (1.0 - fill_fraction) * matrix_conductivity
+
+
+def cnt_to_copper_ratio(length: float = 1.0e-6, quality: float = 1.0) -> float:
+    """Thermal-conductivity advantage of a CNT over copper (dimensionless)."""
+    return cnt_thermal_conductivity(length, quality=quality) / copper_thermal_conductivity()

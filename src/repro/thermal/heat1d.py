@@ -1,0 +1,155 @@
+"""1-D steady-state heat equation for a powered interconnect line.
+
+The temperature profile of a current-carrying line of length ``L`` with both
+ends anchored at contact temperature obeys
+
+    d/dx ( k A dT/dx ) - g (T - T_sub) + p(x) = 0
+
+where ``k`` is the thermal conductivity, ``A`` the cross-section, ``g`` the
+heat loss per unit length to the substrate (through the surrounding
+dielectric) and ``p(x)`` the dissipated electrical power per unit length.
+The solver discretises the equation with second-order finite differences and
+solves the resulting tridiagonal system; it underpins the self-heating and
+SThM experiments (E8/E9 region of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+
+@dataclass(frozen=True)
+class HeatLineProblem:
+    """Description of a powered line for the 1-D heat solver.
+
+    Attributes
+    ----------
+    length:
+        Line length in metre.
+    thermal_conductivity:
+        Axial thermal conductivity in W/(m K).
+    cross_section_area:
+        Conducting cross-section in square metre.
+    power_per_length:
+        Dissipated power per unit length in W/m.  Either a scalar (uniform
+        Joule heating) or an array matching the grid.
+    substrate_coupling:
+        Heat loss coefficient to the substrate in W/(m K) (per unit length
+        per kelvin of temperature difference).  0 for a suspended line.
+    contact_temperature:
+        Temperature of both contacts in kelvin.
+    substrate_temperature:
+        Substrate (ambient) temperature in kelvin.
+    n_points:
+        Number of grid points.
+    """
+
+    length: float
+    thermal_conductivity: float
+    cross_section_area: float
+    power_per_length: float | np.ndarray
+    substrate_coupling: float = 0.0
+    contact_temperature: float = 300.0
+    substrate_temperature: float = 300.0
+    n_points: int = 201
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        if self.thermal_conductivity <= 0:
+            raise ValueError("thermal conductivity must be positive")
+        if self.cross_section_area <= 0:
+            raise ValueError("cross-section area must be positive")
+        if self.substrate_coupling < 0:
+            raise ValueError("substrate coupling cannot be negative")
+        if self.n_points < 3:
+            raise ValueError("need at least 3 grid points")
+
+
+@dataclass(frozen=True)
+class HeatLineSolution:
+    """Temperature profile of a powered line.
+
+    Attributes
+    ----------
+    positions:
+        Grid positions along the line in metre.
+    temperatures:
+        Temperature at each grid position in kelvin.
+    """
+
+    positions: np.ndarray
+    temperatures: np.ndarray
+
+    @property
+    def peak_temperature(self) -> float:
+        """Hottest point of the line in kelvin."""
+        return float(self.temperatures.max())
+
+    @property
+    def peak_temperature_rise(self) -> float:
+        """Peak temperature rise above the cooler end in kelvin."""
+        return float(self.temperatures.max() - self.temperatures[0])
+
+    @property
+    def average_temperature(self) -> float:
+        """Average line temperature in kelvin."""
+        return float(self.temperatures.mean())
+
+
+def solve_heat_line(problem: HeatLineProblem) -> HeatLineSolution:
+    """Solve the steady-state heat equation for a powered line.
+
+    Returns
+    -------
+    HeatLineSolution
+        The temperature profile; for a uniformly heated suspended line the
+        profile is the classic parabola with peak rise ``p L^2 / (8 k A)``.
+    """
+    n = problem.n_points
+    x = np.linspace(0.0, problem.length, n)
+    dx = x[1] - x[0]
+    ka = problem.thermal_conductivity * problem.cross_section_area
+
+    power = np.broadcast_to(np.asarray(problem.power_per_length, dtype=float), (n,)).copy()
+
+    # Unknowns: interior temperatures (the two ends are Dirichlet).
+    n_free = n - 2
+    main = np.full(n_free, 2.0 * ka / dx**2 + problem.substrate_coupling)
+    off = np.full(n_free - 1, -ka / dx**2)
+    rhs = (
+        power[1:-1]
+        + problem.substrate_coupling * problem.substrate_temperature
+    )
+    rhs[0] += ka / dx**2 * problem.contact_temperature
+    rhs[-1] += ka / dx**2 * problem.contact_temperature
+
+    banded = np.zeros((3, n_free))
+    banded[0, 1:] = off
+    banded[1, :] = main
+    banded[2, :-1] = off
+    interior = solve_banded((1, 1), banded, rhs)
+
+    temperatures = np.empty(n)
+    temperatures[0] = problem.contact_temperature
+    temperatures[-1] = problem.contact_temperature
+    temperatures[1:-1] = interior
+    return HeatLineSolution(positions=x, temperatures=temperatures)
+
+
+def analytic_peak_rise_suspended(problem: HeatLineProblem) -> float:
+    """Closed-form peak temperature rise of a uniformly heated suspended line.
+
+    ``dT_peak = p L^2 / (8 k A)`` -- used to validate the numerical solver and
+    as a quick estimate in the via/benchmark comparisons.
+    """
+    power = problem.power_per_length
+    if not np.isscalar(power):
+        raise ValueError("the analytic formula applies to uniform heating only")
+    if problem.substrate_coupling != 0.0:
+        raise ValueError("the analytic formula applies to suspended lines only")
+    ka = problem.thermal_conductivity * problem.cross_section_area
+    return float(power) * problem.length**2 / (8.0 * ka)

@@ -1,0 +1,128 @@
+"""Coupled electro-thermal (self-heating) analysis of a CNT interconnect.
+
+The resistance of a CNT line rises with temperature (the phonon-limited mean
+free path shrinks), and the dissipated power rises with resistance at fixed
+current -- so self-heating must be solved self-consistently.  The iteration
+below alternates the 1-D heat solver with the compact resistance model until
+the peak temperature converges, reproducing the kind of self-heating study
+the paper performs with SThM on operating MWCNT interconnects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.thermal.conductivity import cnt_thermal_conductivity
+from repro.thermal.heat1d import HeatLineProblem, solve_heat_line
+
+
+@dataclass(frozen=True)
+class ElectroThermalResult:
+    """Converged self-heating state of a current-carrying interconnect.
+
+    Attributes
+    ----------
+    peak_temperature:
+        Hottest point of the line in kelvin.
+    average_temperature:
+        Average line temperature in kelvin.
+    resistance:
+        Line resistance at the converged temperature in ohm.
+    dissipated_power:
+        Total Joule power in watt.
+    iterations:
+        Number of electro-thermal iterations performed.
+    converged:
+        Whether the iteration met the temperature tolerance.
+    """
+
+    peak_temperature: float
+    average_temperature: float
+    resistance: float
+    dissipated_power: float
+    iterations: int
+    converged: bool
+
+
+def self_heating_analysis(
+    interconnect,
+    current: float,
+    substrate_coupling: float = 0.05,
+    ambient_temperature: float = 300.0,
+    thermal_conductivity: float | None = None,
+    max_iterations: int = 50,
+    tolerance: float = 0.05,
+) -> ElectroThermalResult:
+    """Self-consistent Joule-heating analysis of a CNT or copper interconnect.
+
+    Parameters
+    ----------
+    interconnect:
+        Any compact model with ``length``, ``cross_section_area``,
+        ``resistance`` and a ``temperature`` field that can be replaced
+        (:class:`~repro.core.swcnt.SWCNTInterconnect`,
+        :class:`~repro.core.mwcnt.MWCNTInterconnect`,
+        :class:`~repro.core.copper.CopperInterconnect`).
+    current:
+        Applied DC current in ampere.
+    substrate_coupling:
+        Heat-loss coefficient to the substrate in W/(m K); ~0.05-0.2 for a
+        line on ILD, 0 for a suspended line.
+    ambient_temperature:
+        Contact / substrate temperature in kelvin.
+    thermal_conductivity:
+        Axial thermal conductivity in W/(m K); defaults to the CNT model
+        evaluated at the line length (use 385 for copper comparisons).
+    max_iterations:
+        Iteration cap.
+    tolerance:
+        Convergence threshold on the peak temperature in kelvin.
+
+    Returns
+    -------
+    ElectroThermalResult
+    """
+    if current < 0:
+        raise ValueError("current cannot be negative")
+
+    if thermal_conductivity is None:
+        thermal_conductivity = cnt_thermal_conductivity(interconnect.length)
+
+    device = replace(interconnect, temperature=ambient_temperature)
+    peak = ambient_temperature
+    average = ambient_temperature
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        resistance = device.resistance
+        power = current**2 * resistance
+        problem = HeatLineProblem(
+            length=device.length,
+            thermal_conductivity=thermal_conductivity,
+            cross_section_area=device.cross_section_area,
+            power_per_length=power / device.length,
+            substrate_coupling=substrate_coupling,
+            contact_temperature=ambient_temperature,
+            substrate_temperature=ambient_temperature,
+        )
+        solution = solve_heat_line(problem)
+        new_peak = solution.peak_temperature
+        average = solution.average_temperature
+
+        if abs(new_peak - peak) < tolerance:
+            peak = new_peak
+            converged = True
+            break
+        peak = new_peak
+        # Re-evaluate the resistance at the average line temperature.
+        device = replace(interconnect, temperature=average)
+
+    return ElectroThermalResult(
+        peak_temperature=peak,
+        average_temperature=average,
+        resistance=device.resistance,
+        dissipated_power=current**2 * device.resistance,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,164 @@
+"""Small unit-conversion helpers.
+
+Everything inside the library works in SI units (metre, ohm, farad, henry,
+second, ampere, kelvin).  The paper, however, quotes lengths in nanometre and
+micrometre, capacitances in aF/um, current densities in A/cm^2 and so on.
+These helpers keep the conversions explicit and readable at call sites.
+"""
+
+from __future__ import annotations
+
+# --- length -----------------------------------------------------------------
+
+NM = 1.0e-9
+UM = 1.0e-6
+MM = 1.0e-3
+CM = 1.0e-2
+ANGSTROM = 1.0e-10
+
+
+def nm(value: float) -> float:
+    """Convert a length given in nanometre to metre."""
+    return value * NM
+
+
+def um(value: float) -> float:
+    """Convert a length given in micrometre to metre."""
+    return value * UM
+
+
+def to_nm(value_m: float) -> float:
+    """Convert a length in metre to nanometre."""
+    return value_m / NM
+
+
+def to_um(value_m: float) -> float:
+    """Convert a length in metre to micrometre."""
+    return value_m / UM
+
+
+# --- electrical -------------------------------------------------------------
+
+
+def kohm(value: float) -> float:
+    """Convert kilo-ohm to ohm."""
+    return value * 1.0e3
+
+
+def to_kohm(value_ohm: float) -> float:
+    """Convert ohm to kilo-ohm."""
+    return value_ohm / 1.0e3
+
+
+def ms_to_siemens(value: float) -> float:
+    """Convert milli-siemens to siemens."""
+    return value * 1.0e-3
+
+def siemens_to_ms(value: float) -> float:
+    """Convert siemens to milli-siemens."""
+    return value * 1.0e3
+
+
+def af_per_um(value: float) -> float:
+    """Convert a per-unit-length capacitance in aF/um to F/m."""
+    return value * 1.0e-18 / UM
+
+
+def to_af_per_um(value_f_per_m: float) -> float:
+    """Convert a per-unit-length capacitance in F/m to aF/um."""
+    return value_f_per_m * UM / 1.0e-18
+
+
+def nh_per_um(value: float) -> float:
+    """Convert a per-unit-length inductance in nH/um to H/m."""
+    return value * 1.0e-9 / UM
+
+
+def to_nh_per_um(value_h_per_m: float) -> float:
+    """Convert a per-unit-length inductance in H/m to nH/um."""
+    return value_h_per_m * UM / 1.0e-9
+
+
+def ohm_per_um(value: float) -> float:
+    """Convert a per-unit-length resistance in Ohm/um to Ohm/m."""
+    return value / UM
+
+
+def to_ohm_per_um(value_ohm_per_m: float) -> float:
+    """Convert a per-unit-length resistance in Ohm/m to Ohm/um."""
+    return value_ohm_per_m * UM
+
+
+# --- current density --------------------------------------------------------
+
+
+def a_per_cm2(value: float) -> float:
+    """Convert a current density in A/cm^2 to A/m^2."""
+    return value / (CM * CM)
+
+
+def to_a_per_cm2(value_a_per_m2: float) -> float:
+    """Convert a current density in A/m^2 to A/cm^2."""
+    return value_a_per_m2 * CM * CM
+
+
+# --- resistivity ------------------------------------------------------------
+
+
+def uohm_cm(value: float) -> float:
+    """Convert a resistivity in micro-ohm centimetre to ohm metre."""
+    return value * 1.0e-6 * CM
+
+
+def to_uohm_cm(value_ohm_m: float) -> float:
+    """Convert a resistivity in ohm metre to micro-ohm centimetre."""
+    return value_ohm_m / (1.0e-6 * CM)
+
+
+# --- time -------------------------------------------------------------------
+
+PS = 1.0e-12
+NS = 1.0e-9
+
+
+def ps(value: float) -> float:
+    """Convert picosecond to second."""
+    return value * PS
+
+
+def to_ps(value_s: float) -> float:
+    """Convert second to picosecond."""
+    return value_s / PS
+
+
+def ns(value: float) -> float:
+    """Convert nanosecond to second."""
+    return value * NS
+
+
+def to_ns(value_s: float) -> float:
+    """Convert second to nanosecond."""
+    return value_s / NS
+
+
+# --- energy / temperature ----------------------------------------------------
+
+
+def ev_to_joule(value: float) -> float:
+    """Convert electronvolt to joule."""
+    return value * 1.602176634e-19
+
+
+def joule_to_ev(value: float) -> float:
+    """Convert joule to electronvolt."""
+    return value / 1.602176634e-19
+
+
+def celsius_to_kelvin(value: float) -> float:
+    """Convert degree Celsius to kelvin."""
+    return value + 273.15
+
+
+def kelvin_to_celsius(value: float) -> float:
+    """Convert kelvin to degree Celsius."""
+    return value - 273.15

@@ -1,0 +1,103 @@
+"""Tests for the zone-folded CNT band structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atomistic import Chirality, compute_band_structure
+from repro.atomistic.graphene import (
+    dirac_points,
+    dispersion,
+    lattice_vectors,
+    reciprocal_vectors,
+    structure_factor,
+)
+
+
+class TestGraphene:
+    def test_lattice_reciprocal_duality(self):
+        a1, a2 = lattice_vectors()
+        b1, b2 = reciprocal_vectors()
+        assert a1 @ b1 == pytest.approx(2 * np.pi)
+        assert a2 @ b2 == pytest.approx(2 * np.pi)
+        assert a1 @ b2 == pytest.approx(0.0, abs=1e-9)
+        assert a2 @ b1 == pytest.approx(0.0, abs=1e-9)
+
+    def test_gamma_point_energy(self):
+        # |f(0)| = 3, so E = 3 gamma0 at the zone centre.
+        energy = dispersion(np.array([[0.0, 0.0]]))
+        assert energy[0] == pytest.approx(3 * 2.7)
+
+    def test_dirac_point_energy_is_zero(self):
+        k_point, k_prime = dirac_points()
+        assert dispersion(k_point[None, :])[0] == pytest.approx(0.0, abs=1e-9)
+        assert dispersion(k_prime[None, :])[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_structure_factor_periodicity(self):
+        b1, b2 = reciprocal_vectors()
+        k = np.array([[1.0e9, -2.0e9]])
+        assert structure_factor(k + b1) == pytest.approx(structure_factor(k))
+        assert structure_factor(k + b2) == pytest.approx(structure_factor(k))
+
+
+class TestBandStructure:
+    def test_band_count(self):
+        tube = Chirality(7, 7)
+        bands = compute_band_structure(tube, n_k=51)
+        assert bands.n_bands == 2 * tube.hexagons_per_cell
+
+    def test_metallic_tube_has_zero_gap(self):
+        for indices in [(7, 7), (9, 0), (5, 5), (12, 0)]:
+            bands = compute_band_structure(Chirality(*indices), n_k=101)
+            assert bands.band_gap() == pytest.approx(0.0, abs=1e-9)
+
+    def test_semiconducting_gap_close_to_estimate(self):
+        tube = Chirality(10, 0)
+        bands = compute_band_structure(tube, n_k=301)
+        assert bands.band_gap() == pytest.approx(tube.band_gap_estimate, rel=0.15)
+
+    def test_bands_symmetric_about_zero(self):
+        bands = compute_band_structure(Chirality(8, 0), n_k=101)
+        energies = np.sort(bands.energies.ravel())
+        assert np.allclose(energies, -np.sort(-energies)[::-1] * -1.0 * -1.0)
+        # electron-hole symmetry of the nearest-neighbour model
+        assert bands.energies.max() == pytest.approx(-bands.energies.min(), rel=1e-9)
+
+    def test_energy_bounded_by_three_gamma(self):
+        bands = compute_band_structure(Chirality(11, 0), n_k=101)
+        assert bands.energies.max() <= 3 * 2.7 + 1e-9
+        assert bands.energies.min() >= -3 * 2.7 - 1e-9
+
+    def test_shifted_moves_fermi_level_only(self):
+        bands = compute_band_structure(Chirality(7, 7), n_k=51)
+        shifted = bands.shifted(-0.6)
+        assert shifted.fermi_level == pytest.approx(-0.6)
+        assert np.array_equal(shifted.energies, bands.energies)
+
+    def test_too_few_kpoints_rejected(self):
+        with pytest.raises(ValueError):
+            compute_band_structure(Chirality(7, 7), n_k=2)
+
+    def test_subband_extrema_sorted(self):
+        bands = compute_band_structure(Chirality(10, 0), n_k=51)
+        extrema = bands.subband_extrema()
+        assert np.all(np.diff(extrema) >= -1e-12)
+
+    def test_armchair_fermi_points_inserted(self):
+        # The Fermi crossing of an armchair tube must be resolved exactly even
+        # with a coarse grid.
+        bands = compute_band_structure(Chirality(5, 5), n_k=11)
+        assert np.isclose(np.abs(bands.energies).min(), 0.0, atol=1e-9)
+
+
+class TestBandStructurePropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=4, max_value=14), m_frac=st.integers(min_value=0, max_value=2))
+    def test_gap_zero_iff_metallic(self, n, m_frac):
+        m = 0 if m_frac == 0 else (n if m_frac == 1 else max(0, n - 3))
+        tube = Chirality(n, m)
+        bands = compute_band_structure(tube, n_k=151)
+        if tube.is_metallic:
+            assert bands.band_gap() < 0.02
+        else:
+            assert bands.band_gap() > 0.1

@@ -1,0 +1,145 @@
+"""Tests for SWCNT chirality bookkeeping."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.atomistic import Chirality
+
+
+class TestBasicGeometry:
+    def test_77_diameter_close_to_one_nm(self):
+        # The paper says SWCNT(7,7) has a diameter of about 1 nm.
+        assert Chirality(7, 7).diameter == pytest.approx(0.95e-9, rel=0.02)
+
+    def test_diameter_formula(self):
+        tube = Chirality(10, 5)
+        expected = 0.246e-9 * math.sqrt(100 + 50 + 25) / math.pi
+        assert tube.diameter == pytest.approx(expected, rel=1e-6)
+
+    def test_circumference_is_pi_diameter(self):
+        tube = Chirality(13, 6)
+        assert tube.circumference == pytest.approx(math.pi * tube.diameter)
+
+    def test_chiral_angle_limits(self):
+        assert Chirality(9, 0).chiral_angle == pytest.approx(0.0)
+        assert Chirality(9, 9).chiral_angle == pytest.approx(math.pi / 6.0)
+
+
+class TestFamilies:
+    def test_armchair_detection(self):
+        tube = Chirality(7, 7)
+        assert tube.is_armchair and not tube.is_zigzag
+        assert tube.family == "armchair"
+
+    def test_zigzag_detection(self):
+        tube = Chirality(9, 0)
+        assert tube.is_zigzag and not tube.is_armchair
+        assert tube.family == "zigzag"
+
+    def test_chiral_detection(self):
+        assert Chirality(10, 4).family == "chiral"
+
+    def test_armchair_always_metallic(self):
+        for n in range(2, 20):
+            assert Chirality(n, n).is_metallic
+
+    def test_zigzag_metallicity_rule(self):
+        assert Chirality(9, 0).is_metallic
+        assert not Chirality(10, 0).is_metallic
+        assert not Chirality(11, 0).is_metallic
+        assert Chirality(12, 0).is_metallic
+
+
+class TestUnitCell:
+    def test_armchair_unit_cell(self):
+        tube = Chirality(7, 7)
+        assert tube.d_r == 21
+        assert tube.hexagons_per_cell == 14
+        assert tube.atoms_per_cell == 28
+
+    def test_zigzag_unit_cell(self):
+        tube = Chirality(9, 0)
+        assert tube.hexagons_per_cell == 18
+        assert tube.atoms_per_cell == 36
+
+    def test_armchair_translation_length(self):
+        # |T| = a for armchair tubes.
+        assert Chirality(5, 5).translation_length == pytest.approx(0.246e-9, rel=0.01)
+
+    def test_zigzag_translation_length(self):
+        # |T| = sqrt(3) a for zigzag tubes.
+        assert Chirality(9, 0).translation_length == pytest.approx(
+            math.sqrt(3.0) * 0.246e-9, rel=0.01
+        )
+
+
+class TestBandGapEstimate:
+    def test_metallic_gap_zero(self):
+        assert Chirality(7, 7).band_gap_estimate == 0.0
+
+    def test_semiconducting_gap_scales_inverse_diameter(self):
+        small = Chirality(10, 0)
+        large = Chirality(20, 0)
+        assert small.band_gap_estimate > large.band_gap_estimate
+        ratio = small.band_gap_estimate / large.band_gap_estimate
+        assert ratio == pytest.approx(large.diameter / small.diameter, rel=1e-6)
+
+
+class TestValidationAndConstructors:
+    def test_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            Chirality(5, -1)
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(ValueError):
+            Chirality(0, 0)
+
+    def test_rejects_m_greater_than_n(self):
+        with pytest.raises(ValueError):
+            Chirality(5, 6)
+
+    def test_from_diameter_armchair(self):
+        tube = Chirality.from_diameter(1.0e-9, family="armchair")
+        assert tube.is_armchair
+        assert tube.diameter == pytest.approx(1.0e-9, rel=0.15)
+
+    def test_from_diameter_zigzag_metallic(self):
+        tube = Chirality.from_diameter(1.5e-9, family="zigzag", metallic=True)
+        assert tube.is_zigzag and tube.is_metallic
+
+    def test_from_diameter_zigzag_semiconducting(self):
+        tube = Chirality.from_diameter(1.5e-9, family="zigzag", metallic=False)
+        assert tube.is_zigzag and not tube.is_metallic
+
+    def test_from_diameter_rejects_bad_family(self):
+        with pytest.raises(ValueError):
+            Chirality.from_diameter(1e-9, family="spiral")
+
+    def test_from_diameter_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Chirality.from_diameter(0.0)
+
+    def test_str_representation(self):
+        assert str(Chirality(7, 7)) == "(7,7)"
+
+
+class TestPropertyBased:
+    @given(n=st.integers(min_value=1, max_value=40), m=st.integers(min_value=0, max_value=40))
+    def test_derived_quantities_consistent(self, n, m):
+        if m > n:
+            n, m = m, n
+        if n == 0:
+            n = 1
+        tube = Chirality(n, m)
+        assert tube.diameter > 0
+        assert tube.translation_length > 0
+        assert tube.hexagons_per_cell > 0
+        assert 0.0 <= tube.chiral_angle <= math.pi / 6.0 + 1e-12
+        # Metallicity rule is consistent with the gap estimate.
+        assert (tube.band_gap_estimate == 0.0) == tube.is_metallic
+
+    @given(n=st.integers(min_value=3, max_value=40))
+    def test_metallic_every_third_zigzag(self, n):
+        assert Chirality(n, 0).is_metallic == (n % 3 == 0)

@@ -1,0 +1,201 @@
+"""Tests for transmission, DOS, ballistic conductance and doping (Fig. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atomistic import (
+    Chirality,
+    ballistic_conductance,
+    channels_at_energy,
+    compute_band_structure,
+    conductance_vs_diameter,
+    conducting_channels,
+    density_of_states,
+    transmission_function,
+)
+from repro.atomistic.conductance import conductance_per_unit_area
+from repro.atomistic.doping import (
+    DopedTube,
+    channels_after_doping,
+    doped_conductance,
+    fermi_shift_for_target_conductance,
+    iodine_doped_swcnt77,
+)
+from repro.atomistic.dos import carrier_density_shift
+from repro.atomistic.transmission import thermally_averaged_transmission
+from repro.constants import QUANTUM_CONDUCTANCE
+
+
+class TestTransmission:
+    def test_metallic_tube_two_channels_at_fermi_level(self):
+        bands = compute_band_structure(Chirality(7, 7))
+        assert channels_at_energy(bands, 0.0) == 2
+
+    def test_semiconducting_tube_zero_channels_in_gap(self):
+        bands = compute_band_structure(Chirality(10, 0))
+        assert channels_at_energy(bands, 0.0) == 0
+
+    def test_channels_increase_away_from_fermi_level(self):
+        bands = compute_band_structure(Chirality(7, 7))
+        low = channels_at_energy(bands, 0.0)
+        high = channels_at_energy(bands, -2.0)
+        assert high > low
+
+    def test_transmission_function_shape_and_integer_values(self):
+        bands = compute_band_structure(Chirality(9, 0))
+        energies, transmission = transmission_function(bands, n_points=301)
+        assert energies.shape == transmission.shape
+        assert np.all(transmission >= 0)
+        assert np.allclose(transmission, np.round(transmission))
+
+    def test_transmission_zero_outside_bands(self):
+        bands = compute_band_structure(Chirality(9, 0))
+        e_min, e_max = bands.energy_window()
+        assert channels_at_energy(bands, e_max + 1.0) == 0
+        assert channels_at_energy(bands, e_min - 1.0) == 0
+
+    def test_array_input_preserves_shape(self):
+        bands = compute_band_structure(Chirality(7, 7))
+        probe = np.array([[0.1, 0.2], [-0.1, -3.0]])
+        result = channels_at_energy(bands, probe)
+        assert result.shape == probe.shape
+
+    def test_thermal_average_matches_cold_count_in_flat_region(self):
+        bands = compute_band_structure(Chirality(7, 7))
+        cold = channels_at_energy(bands, -0.5)
+        warm = thermally_averaged_transmission(bands, fermi_level_ev=-0.5, temperature=100.0)
+        assert warm == pytest.approx(cold, rel=0.02)
+
+    def test_zero_temperature_falls_back_to_counting(self):
+        bands = compute_band_structure(Chirality(7, 7))
+        assert thermally_averaged_transmission(bands, 0.0, temperature=0.0) == pytest.approx(2.0)
+
+
+class TestDensityOfStates:
+    def test_dos_positive_and_normalised(self):
+        bands = compute_band_structure(Chirality(9, 0), n_k=101)
+        energies, dos = density_of_states(bands, n_points=1201, broadening_ev=0.03)
+        assert np.all(dos >= 0)
+        total_states = np.trapezoid(dos, energies)
+        # 2 spin states per band per unit cell.
+        assert total_states == pytest.approx(2 * bands.n_bands, rel=0.05)
+
+    def test_semiconductor_dos_vanishes_in_gap(self):
+        bands = compute_band_structure(Chirality(10, 0), n_k=201)
+        energies, dos = density_of_states(bands, np.array([0.0]), broadening_ev=0.02)
+        assert dos[0] < 0.05
+
+    def test_rejects_nonpositive_broadening(self):
+        bands = compute_band_structure(Chirality(7, 7), n_k=51)
+        with pytest.raises(ValueError):
+            density_of_states(bands, broadening_ev=0.0)
+
+    def test_p_type_shift_removes_electrons(self):
+        bands = compute_band_structure(Chirality(7, 7), n_k=101)
+        delta = carrier_density_shift(bands, -0.6)
+        assert delta < 0.0
+
+    def test_n_type_shift_adds_electrons(self):
+        bands = compute_band_structure(Chirality(7, 7), n_k=101)
+        assert carrier_density_shift(bands, +0.6) > 0.0
+
+
+class TestBallisticConductance:
+    def test_pristine_77_matches_paper_value(self):
+        # Paper: G_bal of pristine SWCNT(7,7) is 0.155 mS.
+        g = ballistic_conductance(Chirality(7, 7))
+        assert g == pytest.approx(0.155e-3, rel=0.02)
+
+    def test_channel_count_close_to_two_for_metallic_tubes(self):
+        # Paper Fig. 8a: Nc stays close to 2 regardless of diameter/chirality.
+        for indices in [(5, 5), (9, 0), (10, 10), (15, 0), (18, 18)]:
+            tube = Chirality(*indices)
+            if not tube.is_metallic:
+                continue
+            assert conducting_channels(tube) == pytest.approx(2.0, abs=0.1)
+
+    def test_semiconducting_tube_has_negligible_conductance(self):
+        assert ballistic_conductance(Chirality(10, 0)) < 1e-6
+
+    def test_sweep_covers_requested_range_and_is_sorted(self):
+        points = conductance_vs_diameter(
+            diameter_range_m=(0.6e-9, 2.0e-9), metallic_only=True, n_k=101
+        )
+        diameters = [p.diameter for p in points]
+        assert diameters == sorted(diameters)
+        assert min(diameters) >= 0.6e-9
+        assert max(diameters) <= 2.0e-9
+        assert all(p.chirality.is_metallic for p in points)
+
+    def test_sweep_contains_both_families(self):
+        points = conductance_vs_diameter(diameter_range_m=(0.6e-9, 1.5e-9), n_k=101)
+        families = {p.family for p in points}
+        assert families == {"armchair", "zigzag"}
+
+    def test_conductance_per_unit_area_decreases_with_diameter(self):
+        # Paper: conductance per unit area decreases as diameter increases.
+        points = conductance_vs_diameter(
+            families=("armchair",), diameter_range_m=(0.5e-9, 2.5e-9), n_k=101
+        )
+        per_area = [conductance_per_unit_area(p) for p in points]
+        assert per_area[0] > per_area[-1]
+
+    def test_invalid_diameter_range_rejected(self):
+        with pytest.raises(ValueError):
+            conductance_vs_diameter(diameter_range_m=(2e-9, 1e-9))
+
+    def test_invalid_family_rejected(self):
+        with pytest.raises(ValueError):
+            conductance_vs_diameter(families=("spiral",))
+
+
+class TestDoping:
+    def test_doping_increases_conductance(self):
+        tube = Chirality(7, 7)
+        pristine = ballistic_conductance(tube)
+        doped = doped_conductance(tube, -1.3)
+        assert doped > pristine
+
+    def test_paper_target_conductance_reachable(self):
+        # Paper: doped SWCNT(7,7) reaches 0.387 mS (5 channels).
+        shift = fermi_shift_for_target_conductance(Chirality(7, 7), 0.387e-3)
+        assert shift < 0.0
+        reached = doped_conductance(Chirality(7, 7), shift)
+        assert reached >= 0.387e-3 * 0.97
+
+    def test_zero_shift_returned_if_already_above_target(self):
+        shift = fermi_shift_for_target_conductance(Chirality(7, 7), 0.1e-3)
+        assert shift == 0.0
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            fermi_shift_for_target_conductance(Chirality(7, 7), 10.0, max_shift_ev=0.5)
+
+    def test_doped_tube_enhancement_factor(self):
+        doped = DopedTube(Chirality(7, 7), -1.3)
+        assert doped.enhancement_factor() > 1.5
+
+    def test_iodine_reference_system(self):
+        reference = iodine_doped_swcnt77()
+        assert reference.fermi_shift_ev == pytest.approx(-0.6)
+        assert reference.chirality == Chirality(7, 7)
+        # p-type doping never reduces the channel count of a metallic tube.
+        assert reference.channels() >= 2.0 - 0.05
+
+    def test_channels_after_doping_monotone_in_shift_magnitude(self):
+        tube = Chirality(7, 7)
+        counts = [channels_after_doping(tube, s) for s in (0.0, -0.5, -1.0, -1.5, -2.0)]
+        assert all(b >= a - 1e-9 for a, b in zip(counts, counts[1:]))
+
+
+class TestDopingPropertyBased:
+    @settings(max_examples=10, deadline=None)
+    @given(shift=st.floats(min_value=0.0, max_value=2.0))
+    def test_electron_hole_symmetric_doping(self, shift):
+        # Nearest-neighbour graphene TB is electron-hole symmetric, so p- and
+        # n-type shifts of the same magnitude give the same conductance.
+        tube = Chirality(9, 0)
+        down = doped_conductance(tube, -shift, n_k=101)
+        up = doped_conductance(tube, +shift, n_k=101)
+        assert down == pytest.approx(up, rel=1e-6, abs=1e-12)

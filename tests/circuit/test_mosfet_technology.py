@@ -1,0 +1,137 @@
+"""Tests for the MOSFET model and technology-node parameter sets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import MOSFET, MOSFETParameters, NODE_14NM, NODE_45NM
+from repro.circuit.technology import node_by_name
+
+
+def nmos(width_multiplier: float = 1.0) -> MOSFET:
+    return MOSFET("n1", "d", "g", "s", NODE_45NM.nmos_parameters(width_multiplier))
+
+
+def pmos(width_multiplier: float = 1.0) -> MOSFET:
+    return MOSFET("p1", "d", "g", "s", NODE_45NM.pmos_parameters(width_multiplier))
+
+
+class TestMOSFETModel:
+    def test_off_device_has_negligible_current(self):
+        assert abs(nmos().drain_current(0.0, 1.0)) < 1e-7
+
+    def test_on_device_conducts(self):
+        assert nmos().drain_current(1.0, 1.0) > 1e-5
+
+    def test_triode_vs_saturation(self):
+        device = nmos()
+        triode = device.drain_current(1.0, 0.05)
+        saturation = device.drain_current(1.0, 1.0)
+        assert 0 < triode < saturation
+
+    def test_current_scales_with_width(self):
+        narrow = nmos(1.0).drain_current(1.0, 1.0)
+        wide = nmos(2.0).drain_current(1.0, 1.0)
+        assert wide == pytest.approx(2 * narrow, rel=1e-6)
+
+    def test_pmos_polarity(self):
+        # Conducting PMOS (gate low, drain low relative to source) pulls
+        # current out of its drain: negative drain-to-source current.
+        assert pmos().drain_current(-1.0, -1.0) < 0
+
+    def test_pmos_off(self):
+        assert abs(pmos().drain_current(0.0, -1.0)) < 1e-7
+
+    def test_reverse_conduction_antisymmetric(self):
+        device = nmos()
+        forward = device.drain_current(1.0, 0.3)
+        # Swap drain/source roles: with v_gs measured at the new source the
+        # device carries the same magnitude in the opposite direction.
+        reverse = device.drain_current(1.0 - 0.3, -0.3)
+        assert reverse == pytest.approx(-forward, rel=1e-6)
+
+    def test_derivatives_match_finite_differences(self):
+        device = nmos()
+        v_gs, v_ds = 0.8, 0.4
+        delta = 1e-6
+        i0, gm, gds = device.evaluate(v_gs, v_ds)
+        gm_fd = (device.drain_current(v_gs + delta, v_ds) - i0) / delta
+        gds_fd = (device.drain_current(v_gs, v_ds + delta) - i0) / delta
+        assert gm == pytest.approx(gm_fd, rel=1e-3)
+        assert gds == pytest.approx(gds_fd, rel=1e-3)
+
+    def test_derivatives_in_saturation(self):
+        device = nmos()
+        v_gs, v_ds = 1.0, 0.9
+        delta = 1e-6
+        i0, gm, gds = device.evaluate(v_gs, v_ds)
+        gm_fd = (device.drain_current(v_gs + delta, v_ds) - i0) / delta
+        assert gm == pytest.approx(gm_fd, rel=1e-3)
+
+    def test_effective_resistance_order_of_magnitude(self):
+        # A 1x 45 nm NMOS should have a switching resistance of a few kOhm.
+        resistance = nmos().effective_resistance(NODE_45NM.supply_voltage)
+        assert 500.0 < resistance < 20e3
+
+    def test_effective_resistance_infinite_when_off(self):
+        weak = MOSFETParameters(
+            polarity=1, threshold_voltage=2.0, transconductance=1e-4, width=1e-7, length=4.5e-8
+        )
+        device = MOSFET("n", "d", "g", "s", weak)
+        assert device.effective_resistance(1.0) == float("inf")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MOSFETParameters(polarity=2, threshold_voltage=0.3, transconductance=1e-4, width=1e-7, length=1e-8)
+        with pytest.raises(ValueError):
+            MOSFETParameters(polarity=1, threshold_voltage=-0.3, transconductance=1e-4, width=1e-7, length=1e-8)
+        with pytest.raises(ValueError):
+            MOSFETParameters(polarity=1, threshold_voltage=0.3, transconductance=0.0, width=1e-7, length=1e-8)
+        with pytest.raises(ValueError):
+            MOSFETParameters(polarity=1, threshold_voltage=0.3, transconductance=1e-4, width=0.0, length=1e-8)
+
+
+class TestMOSFETPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        v_gs=st.floats(min_value=-1.2, max_value=1.2),
+        v_ds=st.floats(min_value=-1.2, max_value=1.2),
+    )
+    def test_current_continuous_and_derivative_consistent(self, v_gs, v_ds):
+        device = nmos()
+        delta = 1e-7
+        i0, gm, gds = device.evaluate(v_gs, v_ds)
+        i_gs = device.drain_current(v_gs + delta, v_ds)
+        i_ds = device.drain_current(v_gs, v_ds + delta)
+        # finite-difference check with generous tolerance near region boundaries
+        assert (i_gs - i0) / delta == pytest.approx(gm, rel=0.05, abs=1e-6)
+        assert (i_ds - i0) / delta == pytest.approx(gds, rel=0.05, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(v_ds=st.floats(min_value=0.0, max_value=1.2))
+    def test_nmos_current_non_negative_for_positive_vds(self, v_ds):
+        assert nmos().drain_current(1.0, v_ds) >= 0.0
+
+
+class TestTechnology:
+    def test_node_lookup(self):
+        assert node_by_name("45nm") is NODE_45NM
+        assert node_by_name("14nm") is NODE_14NM
+        with pytest.raises(ValueError):
+            node_by_name("7nm")
+
+    def test_45nm_supply_voltage(self):
+        assert NODE_45NM.supply_voltage == pytest.approx(1.0)
+
+    def test_14nm_smaller_and_lower_voltage(self):
+        assert NODE_14NM.gate_length < NODE_45NM.gate_length
+        assert NODE_14NM.supply_voltage < NODE_45NM.supply_voltage
+        assert NODE_14NM.wire_pitch < NODE_45NM.wire_pitch
+
+    def test_pmos_wider_than_nmos(self):
+        assert NODE_45NM.pmos_width > NODE_45NM.nmos_width
+
+    def test_inverter_input_capacitance_sub_femtofarad(self):
+        assert 1e-17 < NODE_45NM.inverter_input_capacitance < 1e-15
+
+    def test_width_multiplier(self):
+        assert NODE_45NM.nmos_parameters(3.0).width == pytest.approx(3 * NODE_45NM.nmos_width)

@@ -1,0 +1,199 @@
+"""Tests for SWCNT bundles, Cu-CNT composites and the ampacity comparison."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import CNT_MAX_CURRENT_PER_TUBE, MIN_CNT_DENSITY_FOR_DELAY
+from repro.core import (
+    CuCNTComposite,
+    SWCNTBundle,
+    ampacity_comparison,
+    max_current_cnt,
+    max_current_copper_line,
+)
+from repro.core.ampacity import cnts_needed_to_match_copper, reference_figures_consistent
+from repro.core.bundle import max_packing_density
+from repro.core.composite import tradeoff_sweep
+from repro.core.copper import paper_reference_copper_line
+from repro.core.doping import DopingProfile
+from repro.units import nm, um
+
+
+class TestBundle:
+    def test_max_packing_density_order_of_magnitude(self):
+        # ~1 nm tubes close-pack at roughly 0.6 tubes/nm^2.
+        density = max_packing_density(nm(1))
+        assert 0.3e18 < density < 1.0e18
+
+    def test_default_density_meets_paper_minimum(self):
+        bundle = SWCNTBundle(width=nm(100), height=nm(50), length=um(1))
+        assert bundle.meets_minimum_density()
+        assert bundle.density_shortfall_factor() > 1.0
+
+    def test_sparse_bundle_fails_minimum_density(self):
+        bundle = SWCNTBundle(
+            width=nm(100), height=nm(50), length=um(1), density=0.01e18
+        )
+        assert not bundle.meets_minimum_density()
+        assert bundle.density_shortfall_factor() < 1.0
+
+    def test_density_capped_at_close_packing(self):
+        bundle = SWCNTBundle(width=nm(100), height=nm(50), length=um(1), density=1e20)
+        assert bundle.effective_density == pytest.approx(max_packing_density(nm(1)))
+
+    def test_resistance_inverse_in_tube_count(self):
+        sparse = SWCNTBundle(width=nm(100), height=nm(50), length=um(1), density=0.05e18)
+        dense = SWCNTBundle(width=nm(100), height=nm(50), length=um(1), density=0.2e18)
+        assert sparse.resistance > dense.resistance
+
+    def test_metallic_fraction_reduces_conduction(self):
+        sorted_tubes = SWCNTBundle(
+            width=nm(100), height=nm(50), length=um(1), metallic_fraction=1.0
+        )
+        as_grown = SWCNTBundle(
+            width=nm(100), height=nm(50), length=um(1), metallic_fraction=1.0 / 3.0
+        )
+        assert as_grown.resistance > sorted_tubes.resistance
+        assert as_grown.max_current < sorted_tubes.max_current
+
+    def test_doping_reduces_bundle_resistance(self):
+        pristine = SWCNTBundle(width=nm(100), height=nm(50), length=um(1))
+        doped = SWCNTBundle(
+            width=nm(100), height=nm(50), length=um(1), doping=DopingProfile.from_channels(6)
+        )
+        assert doped.resistance < pristine.resistance
+
+    def test_tubes_to_match_current(self):
+        bundle = SWCNTBundle(width=nm(100), height=nm(50), length=um(1))
+        needed = bundle.tubes_to_match_current(50e-6)
+        assert needed == 2
+
+    def test_max_current_proportional_to_conducting_tubes(self):
+        bundle = SWCNTBundle(width=nm(100), height=nm(50), length=um(1), metallic_fraction=1.0)
+        assert bundle.max_current == pytest.approx(
+            bundle.conducting_tube_count * CNT_MAX_CURRENT_PER_TUBE
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SWCNTBundle(width=0.0, height=nm(50), length=um(1))
+        with pytest.raises(ValueError):
+            SWCNTBundle(width=nm(100), height=nm(50), length=um(1), metallic_fraction=0.0)
+        with pytest.raises(ValueError):
+            SWCNTBundle(width=nm(100), height=nm(50), length=um(1), density=-1.0)
+        with pytest.raises(ValueError):
+            SWCNTBundle(width=nm(100), height=nm(50), length=um(1)).tubes_to_match_current(0.0)
+
+
+class TestAmpacity:
+    def test_copper_reference_is_50_ua(self):
+        assert max_current_copper_line(nm(100), nm(50)) == pytest.approx(50e-6, rel=0.01)
+
+    def test_single_cnt_carries_20_to_25_ua(self):
+        assert 20e-6 <= max_current_cnt(nm(1)) <= 25e-6
+
+    def test_a_few_cnts_match_copper(self):
+        # Paper: "a few CNTs are enough to match the current carrying
+        # capacity of a typical Cu interconnect".
+        assert 1 < cnts_needed_to_match_copper() <= 5
+
+    def test_comparison_rows(self):
+        rows = ampacity_comparison()
+        assert len(rows) == 3
+        labels = [row.label for row in rows]
+        assert any("Cu" in label for label in labels)
+        cu_row = rows[0]
+        cnt_row = rows[1]
+        bundle_row = rows[2]
+        # CNT current density is ~1000x the copper EM limit.
+        assert cnt_row.max_current_density > 100 * cu_row.max_current_density
+        # A dense bundle in the same cross-section beats the copper line outright.
+        assert bundle_row.max_current > cu_row.max_current
+
+    def test_paper_units_exposed(self):
+        rows = ampacity_comparison()
+        assert rows[0].max_current_density_a_per_cm2 == pytest.approx(1e6)
+        assert rows[0].max_current_ua == pytest.approx(50.0, rel=0.01)
+
+    def test_reference_figures_consistent(self):
+        assert reference_figures_consistent()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_current_copper_line(0.0, nm(50))
+        with pytest.raises(ValueError):
+            max_current_cnt(0.0)
+
+
+class TestComposite:
+    def test_pure_copper_limit(self):
+        composite = CuCNTComposite(width=nm(100), height=nm(50), length=um(10), cnt_volume_fraction=0.0)
+        copper = paper_reference_copper_line(um(10))
+        assert composite.resistance == pytest.approx(copper.resistance, rel=0.2)
+
+    def test_ampacity_gain_increases_with_cnt_fraction(self):
+        gains = [
+            CuCNTComposite(
+                width=nm(100), height=nm(50), length=um(10), cnt_volume_fraction=f
+            ).ampacity_gain_over_copper
+            for f in (0.0, 0.2, 0.5)
+        ]
+        assert gains[0] < gains[1] < gains[2]
+        assert gains[0] >= 1.0
+
+    def test_composite_always_better_ampacity_than_copper(self):
+        composite = CuCNTComposite(width=nm(100), height=nm(50), length=um(10))
+        assert composite.ampacity_gain_over_copper > 1.0
+
+    def test_resistivity_penalty_modest(self):
+        # The whole point of the composite: big ampacity gain, modest
+        # resistivity penalty.
+        composite = CuCNTComposite(width=nm(100), height=nm(50), length=um(10), cnt_volume_fraction=0.3)
+        assert composite.resistivity_penalty_over_copper < 3.0
+        assert composite.ampacity_gain_over_copper > 5.0
+
+    def test_poor_fill_quality_raises_resistance(self):
+        good = CuCNTComposite(width=nm(100), height=nm(50), length=um(10), fill_quality=1.0)
+        bad = CuCNTComposite(width=nm(100), height=nm(50), length=um(10), fill_quality=0.6)
+        assert bad.resistance > good.resistance
+
+    def test_tradeoff_sweep_records(self):
+        records = tradeoff_sweep(nm(100), nm(50), um(10), [0.0, 0.25, 0.5, 0.75])
+        assert len(records) == 4
+        assert records[0]["ampacity_gain"] <= records[-1]["ampacity_gain"]
+        assert all(r["effective_resistivity"] > 0 for r in records)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CuCNTComposite(width=nm(100), height=nm(50), length=um(1), cnt_volume_fraction=1.5)
+        with pytest.raises(ValueError):
+            CuCNTComposite(width=nm(100), height=nm(50), length=um(1), fill_quality=0.0)
+        with pytest.raises(ValueError):
+            CuCNTComposite(width=nm(100), height=nm(50), length=um(1), em_suppression_factor=0.5)
+
+    def test_with_volume_fraction(self):
+        composite = CuCNTComposite(width=nm(100), height=nm(50), length=um(1))
+        assert composite.with_volume_fraction(0.7).cnt_volume_fraction == pytest.approx(0.7)
+
+
+class TestCompositePropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_composite_resistance_positive(self, fraction):
+        composite = CuCNTComposite(
+            width=nm(100), height=nm(50), length=um(5), cnt_volume_fraction=fraction
+        )
+        assert composite.resistance > 0
+        assert composite.max_current > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        density=st.floats(min_value=0.001e18, max_value=0.7e18),
+        metallic=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_bundle_resistance_decreases_with_density(self, density, metallic):
+        base = SWCNTBundle(
+            width=nm(200), height=nm(100), length=um(2), density=density, metallic_fraction=metallic
+        )
+        denser = base.with_density(min(density * 2, 0.7e18))
+        assert denser.resistance <= base.resistance * 1.05

@@ -1,0 +1,179 @@
+"""Tests for the copper reference model and electrostatic capacitance helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import COPPER_BULK_RESISTIVITY, VACUUM_PERMITTIVITY
+from repro.core import CopperInterconnect, copper_resistivity
+from repro.core.copper import (
+    fuchs_sondheimer_increase,
+    mayadas_shatzkes_factor,
+    paper_reference_copper_line,
+)
+from repro.core.electrostatics import (
+    coupled_line_capacitance,
+    parallel_plate_capacitance,
+    series_capacitance,
+    wire_between_planes_capacitance,
+    wire_over_plane_capacitance,
+)
+from repro.units import nm, um
+
+
+class TestSizeEffects:
+    def test_wide_line_approaches_bulk(self):
+        rho = copper_resistivity(um(1), um(1))
+        assert rho == pytest.approx(COPPER_BULK_RESISTIVITY, rel=0.15)
+
+    def test_narrow_line_much_more_resistive(self):
+        rho = copper_resistivity(nm(20), nm(40))
+        assert rho > 2.0 * COPPER_BULK_RESISTIVITY
+
+    def test_resistivity_monotone_in_width(self):
+        widths = [nm(15), nm(30), nm(60), nm(120), nm(500)]
+        rhos = [copper_resistivity(w, nm(50)) for w in widths]
+        assert all(a > b for a, b in zip(rhos, rhos[1:]))
+
+    def test_size_effects_can_be_disabled(self):
+        rho = copper_resistivity(nm(20), nm(20), include_size_effects=False)
+        assert rho == pytest.approx(COPPER_BULK_RESISTIVITY)
+
+    def test_temperature_coefficient(self):
+        hot = copper_resistivity(nm(100), nm(50), temperature=400.0)
+        cold = copper_resistivity(nm(100), nm(50), temperature=300.0)
+        assert hot > cold
+
+    def test_fuchs_sondheimer_specular_limit(self):
+        assert fuchs_sondheimer_increase(nm(20), nm(20), specularity=1.0) == pytest.approx(0.0)
+
+    def test_mayadas_shatzkes_no_reflection_limit(self):
+        assert mayadas_shatzkes_factor(nm(50), reflectivity=0.0) == pytest.approx(1.0)
+
+    def test_mayadas_shatzkes_increases_with_reflectivity(self):
+        low = mayadas_shatzkes_factor(nm(30), reflectivity=0.1)
+        high = mayadas_shatzkes_factor(nm(30), reflectivity=0.6)
+        assert high > low >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fuchs_sondheimer_increase(0.0, nm(10))
+        with pytest.raises(ValueError):
+            fuchs_sondheimer_increase(nm(10), nm(10), specularity=1.5)
+        with pytest.raises(ValueError):
+            mayadas_shatzkes_factor(0.0)
+        with pytest.raises(ValueError):
+            mayadas_shatzkes_factor(nm(10), reflectivity=1.0)
+        with pytest.raises(ValueError):
+            copper_resistivity(nm(10), nm(10), temperature=-1.0)
+
+
+class TestCopperInterconnect:
+    def test_paper_reference_line_max_current_is_50ua(self):
+        line = paper_reference_copper_line()
+        assert line.max_current == pytest.approx(50e-6, rel=0.01)
+
+    def test_resistance_scales_with_length(self):
+        short = paper_reference_copper_line(um(100))
+        long = paper_reference_copper_line(um(200))
+        assert long.resistance == pytest.approx(2 * short.resistance, rel=1e-9)
+
+    def test_barrier_increases_resistance(self):
+        bare = CopperInterconnect(width=nm(40), height=nm(80), length=um(10))
+        with_barrier = CopperInterconnect(
+            width=nm(40), height=nm(80), length=um(10), barrier_thickness=nm(3)
+        )
+        assert with_barrier.resistance > bare.resistance
+
+    def test_barrier_cannot_consume_line(self):
+        with pytest.raises(ValueError):
+            CopperInterconnect(width=nm(10), height=nm(10), length=um(1), barrier_thickness=nm(5))
+
+    def test_effective_conductivity_below_bulk(self):
+        line = paper_reference_copper_line(um(10))
+        assert line.effective_conductivity < 1.0 / COPPER_BULK_RESISTIVITY
+
+    def test_capacitance_positive_and_linear_in_length(self):
+        short = paper_reference_copper_line(um(100))
+        long = paper_reference_copper_line(um(300))
+        assert short.capacitance > 0
+        assert long.capacitance == pytest.approx(3 * short.capacitance, rel=1e-9)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CopperInterconnect(width=0.0, height=nm(50), length=um(1))
+
+    def test_with_length(self):
+        line = paper_reference_copper_line(um(1))
+        assert line.with_length(um(5)).length == pytest.approx(um(5))
+
+
+class TestElectrostatics:
+    def test_wire_over_plane_formula(self):
+        d, h, eps_r = nm(10), nm(60), 2.2
+        expected = 2 * math.pi * eps_r * VACUUM_PERMITTIVITY / math.acosh(2 * h / d)
+        assert wire_over_plane_capacitance(d, h, eps_r) == pytest.approx(expected)
+
+    def test_capacitance_increases_when_wire_approaches_plane(self):
+        far = wire_over_plane_capacitance(nm(10), nm(200))
+        near = wire_over_plane_capacitance(nm(10), nm(20))
+        assert near > far
+
+    def test_wire_between_planes_doubles_single_plane(self):
+        single = wire_over_plane_capacitance(nm(10), nm(50))
+        double = wire_between_planes_capacitance(nm(10), nm(100))
+        assert double == pytest.approx(2 * single)
+
+    def test_coupling_decreases_with_spacing(self):
+        close = coupled_line_capacitance(nm(10), nm(30))
+        far = coupled_line_capacitance(nm(10), nm(300))
+        assert close > far
+
+    def test_parallel_plate_scaling(self):
+        narrow = parallel_plate_capacitance(nm(50), nm(100))
+        wide = parallel_plate_capacitance(nm(100), nm(100))
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_series_capacitance_limits(self):
+        assert series_capacitance(1e-10, 1e-10) == pytest.approx(0.5e-10)
+        assert series_capacitance(0.0, 1e-10) == 0.0
+        # The smaller capacitance dominates the series combination.
+        assert series_capacitance(1e-16, 1e-10) == pytest.approx(1e-16, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wire_over_plane_capacitance(0.0, nm(10))
+        with pytest.raises(ValueError):
+            wire_over_plane_capacitance(nm(10), nm(4))
+        with pytest.raises(ValueError):
+            wire_between_planes_capacitance(nm(10), nm(5))
+        with pytest.raises(ValueError):
+            coupled_line_capacitance(nm(10), nm(10))
+        with pytest.raises(ValueError):
+            parallel_plate_capacitance(0.0, nm(10))
+        with pytest.raises(ValueError):
+            parallel_plate_capacitance(nm(10), nm(10), fringe_factor=0.5)
+        with pytest.raises(ValueError):
+            series_capacitance(-1.0, 1.0)
+
+
+class TestCopperPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width_nm=st.floats(min_value=10.0, max_value=1000.0),
+        height_nm=st.floats(min_value=10.0, max_value=1000.0),
+    )
+    def test_resistivity_always_at_least_bulk(self, width_nm, height_nm):
+        rho = copper_resistivity(nm(width_nm), nm(height_nm))
+        assert rho >= COPPER_BULK_RESISTIVITY * 0.999
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        diameter_nm=st.floats(min_value=1.0, max_value=50.0),
+        gap_nm=st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_wire_over_plane_capacitance_positive(self, diameter_nm, gap_nm):
+        height = nm(diameter_nm) / 2.0 + nm(gap_nm)
+        c = wire_over_plane_capacitance(nm(diameter_nm), height)
+        assert c > 0

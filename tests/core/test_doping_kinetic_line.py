@@ -1,0 +1,217 @@
+"""Tests for the doping profile, inductance helpers and the unified line front end."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atomistic import Chirality
+from repro.core import (
+    DopingProfile,
+    DistributedRC,
+    InterconnectLine,
+    MWCNTInterconnect,
+    SWCNTInterconnect,
+    channels_per_shell_from_fermi_shift,
+    kinetic_inductance,
+    magnetic_inductance_over_plane,
+)
+from repro.core.copper import paper_reference_copper_line
+from repro.core.doping import DopantSite, doping_sweep
+from repro.core.kinetic import kinetic_to_magnetic_ratio, total_inductance_per_length
+from repro.units import nm, um
+
+
+class TestDopingProfile:
+    def test_pristine_profile(self):
+        profile = DopingProfile.pristine()
+        assert profile.channels_per_shell == 2.0
+        assert not profile.is_doped
+        assert profile.enhancement_factor == pytest.approx(1.0)
+
+    def test_from_channels(self):
+        profile = DopingProfile.from_channels(6.0)
+        assert profile.is_doped
+        assert profile.enhancement_factor == pytest.approx(3.0)
+
+    def test_cannot_go_below_pristine(self):
+        with pytest.raises(ValueError):
+            DopingProfile(channels_per_shell=1.0)
+
+    def test_iodine_profile_matches_paper_conductance_ratio(self):
+        # 0.387 mS / 0.155 mS = 2.5 enhancement.
+        profile = DopingProfile.iodine()
+        assert profile.enhancement_factor == pytest.approx(2.5)
+        assert profile.fermi_shift_ev == pytest.approx(-0.6)
+
+    def test_ptcl4_profile_site(self):
+        assert DopingProfile.ptcl4().site is DopantSite.EXTERNAL
+
+    def test_from_fermi_shift_uses_atomistic_bridge(self):
+        profile = DopingProfile.from_fermi_shift(Chirality(7, 7), -1.3)
+        assert profile.channels_per_shell > 2.0
+        assert profile.fermi_shift_ev == pytest.approx(-1.3)
+
+    def test_from_fermi_shift_never_below_pristine(self):
+        profile = DopingProfile.from_fermi_shift(Chirality(7, 7), -0.01)
+        assert profile.channels_per_shell >= 2.0
+
+    def test_bridge_function_monotone(self):
+        small = channels_per_shell_from_fermi_shift(Chirality(7, 7), -0.2)
+        large = channels_per_shell_from_fermi_shift(Chirality(7, 7), -1.5)
+        assert large >= small
+
+    def test_doping_sweep_spans_paper_range(self):
+        profiles = doping_sweep(9)
+        channels = [p.channels_per_shell for p in profiles]
+        assert channels[0] == pytest.approx(2.0)
+        assert channels[-1] == pytest.approx(10.0)
+        assert len(profiles) == 9
+        assert not profiles[0].is_doped
+        assert all(p.is_doped for p in profiles[1:])
+
+    def test_doping_sweep_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            doping_sweep(1)
+
+
+class TestKinetic:
+    def test_kinetic_inductance_16nh_per_um_per_channel(self):
+        assert kinetic_inductance(1.0) == pytest.approx(16e-9 / 1e-6, rel=0.02)
+
+    def test_kinetic_inductance_scales_inverse_channels(self):
+        assert kinetic_inductance(4.0) == pytest.approx(kinetic_inductance(1.0) / 4.0)
+
+    def test_kinetic_dominates_magnetic(self):
+        # For realistic CNT channel counts the kinetic term is >> magnetic.
+        ratio = kinetic_to_magnetic_ratio(18.0, nm(10), nm(60))
+        assert ratio > 100.0
+
+    def test_magnetic_inductance_increases_with_height(self):
+        low = magnetic_inductance_over_plane(nm(10), nm(20))
+        high = magnetic_inductance_over_plane(nm(10), nm(200))
+        assert high > low
+
+    def test_total_is_sum(self):
+        total = total_inductance_per_length(4.0, nm(10), nm(60))
+        assert total == pytest.approx(
+            kinetic_inductance(4.0) + magnetic_inductance_over_plane(nm(10), nm(60))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kinetic_inductance(0.0)
+        with pytest.raises(ValueError):
+            magnetic_inductance_over_plane(0.0, nm(50))
+        with pytest.raises(ValueError):
+            magnetic_inductance_over_plane(nm(100), nm(10))
+
+
+class TestDistributedRC:
+    def test_segments_sum_to_totals(self):
+        ladder = DistributedRC(total_resistance=1e4, total_capacitance=1e-14, n_segments=17)
+        segments = ladder.segments()
+        assert len(segments) == 17
+        assert sum(r for r, _ in segments) == pytest.approx(1e4)
+        assert sum(c for _, c in segments) == pytest.approx(1e-14)
+
+    def test_elmore_delay_formula(self):
+        ladder = DistributedRC(total_resistance=1e4, total_capacitance=1e-14)
+        delay = ladder.elmore_delay(driver_resistance=5e3, load_capacitance=1e-15)
+        expected = 5e3 * (1e-14 + 1e-15) + 1e4 * (0.5e-14 + 1e-15)
+        assert delay == pytest.approx(expected)
+
+    def test_contact_resistance_split_between_ends(self):
+        ladder = DistributedRC(
+            total_resistance=1e4, total_capacitance=1e-14, contact_resistance=2e3
+        )
+        assert ladder.end_resistance == pytest.approx(1e3)
+
+    def test_resized_preserves_totals(self):
+        ladder = DistributedRC(total_resistance=1e4, total_capacitance=1e-14, n_segments=5)
+        finer = ladder.resized(50)
+        assert finer.n_segments == 50
+        assert finer.total_resistance == ladder.total_resistance
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedRC(total_resistance=-1.0, total_capacitance=1e-14)
+        with pytest.raises(ValueError):
+            DistributedRC(total_resistance=1.0, total_capacitance=1e-14, n_segments=0)
+        with pytest.raises(ValueError):
+            DistributedRC(total_resistance=1.0, total_capacitance=1e-14).elmore_delay(-1.0)
+
+
+class TestInterconnectLine:
+    def test_wraps_mwcnt(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(100))
+        line = InterconnectLine(tube)
+        assert line.total_resistance == pytest.approx(tube.resistance)
+        assert line.total_capacitance == pytest.approx(tube.capacitance)
+        assert line.length == pytest.approx(um(100))
+
+    def test_wraps_copper_with_zero_contact(self):
+        line = InterconnectLine(paper_reference_copper_line(um(100)))
+        assert line.contact_resistance == pytest.approx(0.0)
+        assert line.distributed_resistance == pytest.approx(line.total_resistance)
+
+    def test_cnt_contact_resistance_extracted(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(100), contact_resistance=50e3)
+        line = InterconnectLine(tube)
+        assert line.contact_resistance > 50e3  # includes the quantum term too
+        assert line.distributed_resistance < line.total_resistance
+
+    def test_swcnt_contact_resistance_extracted(self):
+        tube = SWCNTInterconnect(diameter=nm(1), length=um(10), contact_resistance=20e3)
+        line = InterconnectLine(tube)
+        assert line.contact_resistance == pytest.approx(20e3 + tube.quantum_contact_resistance)
+
+    def test_distributed_expansion_consistent(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(14), length=um(500))
+        line = InterconnectLine(tube, n_segments=40)
+        ladder = line.distributed()
+        assert ladder.n_segments == 40
+        total = ladder.total_resistance + ladder.contact_resistance
+        assert total == pytest.approx(line.total_resistance, rel=0.01)
+
+    def test_elmore_delay_longer_line_slower(self):
+        short = InterconnectLine(MWCNTInterconnect(outer_diameter=nm(10), length=um(100)))
+        long = InterconnectLine(MWCNTInterconnect(outer_diameter=nm(10), length=um(500)))
+        assert long.elmore_delay(5e3, 1e-16) > short.elmore_delay(5e3, 1e-16)
+
+    def test_doping_reduces_elmore_delay(self):
+        pristine = InterconnectLine(MWCNTInterconnect(outer_diameter=nm(10), length=um(500)))
+        doped = InterconnectLine(
+            MWCNTInterconnect(
+                outer_diameter=nm(10), length=um(500), doping=DopingProfile.from_channels(10)
+            )
+        )
+        assert doped.elmore_delay(5e3, 1e-16) < pristine.elmore_delay(5e3, 1e-16)
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectLine(MWCNTInterconnect(outer_diameter=nm(10), length=um(1)), n_segments=0)
+
+
+class TestLinePropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        channels=st.floats(min_value=2.0, max_value=10.0),
+        length_um=st.floats(min_value=10.0, max_value=1000.0),
+        driver=st.floats(min_value=1e2, max_value=1e5),
+    )
+    def test_doping_never_increases_delay_materially(self, channels, length_um, driver):
+        # Doping can raise the line capacitance marginally (Eq. 5: the quantum
+        # capacitance grows with Nc, pulling the series combination a couple of
+        # percent closer to C_E), so for strongly driver-dominated cases the
+        # delay may tick up by up to ~2 %; anything beyond that would indicate
+        # a modelling bug.
+        pristine = InterconnectLine(
+            MWCNTInterconnect(outer_diameter=nm(14), length=um(length_um))
+        )
+        doped = InterconnectLine(
+            MWCNTInterconnect(
+                outer_diameter=nm(14),
+                length=um(length_um),
+                doping=DopingProfile.from_channels(channels),
+            )
+        )
+        assert doped.elmore_delay(driver, 1e-16) <= pristine.elmore_delay(driver, 1e-16) * 1.02

@@ -1,0 +1,214 @@
+"""Tests for the SWCNT and MWCNT compact models (paper Eqs. 4-5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import QUANTUM_CONDUCTANCE, QUANTUM_RESISTANCE
+from repro.core import MWCNTInterconnect, SWCNTInterconnect, ShellFillingRule
+from repro.core.doping import DopingProfile
+from repro.core.mwcnt import shell_diameters
+from repro.units import nm, um
+
+
+class TestSWCNT:
+    def test_short_tube_resistance_approaches_quantum_limit(self):
+        tube = SWCNTInterconnect(diameter=nm(1), length=nm(10))
+        assert tube.resistance == pytest.approx(QUANTUM_RESISTANCE / 2.0, rel=0.02)
+
+    def test_resistance_grows_linearly_in_diffusive_limit(self):
+        tube1 = SWCNTInterconnect(diameter=nm(1), length=um(10))
+        tube2 = SWCNTInterconnect(diameter=nm(1), length=um(20))
+        assert tube2.resistance == pytest.approx(2 * tube1.resistance, rel=0.1)
+
+    def test_mean_free_path_1000x_diameter(self):
+        tube = SWCNTInterconnect(diameter=nm(1.5), length=um(1))
+        assert tube.mean_free_path == pytest.approx(1.5e-6, rel=1e-6)
+
+    def test_mean_free_path_shrinks_with_temperature(self):
+        cold = SWCNTInterconnect(diameter=nm(1), length=um(1), temperature=300.0)
+        hot = SWCNTInterconnect(diameter=nm(1), length=um(1), temperature=400.0)
+        assert hot.mean_free_path < cold.mean_free_path
+
+    def test_defect_mfp_matthiessen(self):
+        clean = SWCNTInterconnect(diameter=nm(1), length=um(1))
+        damaged = SWCNTInterconnect(diameter=nm(1), length=um(1), defect_mfp=0.5e-6)
+        assert damaged.mean_free_path < clean.mean_free_path
+        assert damaged.resistance > clean.resistance
+
+    def test_doping_reduces_resistance(self):
+        pristine = SWCNTInterconnect(diameter=nm(1), length=um(1))
+        doped = pristine.with_doping(DopingProfile.from_channels(5))
+        assert doped.resistance < pristine.resistance
+        assert doped.resistance == pytest.approx(pristine.resistance * 2 / 5, rel=1e-6)
+
+    def test_contact_resistance_adds(self):
+        ideal = SWCNTInterconnect(diameter=nm(1), length=um(1))
+        contacted = SWCNTInterconnect(diameter=nm(1), length=um(1), contact_resistance=50e3)
+        assert contacted.resistance == pytest.approx(ideal.resistance + 50e3)
+
+    def test_capacitance_dominated_by_electrostatic_term(self):
+        tube = SWCNTInterconnect(diameter=nm(1), length=um(1))
+        assert tube.capacitance_per_length < tube.electrostatic_capacitance_per_length
+        assert tube.capacitance_per_length == pytest.approx(
+            tube.electrostatic_capacitance_per_length, rel=0.5
+        )
+
+    def test_kinetic_inductance_scales_with_channels(self):
+        pristine = SWCNTInterconnect(diameter=nm(1), length=um(1))
+        doped = pristine.with_doping(DopingProfile.from_channels(4))
+        assert doped.kinetic_inductance_per_length == pytest.approx(
+            pristine.kinetic_inductance_per_length / 2.0
+        )
+
+    def test_effective_conductivity_rises_with_length_then_saturates(self):
+        lengths = [nm(50), nm(500), um(5), um(50)]
+        sigmas = [
+            SWCNTInterconnect(diameter=nm(1), length=length).effective_conductivity
+            for length in lengths
+        ]
+        assert sigmas[0] < sigmas[1] < sigmas[2]
+        # saturation: relative growth slows down
+        assert (sigmas[3] - sigmas[2]) / sigmas[2] < (sigmas[1] - sigmas[0]) / sigmas[0]
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SWCNTInterconnect(diameter=0.0, length=um(1))
+        with pytest.raises(ValueError):
+            SWCNTInterconnect(diameter=nm(1), length=0.0)
+        with pytest.raises(ValueError):
+            SWCNTInterconnect(diameter=nm(1), length=um(1), contact_resistance=-1.0)
+        with pytest.raises(ValueError):
+            SWCNTInterconnect(diameter=nm(1), length=um(1), temperature=0.0)
+        with pytest.raises(ValueError):
+            SWCNTInterconnect(diameter=nm(1), length=um(1), defect_mfp=0.0)
+
+    def test_with_length_copy(self):
+        tube = SWCNTInterconnect(diameter=nm(1), length=um(1))
+        longer = tube.with_length(um(2))
+        assert longer.length == pytest.approx(um(2))
+        assert tube.length == pytest.approx(um(1))
+
+
+class TestShellFilling:
+    def test_paper_rule_counts_diameter_minus_one(self):
+        # Paper: "Number of shells (Ns) is derived as diameter - 1".
+        assert len(shell_diameters(nm(10), ShellFillingRule.PAPER_SIMPLIFIED)) == 9
+        assert len(shell_diameters(nm(14), ShellFillingRule.PAPER_SIMPLIFIED)) == 13
+        assert len(shell_diameters(nm(22), ShellFillingRule.PAPER_SIMPLIFIED)) == 21
+
+    def test_vdw_rule_spacing(self):
+        shells = shell_diameters(nm(10), ShellFillingRule.VAN_DER_WAALS)
+        assert shells[0] == pytest.approx(nm(10))
+        assert shells[0] - shells[1] == pytest.approx(0.68e-9, rel=1e-6)
+        assert min(shells) >= nm(10) * 0.5 - 1e-12
+
+    def test_inner_diameter_ratio_respected(self):
+        shells = shell_diameters(nm(20), ShellFillingRule.PAPER_SIMPLIFIED, inner_diameter_ratio=0.5)
+        assert min(shells) == pytest.approx(nm(10))
+
+    def test_single_shell_for_tiny_tube(self):
+        assert shell_diameters(nm(1.5), ShellFillingRule.PAPER_SIMPLIFIED) == [nm(1.5)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            shell_diameters(0.0)
+        with pytest.raises(ValueError):
+            shell_diameters(nm(10), inner_diameter_ratio=1.5)
+
+
+class TestMWCNT:
+    def test_shell_count_matches_paper_rule(self):
+        assert MWCNTInterconnect(outer_diameter=nm(10), length=um(100)).shell_count == 9
+        assert MWCNTInterconnect(outer_diameter=nm(22), length=um(100)).shell_count == 21
+
+    def test_total_channels(self):
+        tube = MWCNTInterconnect(
+            outer_diameter=nm(10), length=um(100), doping=DopingProfile.from_channels(4)
+        )
+        assert tube.total_channels == pytest.approx(4 * 9)
+
+    def test_equation_4_structure(self):
+        # R = 1 / (Nc Ns G_1channel) with all shells sharing the outer-shell MFP.
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(500), per_shell_mfp=False)
+        g_1channel = QUANTUM_CONDUCTANCE / (1.0 + tube.length / tube.mean_free_path)
+        expected = 1.0 / (2.0 * 9 * g_1channel)
+        assert tube.intrinsic_resistance == pytest.approx(expected, rel=1e-9)
+
+    def test_doping_reduces_resistance_proportionally(self):
+        pristine = MWCNTInterconnect(outer_diameter=nm(14), length=um(500))
+        doped = pristine.with_doping(DopingProfile.from_channels(10))
+        assert doped.resistance == pytest.approx(pristine.resistance * 2.0 / 10.0, rel=1e-9)
+
+    def test_capacitance_approximately_electrostatic(self):
+        # Eq. (5): C_MW ~ C_E because the quantum capacitance is much larger.
+        tube = MWCNTInterconnect(outer_diameter=nm(22), length=um(500))
+        assert tube.capacitance_per_length == pytest.approx(
+            tube.electrostatic_capacitance_per_length, rel=0.10
+        )
+
+    def test_capacitance_nearly_doping_independent(self):
+        pristine = MWCNTInterconnect(outer_diameter=nm(14), length=um(500))
+        doped = pristine.with_doping(DopingProfile.from_channels(10))
+        assert doped.capacitance == pytest.approx(pristine.capacitance, rel=0.05)
+
+    def test_larger_diameter_lower_resistance(self):
+        small = MWCNTInterconnect(outer_diameter=nm(10), length=um(500))
+        large = MWCNTInterconnect(outer_diameter=nm(22), length=um(500))
+        assert large.resistance < small.resistance
+
+    def test_per_shell_mfp_gives_higher_resistance(self):
+        shared = MWCNTInterconnect(outer_diameter=nm(10), length=um(500), per_shell_mfp=False)
+        individual = MWCNTInterconnect(outer_diameter=nm(10), length=um(500), per_shell_mfp=True)
+        # Inner shells have shorter MFPs, so resolving them raises resistance.
+        assert individual.resistance > shared.resistance
+
+    def test_lumped_plus_distributed_close_to_total(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(500), contact_resistance=20e3)
+        recomposed = tube.lumped_contact_resistance + tube.resistance_per_length * tube.length
+        assert recomposed == pytest.approx(tube.resistance, rel=0.01)
+
+    def test_vdw_filling_has_fewer_shells_than_paper_rule(self):
+        paper = MWCNTInterconnect(outer_diameter=nm(22), length=um(100))
+        vdw = MWCNTInterconnect(
+            outer_diameter=nm(22), length=um(100), filling_rule=ShellFillingRule.VAN_DER_WAALS
+        )
+        assert vdw.shell_count < paper.shell_count
+        assert vdw.resistance > paper.resistance
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            MWCNTInterconnect(outer_diameter=0.0, length=um(1))
+        with pytest.raises(ValueError):
+            MWCNTInterconnect(outer_diameter=nm(10), length=-um(1))
+        with pytest.raises(ValueError):
+            MWCNTInterconnect(outer_diameter=nm(10), length=um(1), contact_resistance=-5.0)
+
+    def test_elmore_style_delay_estimate_positive(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(500))
+        assert tube.rc_delay_estimate() > 0
+
+
+class TestMWCNTPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        diameter_nm=st.floats(min_value=4.0, max_value=30.0),
+        length_um=st.floats(min_value=1.0, max_value=1000.0),
+        channels=st.floats(min_value=2.0, max_value=10.0),
+    )
+    def test_resistance_positive_and_monotone_in_doping(self, diameter_nm, length_um, channels):
+        pristine = MWCNTInterconnect(outer_diameter=nm(diameter_nm), length=um(length_um))
+        doped = pristine.with_doping(DopingProfile.from_channels(channels))
+        assert pristine.resistance > 0
+        assert doped.resistance <= pristine.resistance + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        length_a=st.floats(min_value=1.0, max_value=500.0),
+        length_b=st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_resistance_monotone_in_length(self, length_a, length_b):
+        shorter, longer = sorted([length_a, length_b])
+        tube_short = MWCNTInterconnect(outer_diameter=nm(14), length=um(shorter))
+        tube_long = MWCNTInterconnect(outer_diameter=nm(14), length=um(longer))
+        assert tube_long.resistance >= tube_short.resistance - 1e-12
+        assert tube_long.capacitance >= tube_short.capacitance - 1e-20

@@ -1,0 +1,227 @@
+"""Tests for the extension modules: repeaters, energy study, TSVs, crosstalk, wafer test."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.energy import (
+    best_material_per_length,
+    candidate_lines,
+    doping_energy_benefit,
+    run_energy_study,
+)
+from repro.characterization.wafer_test import run_wafer_campaign
+from repro.characterization.test_layout import StructureKind
+from repro.circuit.crosstalk import analyze_crosstalk
+from repro.circuit.repeaters import (
+    compare_repeated_lines,
+    optimal_repeater_design,
+    segment_delay,
+)
+from repro.core import DopingProfile, InterconnectLine, MWCNTInterconnect
+from repro.core.copper import paper_reference_copper_line
+from repro.core.tsv import ThroughSiliconVia, tsv_comparison
+from repro.units import nm, um
+
+
+def mwcnt_line(length_um=1000.0, channels=2.0, contact=20e3) -> InterconnectLine:
+    doping = DopingProfile.pristine() if channels == 2.0 else DopingProfile.from_channels(channels)
+    return InterconnectLine(
+        MWCNTInterconnect(
+            outer_diameter=nm(14), length=um(length_um), doping=doping, contact_resistance=contact
+        )
+    )
+
+
+class TestRepeaters:
+    def test_repeaters_beat_single_driver_for_long_lines(self):
+        line = mwcnt_line(2000.0)
+        design = optimal_repeater_design(line)
+        single = segment_delay(line, 1, design.repeater_size)
+        assert design.n_repeaters > 1
+        assert design.total_delay < single
+
+    def test_short_line_needs_few_repeaters(self):
+        long_design = optimal_repeater_design(mwcnt_line(2000.0))
+        short_design = optimal_repeater_design(mwcnt_line(100.0))
+        assert short_design.n_repeaters <= long_design.n_repeaters
+
+    def test_doped_line_needs_fewer_or_equal_repeaters(self):
+        pristine = optimal_repeater_design(mwcnt_line(1000.0, channels=2.0))
+        doped = optimal_repeater_design(mwcnt_line(1000.0, channels=10.0))
+        assert doped.n_repeaters <= pristine.n_repeaters
+        assert doped.total_delay <= pristine.total_delay * 1.001
+
+    def test_design_figures_of_merit_consistent(self):
+        design = optimal_repeater_design(mwcnt_line(500.0))
+        assert design.energy_delay_product == pytest.approx(
+            design.total_energy * design.total_delay
+        )
+        assert design.delay_per_length == pytest.approx(design.total_delay / um(500.0))
+        assert design.repeater_area > 0
+
+    def test_comparison_table(self):
+        lines = {
+            "Cu": InterconnectLine(paper_reference_copper_line(um(500))),
+            "MWCNT": mwcnt_line(500.0),
+        }
+        records = compare_repeated_lines(lines)
+        assert len(records) == 2
+        assert all(record["delay_ps"] > 0 and record["energy_fJ"] > 0 for record in records)
+
+    def test_validation(self):
+        line = mwcnt_line(100.0)
+        with pytest.raises(ValueError):
+            segment_delay(line, 0, 1.0)
+        with pytest.raises(ValueError):
+            segment_delay(line, 1, 0.0)
+        with pytest.raises(ValueError):
+            optimal_repeater_design(line, max_repeaters=0)
+
+
+class TestEnergyStudy:
+    def test_study_covers_all_materials_and_lengths(self):
+        records = run_energy_study(lengths_um=(200.0, 1000.0))
+        assert len(records) == 8
+        assert {record["line"] for record in records} == {
+            "Cu",
+            "MWCNT pristine",
+            "MWCNT doped",
+            "Cu-CNT composite",
+        }
+
+    def test_doping_improves_delay_and_edp(self):
+        benefit = doping_energy_benefit(length_um=500.0)
+        assert benefit["delay_ratio"] < 1.0
+        assert benefit["edp_ratio"] < 1.0
+        # switching energy is essentially unchanged by doping
+        assert benefit["energy_ratio"] == pytest.approx(1.0, abs=0.1)
+
+    def test_best_material_lookup(self):
+        records = run_energy_study(lengths_um=(500.0,))
+        winners = best_material_per_length(records, metric="delay_ps")
+        assert len(winners) == 1
+        assert list(winners.values())[0] in {
+            "Cu",
+            "MWCNT pristine",
+            "MWCNT doped",
+            "Cu-CNT composite",
+        }
+
+    def test_candidate_lines_share_length(self):
+        lines = candidate_lines(300.0)
+        lengths = {round(line.length * 1e6, 6) for line in lines.values()}
+        assert lengths == {300.0}
+
+
+class TestTSV:
+    def test_comparison_rows(self):
+        rows = tsv_comparison()
+        assert [row["fill"] for row in rows] == ["copper", "cnt", "composite"]
+        copper, cnt, composite = rows
+        # CNT/composite TSVs carry far more current and conduct heat better.
+        assert cnt["max_current_mA"] > 10 * copper["max_current_mA"]
+        assert cnt["thermal_resistance_K_per_W"] < copper["thermal_resistance_K_per_W"]
+        assert composite["resistance_mohm"] < cnt["resistance_mohm"]
+
+    def test_doping_reduces_cnt_tsv_resistance(self):
+        pristine = ThroughSiliconVia(diameter=5e-6, height=50e-6, fill="cnt")
+        doped = ThroughSiliconVia(
+            diameter=5e-6, height=50e-6, fill="cnt", doping=DopingProfile.from_channels(6)
+        )
+        assert doped.resistance < pristine.resistance
+
+    def test_capacitance_scales_with_height(self):
+        short = ThroughSiliconVia(diameter=5e-6, height=25e-6)
+        tall = ThroughSiliconVia(diameter=5e-6, height=50e-6)
+        assert tall.capacitance == pytest.approx(2 * short.capacitance, rel=1e-6)
+
+    def test_rc_product_and_fill_swap(self):
+        tsv = ThroughSiliconVia(diameter=5e-6, height=50e-6, fill="cnt")
+        assert tsv.rc_product() > 0
+        assert tsv.with_fill("copper").fill == "copper"
+
+    def test_temperature_rise_linear(self):
+        tsv = ThroughSiliconVia(diameter=5e-6, height=50e-6)
+        assert tsv.temperature_rise(2e-3) == pytest.approx(2 * tsv.temperature_rise(1e-3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughSiliconVia(diameter=0.0, height=50e-6)
+        with pytest.raises(ValueError):
+            ThroughSiliconVia(diameter=5e-6, height=50e-6, fill="gold")
+        with pytest.raises(ValueError):
+            ThroughSiliconVia(diameter=5e-6, height=50e-6, liner_thickness=3e-6)
+        with pytest.raises(ValueError):
+            ThroughSiliconVia(diameter=5e-6, height=50e-6).temperature_rise(-1.0)
+
+
+class TestCrosstalk:
+    @pytest.fixture(scope="class")
+    def line(self):
+        return InterconnectLine(
+            MWCNTInterconnect(outer_diameter=nm(10), length=um(100), contact_resistance=100e3),
+            n_segments=8,
+        )
+
+    def test_noise_increases_with_coupling(self, line):
+        weak = analyze_crosstalk(line, coupling_capacitance=0.5e-15, n_time_steps=300)
+        strong = analyze_crosstalk(line, coupling_capacitance=5e-15, n_time_steps=300)
+        assert strong.noise_peak > weak.noise_peak
+        assert 0.0 < strong.noise_peak_fraction < 1.0
+
+    def test_opposite_switching_pushes_out_delay(self, line):
+        result = analyze_crosstalk(line, coupling_capacitance=3e-15, n_time_steps=300)
+        assert result.victim_delay_opposite_switching > result.victim_delay_quiet
+        assert result.delay_pushout > 0
+
+    def test_zero_coupling_is_quiet(self, line):
+        result = analyze_crosstalk(line, coupling_capacitance=0.0, n_time_steps=200)
+        assert result.noise_peak_fraction < 0.05
+        assert abs(result.delay_pushout) < 0.1
+
+    def test_validation(self, line):
+        with pytest.raises(ValueError):
+            analyze_crosstalk(line, coupling_capacitance=-1e-15)
+
+
+class TestWaferCampaign:
+    def test_campaign_covers_layout_and_dies(self):
+        campaign = run_wafer_campaign(max_dies=20, seed=1)
+        assert campaign.n_measurements > 100
+        kinds = {m.kind for m in campaign.measurements}
+        assert StructureKind.SINGLE_LINE in kinds and StructureKind.TLM in kinds
+
+    def test_statistics_by_kind(self):
+        campaign = run_wafer_campaign(max_dies=20, seed=1)
+        rows = campaign.statistics_by_kind()
+        assert len(rows) >= 4
+        assert all(row["n"] > 0 and row["mean_ohm"] > 0 for row in rows)
+
+    def test_edge_runs_more_resistive_than_centre(self):
+        campaign = run_wafer_campaign(max_dies=60, seed=0)
+        assert campaign.edge_to_centre_ratio() > 1.0
+
+    def test_tight_spec_reduces_yield(self):
+        loose = run_wafer_campaign(max_dies=30, seed=2, spec_window=(0.5, 2.0))
+        tight = run_wafer_campaign(max_dies=30, seed=2, spec_window=(0.97, 1.03))
+        assert tight.yield_fraction() < loose.yield_fraction()
+
+    def test_copper_reference_wafer(self):
+        campaign = run_wafer_campaign(technology="copper", max_dies=10, seed=0)
+        assert "Cu reference" in campaign.technology_label
+        assert campaign.yield_fraction() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_wafer_campaign(technology="aluminium")
+        with pytest.raises(ValueError):
+            run_wafer_campaign(spec_window=(2.0, 1.0))
+
+
+class TestExtensionsPropertyBased:
+    @settings(max_examples=10, deadline=None)
+    @given(length_um=st.floats(min_value=100.0, max_value=3000.0))
+    def test_repeatered_delay_grows_with_length(self, length_um):
+        short = optimal_repeater_design(mwcnt_line(length_um))
+        long = optimal_repeater_design(mwcnt_line(length_um * 2))
+        assert long.total_delay > short.total_delay * 1.2

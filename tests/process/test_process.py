@@ -1,0 +1,280 @@
+"""Tests for the process substrate: growth, catalysts, variability, doping stability."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.doping import DopantSite, DopingProfile
+from repro.process import (
+    CO_CATALYST,
+    Catalyst,
+    ChiralityDistribution,
+    DopingStabilityModel,
+    FE_CATALYST,
+    FillProcess,
+    GrowthRecipe,
+    VariabilityResult,
+    WaferMap,
+    cmos_compatible,
+    defect_density,
+    defect_limited_mfp,
+    doping_retention,
+    resistance_variability,
+    sample_tubes,
+    simulate_fill,
+    simulate_growth,
+    simulate_wafer_growth,
+)
+from repro.process.catalyst import CMOS_BEOL_TEMPERATURE_LIMIT
+from repro.process.chirality_dist import diameter_statistics, metallic_fraction_of
+from repro.process.composite_process import BundleOrientation, FillMethod, composite_from_process
+from repro.process.defects import quality_from_raman, raman_d_over_g
+from repro.process.doping_process import internal_vs_external_advantage
+from repro.process.growth import growth_quality, growth_temperature_sweep
+from repro.process.variability import VariabilityInputs, doping_variability_comparison
+from repro.units import celsius_to_kelvin
+
+
+class TestCatalystAndGrowth:
+    def test_co_catalyst_is_cmos_compatible_at_400c(self):
+        assert cmos_compatible(CO_CATALYST, celsius_to_kelvin(400.0))
+
+    def test_fe_catalyst_never_cmos_compatible(self):
+        assert not cmos_compatible(FE_CATALYST, celsius_to_kelvin(300.0))
+
+    def test_co_catalyst_too_hot_not_compatible(self):
+        assert not cmos_compatible(CO_CATALYST, celsius_to_kelvin(500.0))
+
+    def test_cmos_limit_is_400c(self):
+        assert CMOS_BEOL_TEMPERATURE_LIMIT == pytest.approx(celsius_to_kelvin(400.0))
+
+    def test_growth_rate_increases_with_temperature(self):
+        cold = simulate_growth(GrowthRecipe(temperature=celsius_to_kelvin(350.0)))
+        hot = simulate_growth(GrowthRecipe(temperature=celsius_to_kelvin(450.0)))
+        assert hot.mean_length > cold.mean_length
+
+    def test_quality_peaks_at_catalyst_optimum(self):
+        at_optimum = growth_quality(GrowthRecipe(temperature=CO_CATALYST.optimal_temperature))
+        below = growth_quality(GrowthRecipe(temperature=celsius_to_kelvin(350.0)))
+        assert at_optimum == pytest.approx(1.0)
+        assert below < at_optimum
+
+    def test_paper_recipe_produces_mwcnt_with_4_to_5_walls(self):
+        result = simulate_growth(GrowthRecipe(catalyst=FE_CATALYST, temperature=celsius_to_kelvin(700)))
+        assert result.mean_diameter == pytest.approx(7.5e-9, rel=0.01)
+        assert 4 <= result.walls <= 5
+
+    def test_temperature_sweep_ordering(self):
+        temps = [celsius_to_kelvin(t) for t in (350.0, 400.0, 450.0, 500.0)]
+        results = growth_temperature_sweep(temps)
+        lengths = [r.mean_length for r in results]
+        assert lengths == sorted(lengths)
+        assert results[0].cmos_compatible and results[1].cmos_compatible
+        assert not results[-1].cmos_compatible
+
+    def test_recipe_validation(self):
+        with pytest.raises(ValueError):
+            GrowthRecipe(temperature=0.0)
+        with pytest.raises(ValueError):
+            GrowthRecipe(duration=-1.0)
+        with pytest.raises(ValueError):
+            Catalyst("bad", -1.0, 1.0, 900.0, 100.0, True)
+
+
+class TestChiralitySampling:
+    def test_metallic_fraction_near_one_third(self):
+        tubes = sample_tubes(ChiralityDistribution(), n_tubes=3000, seed=1)
+        assert metallic_fraction_of(tubes) == pytest.approx(1.0 / 3.0, abs=0.04)
+
+    def test_diameter_statistics_track_distribution(self):
+        distribution = ChiralityDistribution(mean_diameter=7.5e-9, diameter_sigma=0.2)
+        tubes = sample_tubes(distribution, n_tubes=2000, seed=2)
+        stats = diameter_statistics(tubes)
+        assert stats["mean"] == pytest.approx(7.5e-9, rel=0.1)
+        assert 0.1 < stats["cv"] < 0.35
+
+    def test_metallicity_flag_consistent_with_chirality(self):
+        tubes = sample_tubes(ChiralityDistribution(), n_tubes=50, seed=3)
+        for tube in tubes:
+            assert tube.chirality.is_metallic == tube.is_metallic
+
+    def test_reproducible_with_seed(self):
+        a = sample_tubes(ChiralityDistribution(), 20, seed=5)
+        b = sample_tubes(ChiralityDistribution(), 20, seed=5)
+        assert [t.diameter for t in a] == [t.diameter for t in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChiralityDistribution(mean_diameter=0.0)
+        with pytest.raises(ValueError):
+            ChiralityDistribution(metallic_fraction=0.0)
+        with pytest.raises(ValueError):
+            sample_tubes(ChiralityDistribution(), 0)
+        with pytest.raises(ValueError):
+            metallic_fraction_of([])
+
+
+class TestDefects:
+    def test_defect_density_increases_as_quality_drops(self):
+        assert defect_density(0.5) > defect_density(1.0)
+
+    def test_defect_limited_mfp_is_inverse_of_density(self):
+        assert defect_limited_mfp(0.8) == pytest.approx(1.0 / defect_density(0.8))
+
+    def test_raman_round_trip(self):
+        for quality in (0.3, 0.6, 0.9):
+            assert quality_from_raman(raman_d_over_g(quality)) == pytest.approx(quality, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            defect_density(0.0)
+        with pytest.raises(ValueError):
+            quality_from_raman(0.0)
+
+
+class TestDopingStability:
+    def test_internal_more_stable_than_external(self):
+        assert internal_vs_external_advantage(temperature=400.0) > 1.0
+
+    def test_retention_decreases_with_time_and_temperature(self):
+        model = DopingStabilityModel(DopantSite.INTERNAL)
+        assert model.retention(3600.0, 350.0) > model.retention(36000.0, 350.0)
+        assert model.retention(3600.0, 350.0) > model.retention(3600.0, 450.0)
+
+    def test_lifetime_definition(self):
+        model = DopingStabilityModel(DopantSite.EXTERNAL)
+        lifetime = model.lifetime(400.0)
+        assert model.retention(lifetime, 400.0) == pytest.approx(1.0 / math.e, rel=1e-6)
+
+    def test_doping_retention_decays_towards_pristine(self):
+        profile = DopingProfile.iodine(channels_per_shell=8.0)
+        aged = doping_retention(profile, time=1e7, temperature=450.0)
+        assert 2.0 <= aged.channels_per_shell < 8.0
+
+    def test_pristine_profile_unchanged(self):
+        profile = DopingProfile.pristine()
+        assert doping_retention(profile, 1e6, 400.0) == profile
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DopingStabilityModel(DopantSite.NONE)
+        model = DopingStabilityModel(DopantSite.INTERNAL)
+        with pytest.raises(ValueError):
+            model.retention(-1.0, 300.0)
+        with pytest.raises(ValueError):
+            model.lifetime(300.0, retention_target=2.0)
+
+
+class TestVariability:
+    def test_doping_reduces_variability_and_opens(self):
+        comparison = doping_variability_comparison(n_devices=300, seed=0)
+        pristine = comparison["pristine"]
+        doped = comparison["doped"]
+        assert doped.coefficient_of_variation < pristine.coefficient_of_variation
+        assert doped.mean < pristine.mean
+        assert doped.open_fraction == 0.0
+        # (2/3)^Ns of the pristine devices draw no metallic shell and are open.
+        assert pristine.open_fraction > 0.02
+
+    def test_statistics_accessors(self):
+        result = resistance_variability(VariabilityInputs(), n_devices=100, seed=1)
+        assert result.percentile(95) >= result.median >= result.percentile(5)
+        assert result.std >= 0
+
+    def test_reproducible_with_seed(self):
+        a = resistance_variability(VariabilityInputs(), n_devices=50, seed=7)
+        b = resistance_variability(VariabilityInputs(), n_devices=50, seed=7)
+        assert np.array_equal(a.resistances, b.resistances)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariabilityInputs(length=0.0)
+        with pytest.raises(ValueError):
+            VariabilityInputs(growth_quality_mean=0.0)
+        with pytest.raises(ValueError):
+            resistance_variability(VariabilityInputs(), n_devices=1)
+
+
+class TestWaferAndFill:
+    def test_wafer_map_covers_300mm(self):
+        wafer = simulate_wafer_growth()
+        assert wafer.n_dies > 100
+        radius = np.sqrt(wafer.x**2 + wafer.y**2)
+        assert radius.max() <= 0.15
+
+    def test_uniformity_degrades_with_edge_drop(self):
+        good = simulate_wafer_growth(edge_drop=0.02, noise=0.0)
+        bad = simulate_wafer_growth(edge_drop=0.3, noise=0.0)
+        assert good.uniformity > bad.uniformity
+
+    def test_radial_profile_monotone_for_pure_edge_drop(self):
+        wafer = simulate_wafer_growth(edge_drop=0.2, noise=0.0)
+        centres, means = wafer.radial_profile(n_bins=6)
+        valid = ~np.isnan(means)
+        assert np.all(np.diff(means[valid]) <= 1e-9)
+
+    def test_wafer_validation(self):
+        with pytest.raises(ValueError):
+            simulate_wafer_growth(die_pitch=0.0)
+        with pytest.raises(ValueError):
+            simulate_wafer_growth(edge_drop=1.5)
+
+    def test_fill_quality_improves_with_time(self):
+        short = simulate_fill(FillProcess(deposition_time=300.0))
+        long = simulate_fill(FillProcess(deposition_time=3600.0))
+        assert long.fill_quality > short.fill_quality
+
+    def test_ecd_needs_conductive_seed(self):
+        result = simulate_fill(FillProcess(method=FillMethod.ELECTROCHEMICAL, conductive_seed=False))
+        assert not result.feasible
+        with pytest.raises(ValueError):
+            composite_from_process(
+                FillProcess(method=FillMethod.ELECTROCHEMICAL, conductive_seed=False),
+                100e-9,
+                50e-9,
+                1e-6,
+            )
+
+    def test_eld_raises_cmos_concern(self):
+        assert simulate_fill(FillProcess(method=FillMethod.ELECTROLESS)).cmos_compatibility_concern
+
+    def test_unprepared_ha_bundles_fill_worse(self):
+        prepared = simulate_fill(
+            FillProcess(orientation=BundleOrientation.HORIZONTAL, ha_preparation=True)
+        )
+        unprepared = simulate_fill(
+            FillProcess(orientation=BundleOrientation.HORIZONTAL, ha_preparation=False)
+        )
+        assert unprepared.fill_quality < prepared.fill_quality
+
+    def test_composite_from_process(self):
+        composite = composite_from_process(FillProcess(), 100e-9, 50e-9, 1e-6)
+        assert composite.fill_quality == pytest.approx(
+            simulate_fill(FillProcess()).fill_quality
+        )
+
+    def test_fill_validation(self):
+        with pytest.raises(ValueError):
+            FillProcess(cnt_volume_fraction=1.0)
+        with pytest.raises(ValueError):
+            FillProcess(deposition_time=0.0)
+
+
+class TestProcessPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(quality=st.floats(min_value=0.05, max_value=1.0))
+    def test_defect_mfp_positive_and_bounded(self, quality):
+        mfp = defect_limited_mfp(quality)
+        assert 0 < mfp <= 4.0e-6 + 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        time=st.floats(min_value=0.0, max_value=1e9),
+        temperature=st.floats(min_value=250.0, max_value=500.0),
+    )
+    def test_retention_in_unit_interval(self, time, temperature):
+        model = DopingStabilityModel(DopantSite.EXTERNAL)
+        retention = model.retention(time, temperature)
+        assert 0.0 <= retention <= 1.0

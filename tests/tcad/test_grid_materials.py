@@ -1,0 +1,103 @@
+"""Tests for the TCAD grid container and material table."""
+
+import numpy as np
+import pytest
+
+from repro.tcad import Material, MATERIALS, StructuredGrid
+from repro.tcad.materials import COPPER, LOW_K_DIELECTRIC, cnt_material
+
+
+class TestMaterials:
+    def test_registry_contains_expected_materials(self):
+        for name in ("Cu", "SiO2", "low-k", "CNT-bundle"):
+            assert name in MATERIALS
+
+    def test_copper_conductivity(self):
+        assert MATERIALS["Cu"].conductivity == pytest.approx(1 / 1.72e-8, rel=1e-6)
+        assert MATERIALS["Cu"].is_conductor
+
+    def test_dielectrics_do_not_conduct(self):
+        assert MATERIALS["SiO2"].conductivity == 0.0
+        assert not MATERIALS["SiO2"].is_conductor
+
+    def test_low_k_below_sio2(self):
+        assert MATERIALS["low-k"].relative_permittivity < MATERIALS["SiO2"].relative_permittivity
+
+    def test_cnt_material_from_compact_model(self):
+        material = cnt_material(5e7)
+        assert material.is_conductor
+        assert material.conductivity == pytest.approx(5e7)
+        with pytest.raises(ValueError):
+            cnt_material(0.0)
+
+    def test_material_validation(self):
+        with pytest.raises(ValueError):
+            Material("bad", 0.0, 1.0, True)
+        with pytest.raises(ValueError):
+            Material("bad", 1.0, -1.0, True)
+
+
+class TestStructuredGrid:
+    def test_basic_properties(self):
+        grid = StructuredGrid((11, 21), (1e-9, 2e-9))
+        assert grid.ndim == 2
+        assert grid.n_nodes == 231
+        assert grid.extent == pytest.approx((10e-9, 40e-9))
+        assert grid.axis_coordinates(0)[-1] == pytest.approx(10e-9)
+
+    def test_3d_grid(self):
+        grid = StructuredGrid((5, 6, 7), (1e-9, 1e-9, 1e-9))
+        assert grid.ndim == 3
+        assert grid.n_nodes == 5 * 6 * 7
+
+    def test_background_material_applied(self):
+        grid = StructuredGrid((5, 5), (1e-9, 1e-9), background=LOW_K_DIELECTRIC)
+        assert np.all(grid.permittivity == LOW_K_DIELECTRIC.relative_permittivity)
+        assert np.all(grid.conductor_id == -1)
+
+    def test_fill_box_paints_material_and_conductor(self):
+        grid = StructuredGrid((11, 11), (1e-9, 1e-9))
+        grid.fill_box(COPPER, (2e-9, 2e-9), (5e-9, 5e-9), conductor=3)
+        assert grid.conductor_ids() == [3]
+        mask = grid.conductor_mask(3)
+        assert mask.sum() == 16  # 4x4 nodes
+        assert np.all(grid.conductivity[mask] == COPPER.conductivity)
+
+    def test_fill_box_without_id_marks_anonymous_conductor(self):
+        grid = StructuredGrid((11, 11), (1e-9, 1e-9))
+        grid.fill_box(COPPER, (0.0, 0.0), (3e-9, 3e-9))
+        assert grid.conductor_ids() == []  # anonymous conductors are not listed
+        assert np.any(grid.conductor_id == -2)
+
+    def test_fill_box_validation(self):
+        grid = StructuredGrid((11, 11), (1e-9, 1e-9))
+        with pytest.raises(ValueError):
+            grid.fill_box(COPPER, (0.0,), (1e-9, 1e-9))
+        with pytest.raises(ValueError):
+            grid.fill_box(COPPER, (5e-9, 5e-9), (1e-9, 1e-9))
+        with pytest.raises(ValueError):
+            grid.fill_box(COPPER, (0.0, 0.0), (1e-9, 1e-9), conductor=-5)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            StructuredGrid((2, 5), (1e-9, 1e-9))
+        with pytest.raises(ValueError):
+            StructuredGrid((5, 5), (1e-9,))
+        with pytest.raises(ValueError):
+            StructuredGrid((5, 5), (0.0, 1e-9))
+        with pytest.raises(ValueError):
+            StructuredGrid((5, 5, 5, 5), (1e-9,) * 4)
+
+    def test_link_area_over_distance_2d(self):
+        grid = StructuredGrid((5, 5), (1e-9, 2e-9))
+        assert grid.link_area_over_distance(0) == pytest.approx(2.0)
+        assert grid.link_area_over_distance(1) == pytest.approx(0.5)
+
+    def test_link_area_over_distance_3d(self):
+        grid = StructuredGrid((5, 5, 5), (1e-9, 2e-9, 4e-9))
+        assert grid.link_area_over_distance(0) == pytest.approx(2e-9 * 4e-9 / 1e-9)
+
+    def test_ravel_index(self):
+        grid = StructuredGrid((4, 5), (1e-9, 1e-9))
+        assert grid.ravel_index((0, 0)) == 0
+        assert grid.ravel_index((1, 0)) == 5

@@ -1,0 +1,85 @@
+"""Tests for the physical constants and unit helpers."""
+
+import math
+
+import pytest
+
+from repro import constants, units
+
+
+class TestConstants:
+    def test_quantum_conductance_matches_paper_value(self):
+        # Paper quotes G0 = 0.077 mS below Eq. (1).
+        assert constants.QUANTUM_CONDUCTANCE == pytest.approx(77.48e-6, rel=1e-3)
+
+    def test_quantum_resistance_is_12_9_kohm(self):
+        assert constants.QUANTUM_RESISTANCE == pytest.approx(12.906e3, rel=1e-3)
+
+    def test_quantum_capacitance_close_to_96_5_af_per_um(self):
+        # Paper quotes 96.5 aF/um per channel in Eq. (5).
+        value = units.to_af_per_um(constants.QUANTUM_CAPACITANCE_PER_CHANNEL)
+        assert value == pytest.approx(96.5, rel=0.02)
+
+    def test_kinetic_inductance_about_16_nh_per_um(self):
+        value = units.to_nh_per_um(constants.KINETIC_INDUCTANCE_PER_CHANNEL)
+        assert value == pytest.approx(16.0, rel=0.02)
+
+    def test_graphene_lattice_constant(self):
+        assert constants.GRAPHENE_LATTICE_CONSTANT == pytest.approx(0.246e-9, rel=0.01)
+
+    def test_conductance_resistance_are_inverse(self):
+        assert constants.QUANTUM_CONDUCTANCE * constants.QUANTUM_RESISTANCE == pytest.approx(1.0)
+
+    def test_copper_em_limit_in_paper_units(self):
+        assert units.to_a_per_cm2(constants.COPPER_EM_CURRENT_DENSITY_LIMIT) == pytest.approx(1e6)
+
+    def test_cnt_breakdown_limit_in_paper_units(self):
+        assert units.to_a_per_cm2(constants.CNT_MAX_CURRENT_DENSITY) == pytest.approx(1e9)
+
+    def test_thermal_conductivity_ordering(self):
+        low, high = constants.CNT_THERMAL_CONDUCTIVITY_RANGE
+        assert low < high
+        assert low > constants.COPPER_THERMAL_CONDUCTIVITY
+
+
+class TestUnits:
+    def test_length_roundtrip(self):
+        assert units.to_nm(units.nm(7.5)) == pytest.approx(7.5)
+        assert units.to_um(units.um(500.0)) == pytest.approx(500.0)
+
+    def test_nm_um_relationship(self):
+        assert units.um(1.0) == pytest.approx(units.nm(1000.0))
+
+    def test_capacitance_per_length_roundtrip(self):
+        assert units.to_af_per_um(units.af_per_um(96.5)) == pytest.approx(96.5)
+
+    def test_inductance_per_length_roundtrip(self):
+        assert units.to_nh_per_um(units.nh_per_um(16.0)) == pytest.approx(16.0)
+
+    def test_resistance_per_length_roundtrip(self):
+        assert units.to_ohm_per_um(units.ohm_per_um(12.9)) == pytest.approx(12.9)
+
+    def test_current_density_conversion(self):
+        assert units.a_per_cm2(1e6) == pytest.approx(1e10)
+
+    def test_resistivity_conversion(self):
+        assert units.uohm_cm(1.72) == pytest.approx(1.72e-8)
+        assert units.to_uohm_cm(1.72e-8) == pytest.approx(1.72)
+
+    def test_time_conversions(self):
+        assert units.to_ps(units.ps(3.0)) == pytest.approx(3.0)
+        assert units.ns(1.0) == pytest.approx(units.ps(1000.0))
+
+    def test_energy_conversion_roundtrip(self):
+        assert units.joule_to_ev(units.ev_to_joule(0.6)) == pytest.approx(0.6)
+
+    def test_temperature_conversion(self):
+        assert units.celsius_to_kelvin(400.0) == pytest.approx(673.15)
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(25.0)) == pytest.approx(25.0)
+
+    def test_kohm_roundtrip(self):
+        assert units.to_kohm(units.kohm(12.9)) == pytest.approx(12.9)
+
+    def test_ms_to_siemens(self):
+        assert units.ms_to_siemens(0.077) == pytest.approx(77e-6)
+        assert units.siemens_to_ms(77e-6) == pytest.approx(0.077)

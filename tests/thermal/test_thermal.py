@@ -1,0 +1,247 @@
+"""Tests for the thermal substrate: conductivity, heat solver, self-heating, SThM, vias."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MWCNTInterconnect
+from repro.core.copper import paper_reference_copper_line
+from repro.thermal import (
+    HeatLineProblem,
+    bundle_thermal_conductivity,
+    cnt_thermal_conductivity,
+    copper_thermal_conductivity,
+    extract_thermal_conductivity,
+    self_heating_analysis,
+    simulate_sthm_scan,
+    solve_heat_line,
+    via_temperature_rise,
+    via_thermal_resistance,
+)
+from repro.thermal.conductivity import cnt_to_copper_ratio
+from repro.thermal.heat1d import analytic_peak_rise_suspended
+from repro.thermal.via import cnt_via_advantage
+from repro.units import nm, um
+
+
+class TestConductivity:
+    def test_long_tube_in_paper_range(self):
+        value = cnt_thermal_conductivity(length=10e-6)
+        assert 3000.0 <= value <= 10000.0
+
+    def test_short_tube_reduced_by_ballistic_effects(self):
+        assert cnt_thermal_conductivity(length=100e-9) < cnt_thermal_conductivity(length=10e-6)
+
+    def test_quality_reduces_conductivity(self):
+        assert cnt_thermal_conductivity(quality=0.5) < cnt_thermal_conductivity(quality=1.0)
+
+    def test_temperature_reduces_conductivity(self):
+        assert cnt_thermal_conductivity(temperature=400.0) < cnt_thermal_conductivity(temperature=300.0)
+
+    def test_copper_reference_value(self):
+        assert copper_thermal_conductivity() == pytest.approx(385.0)
+
+    def test_cnt_beats_copper(self):
+        assert cnt_to_copper_ratio(length=5e-6) > 5.0
+
+    def test_bundle_rule_of_mixtures(self):
+        pure_matrix = bundle_thermal_conductivity(0.0, matrix_conductivity=1.4)
+        assert pure_matrix == pytest.approx(1.4)
+        full = bundle_thermal_conductivity(1.0, tube_length=10e-6)
+        assert full == pytest.approx(cnt_thermal_conductivity(10e-6))
+        half = bundle_thermal_conductivity(0.5, tube_length=10e-6, matrix_conductivity=1.4)
+        assert pure_matrix < half < full
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cnt_thermal_conductivity(length=0.0)
+        with pytest.raises(ValueError):
+            cnt_thermal_conductivity(quality=0.0)
+        with pytest.raises(ValueError):
+            copper_thermal_conductivity(temperature=0.0)
+        with pytest.raises(ValueError):
+            bundle_thermal_conductivity(1.5)
+
+
+class TestHeat1D:
+    def _problem(self, **overrides):
+        defaults = dict(
+            length=1e-6,
+            thermal_conductivity=3000.0,
+            cross_section_area=5e-17,
+            power_per_length=1e3,
+        )
+        defaults.update(overrides)
+        return HeatLineProblem(**defaults)
+
+    def test_matches_analytic_parabola(self):
+        problem = self._problem()
+        solution = solve_heat_line(problem)
+        assert solution.peak_temperature_rise == pytest.approx(
+            analytic_peak_rise_suspended(problem), rel=1e-3
+        )
+
+    def test_peak_in_the_middle(self):
+        solution = solve_heat_line(self._problem())
+        peak_index = int(np.argmax(solution.temperatures))
+        assert abs(peak_index - solution.temperatures.size // 2) <= 1
+
+    def test_ends_at_contact_temperature(self):
+        solution = solve_heat_line(self._problem(contact_temperature=320.0))
+        assert solution.temperatures[0] == pytest.approx(320.0)
+        assert solution.temperatures[-1] == pytest.approx(320.0)
+
+    def test_substrate_coupling_cools_the_line(self):
+        suspended = solve_heat_line(self._problem())
+        on_substrate = solve_heat_line(self._problem(substrate_coupling=1.0))
+        assert on_substrate.peak_temperature < suspended.peak_temperature
+
+    def test_higher_conductivity_runs_cooler(self):
+        cnt = solve_heat_line(self._problem(thermal_conductivity=3000.0))
+        copper = solve_heat_line(self._problem(thermal_conductivity=385.0))
+        assert cnt.peak_temperature < copper.peak_temperature
+
+    def test_nonuniform_power_profile(self):
+        n = 101
+        power = np.zeros(n)
+        power[40:60] = 2e3
+        solution = solve_heat_line(self._problem(power_per_length=power, n_points=n))
+        assert solution.peak_temperature > 300.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._problem(length=0.0)
+        with pytest.raises(ValueError):
+            self._problem(thermal_conductivity=-1.0)
+        with pytest.raises(ValueError):
+            self._problem(n_points=2)
+        with pytest.raises(ValueError):
+            analytic_peak_rise_suspended(self._problem(substrate_coupling=1.0))
+
+
+class TestSelfHeating:
+    def test_converges_and_heats_up(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(2))
+        result = self_heating_analysis(tube, current=40e-6, substrate_coupling=0.0)
+        assert result.converged
+        assert result.peak_temperature > 300.0
+
+    def test_zero_current_no_heating(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(2))
+        result = self_heating_analysis(tube, current=0.0)
+        assert result.peak_temperature == pytest.approx(300.0, abs=0.1)
+        assert result.dissipated_power == pytest.approx(0.0)
+
+    def test_more_current_more_heat(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(2))
+        low = self_heating_analysis(tube, current=10e-6)
+        high = self_heating_analysis(tube, current=60e-6)
+        assert high.peak_temperature > low.peak_temperature
+
+    def test_copper_line_heats_more_than_cnt_for_same_conditions(self):
+        copper = paper_reference_copper_line(um(2))
+        cnt = MWCNTInterconnect(outer_diameter=nm(10), length=um(2))
+        copper_result = self_heating_analysis(
+            copper, current=40e-6, thermal_conductivity=385.0, substrate_coupling=0.0
+        )
+        cnt_result = self_heating_analysis(cnt, current=40e-6, substrate_coupling=0.0)
+        # The copper line has a much larger cross-section, so compare the
+        # normalised rise per dissipated power instead of the raw rise.
+        copper_rise = (copper_result.peak_temperature - 300.0) / copper_result.dissipated_power
+        cnt_rise = (cnt_result.peak_temperature - 300.0) / cnt_result.dissipated_power
+        assert copper_rise > 0 and cnt_rise > 0
+
+    def test_negative_current_rejected(self):
+        tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(2))
+        with pytest.raises(ValueError):
+            self_heating_analysis(tube, current=-1e-6)
+
+
+class TestSThM:
+    def _problem(self):
+        return HeatLineProblem(
+            length=2e-6,
+            thermal_conductivity=3000.0,
+            cross_section_area=5e-17,
+            power_per_length=2e3,
+        )
+
+    def test_scan_tracks_true_profile(self):
+        scan = simulate_sthm_scan(self._problem(), noise_kelvin=0.0, probe_radius=0.0)
+        assert np.allclose(scan.temperatures, scan.true_temperatures)
+
+    def test_blur_reduces_peak(self):
+        sharp = simulate_sthm_scan(self._problem(), noise_kelvin=0.0, probe_radius=0.0)
+        blurred = simulate_sthm_scan(self._problem(), noise_kelvin=0.0, probe_radius=200e-9)
+        assert blurred.temperatures.max() <= sharp.temperatures.max() + 1e-9
+
+    def test_conductivity_extraction_recovers_truth(self):
+        problem = self._problem()
+        scan = simulate_sthm_scan(problem, noise_kelvin=0.1, probe_radius=50e-9, seed=1)
+        extracted = extract_thermal_conductivity(scan, problem)
+        assert extracted == pytest.approx(3000.0, rel=0.15)
+
+    def test_scan_reproducible_with_seed(self):
+        a = simulate_sthm_scan(self._problem(), seed=3)
+        b = simulate_sthm_scan(self._problem(), seed=3)
+        assert np.array_equal(a.temperatures, b.temperatures)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_sthm_scan(self._problem(), probe_radius=-1.0)
+        with pytest.raises(ValueError):
+            simulate_sthm_scan(self._problem(), noise_kelvin=-1.0)
+
+
+class TestVia:
+    def test_cnt_via_beats_copper(self):
+        assert cnt_via_advantage() > 1.0
+
+    def test_thermal_resistance_scales_with_geometry(self):
+        short = via_thermal_resistance(100e-9, 100e-9, "copper")
+        tall = via_thermal_resistance(100e-9, 300e-9, "copper")
+        assert tall == pytest.approx(3 * short, rel=1e-6)
+
+    def test_composite_between_cnt_and_copper_like(self):
+        cnt = via_thermal_resistance(100e-9, 200e-9, "cnt", fill_fraction=0.8)
+        composite = via_thermal_resistance(100e-9, 200e-9, "composite", fill_fraction=0.5)
+        copper = via_thermal_resistance(100e-9, 200e-9, "copper")
+        assert cnt < copper
+        assert composite < copper
+
+    def test_temperature_rise_linear_in_heat_flow(self):
+        single = via_temperature_rise(1e-6, 100e-9, 200e-9, "cnt")
+        double = via_temperature_rise(2e-6, 100e-9, 200e-9, "cnt")
+        assert double == pytest.approx(2 * single)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            via_thermal_resistance(0.0, 100e-9)
+        with pytest.raises(ValueError):
+            via_thermal_resistance(100e-9, 100e-9, "unobtanium")
+        with pytest.raises(ValueError):
+            via_temperature_rise(-1.0, 100e-9, 100e-9)
+
+
+class TestThermalPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        power=st.floats(min_value=1.0, max_value=1e5),
+        conductivity=st.floats(min_value=100.0, max_value=10000.0),
+    )
+    def test_peak_rise_scales_linearly_with_power(self, power, conductivity):
+        base = HeatLineProblem(
+            length=1e-6,
+            thermal_conductivity=conductivity,
+            cross_section_area=5e-17,
+            power_per_length=power,
+        )
+        doubled = HeatLineProblem(
+            length=1e-6,
+            thermal_conductivity=conductivity,
+            cross_section_area=5e-17,
+            power_per_length=2 * power,
+        )
+        rise = solve_heat_line(base).peak_temperature_rise
+        rise2 = solve_heat_line(doubled).peak_temperature_rise
+        assert rise2 == pytest.approx(2 * rise, rel=1e-6)
