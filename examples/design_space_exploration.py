@@ -1,47 +1,63 @@
 #!/usr/bin/env python
-"""Design-space exploration: repeated wires, energy efficiency and 3-D TSVs.
+"""Design-space exploration through the experiment engine.
 
 The paper's abstract promises "prospects for designing energy efficient
 integrated circuits" and its conclusion calls for design-space exploration on
-top of the CNT models.  This example answers three such questions with the
-reproduction's extension layers:
+top of the CNT models.  This example answers three such questions, now
+phrased as declarative sweeps over the registered ``energy`` experiment:
 
 1. For a given wire length, which material (Cu, pristine MWCNT, doped MWCNT,
    Cu-CNT composite) gives the best delay / energy / energy-delay product once
    each line is optimally repeated?
-2. How much does doping improve the energy-delay product of a CNT wire?
+2. How sensitive is the ranking to the metal-CNT contact resistance?  (A
+   ``SweepSpec.grid`` over the contact-resistance axis, fanned out over a
+   thread pool and answered from one columnar ResultSet.)
 3. How do Cu, CNT-bundle and composite through-silicon vias compare for 3-D
    integration (resistance, ampacity, thermal resistance)?
 
-Run with ``python examples/design_space_exploration.py``.
+Run with ``python examples/design_space_exploration.py``.  The equivalent
+shell commands::
+
+    python -m repro run energy -p lengths_um=100,500,1000,2000
+    python -m repro sweep energy --grid contact_resistance=5e3,20e3,100e3 \\
+        --executor thread
 """
 
-from repro.analysis.energy import (
-    best_material_per_length,
-    doping_energy_benefit,
-    run_energy_study,
-)
+from repro.analysis.energy import best_material_per_length
 from repro.analysis.report import format_table
+from repro.api import Engine, SweepSpec
 from repro.core.tsv import tsv_comparison
 
 
 def main() -> None:
     lengths = (100.0, 500.0, 1000.0, 2000.0)
+    engine = Engine(executor="thread")
 
     print("1) Optimally repeated wires (45 nm node drivers)")
-    records = run_energy_study(lengths_um=lengths)
-    print(format_table(records, title="delay / energy / EDP of repeated lines"))
+    result = engine.run("energy", lengths_um=lengths)
+    print(format_table(result.to_records(), title="delay / energy / EDP of repeated lines"))
     for metric, label in (("delay_ps", "delay"), ("energy_fJ", "energy"), ("edp_fJ_ns", "EDP")):
-        winners = best_material_per_length(records, metric=metric)
+        winners = best_material_per_length(result.to_records(), metric=metric)
         summary = ", ".join(f"{length:g} um: {name}" for length, name in winners.items())
         print(f"   best {label}: {summary}")
     print()
 
-    print("2) Doping benefit for a 500 um MWCNT wire (optimally repeated)")
-    benefit = doping_energy_benefit(length_um=500.0)
+    print("2) Contact-resistance sensitivity of the 500 um EDP ranking")
+    sweep = engine.sweep(
+        "energy",
+        SweepSpec.grid(contact_resistance=[5.0e3, 20.0e3, 100.0e3, 250.0e3]),
+        base_params={"lengths_um": (500.0,)},
+    )
+    for resistance, group in sweep.group_by("contact_resistance").items():
+        ranked = group.sorted_by("edp_fJ_ns")
+        best = ranked[0]
+        print(
+            f"   Rc = {resistance/1e3:5.0f} kOhm: best EDP {best['line']:16s}"
+            f" ({best['edp_fJ_ns']:.3g} fJ ns)"
+        )
     print(
-        f"   delay x{benefit['delay_ratio']:.2f}, energy x{benefit['energy_ratio']:.2f}, "
-        f"EDP x{benefit['edp_ratio']:.2f} relative to the pristine wire"
+        f"   ({len(sweep)} records from {sweep.meta['sweep']['n_points']} sweep points,"
+        f" executor: {sweep.meta['executor']})"
     )
     print()
 

@@ -1,58 +1,65 @@
 #!/usr/bin/env python
-"""Quickstart: the CNT interconnect compact models in five minutes.
+"""Quickstart: compact models and the experiment engine in five minutes.
 
-Builds the paper's basic objects -- a single MWCNT local interconnect, its
-doped counterpart, the copper reference line and a Cu-CNT composite -- and
-prints the head-to-head comparison of resistance, capacitance, ampacity and
-a first delay estimate.
+Two layers in one example:
 
-Run with ``python examples/quickstart.py``.
+1. the *model* layer -- build the paper's basic objects (a single MWCNT
+   local interconnect, its doped counterpart, the copper reference line,
+   a bundle and a composite) and compare them through the shared
+   ``Conductor`` protocol;
+2. the *experiment* layer -- run registered paper experiments through
+   :class:`repro.api.Engine` and slice the columnar ``ResultSet``.
+
+Run with ``python examples/quickstart.py``.  The same experiments are
+available from the shell: ``python -m repro list``.
 """
 
 from repro.analysis.report import format_table
+from repro.api import Engine
 from repro.core import (
     CuCNTComposite,
     DopingProfile,
     InterconnectLine,
     MWCNTInterconnect,
     SWCNTBundle,
+    conductor_record,
 )
 from repro.core.copper import paper_reference_copper_line
-from repro.units import nm, to_kohm, um
+from repro.units import nm, um
 
 
 def main() -> None:
     length = um(10)
 
-    # A pristine MWCNT local interconnect (the paper's CVD-grown 7.5 nm tube)...
+    # --- model layer: any material satisfying the Conductor protocol ------
     pristine = MWCNTInterconnect(outer_diameter=nm(7.5), length=length, contact_resistance=50e3)
-    # ...the same tube after charge-transfer doping (Nc = 5 channels per shell)...
     doped = pristine.with_doping(DopingProfile.iodine(channels_per_shell=5))
-    # ...the copper reference line of the paper's Section I...
     copper = paper_reference_copper_line(length)
-    # ...a dense SWCNT bundle via, and a Cu-CNT composite global line.
     bundle = SWCNTBundle(width=nm(100), height=nm(50), length=length, metallic_fraction=1.0)
     composite = CuCNTComposite(width=nm(100), height=nm(50), length=length, cnt_volume_fraction=0.3)
 
-    rows = []
-    for label, device in [
-        ("MWCNT 7.5 nm (pristine)", pristine),
-        ("MWCNT 7.5 nm (doped, Nc=5)", doped),
-        ("Cu 100x50 nm", copper),
-        ("SWCNT bundle 100x50 nm", bundle),
-        ("Cu-CNT composite (30% CNT)", composite),
-    ]:
-        capacitance = getattr(device, "capacitance", None)
-        max_current = getattr(device, "max_current", None)
-        rows.append(
-            {
-                "structure": label,
-                "R_kOhm": to_kohm(device.resistance),
-                "C_fF": capacitance * 1e15 if capacitance is not None else float("nan"),
-                "I_max_uA": max_current * 1e6 if max_current is not None else float("nan"),
-            }
+    rows = [
+        conductor_record(device, label=label)
+        for label, device in [
+            ("MWCNT 7.5 nm (pristine)", pristine),
+            ("MWCNT 7.5 nm (doped, Nc=5)", doped),
+            ("Cu 100x50 nm", copper),
+            ("SWCNT bundle 100x50 nm", bundle),
+            ("Cu-CNT composite (30% CNT)", composite),
+        ]
+    ]
+    # Column union: conductor_record only emits optional properties (e.g.
+    # max_current_ua) for materials that expose them.
+    columns: list[str] = []
+    for row in rows:
+        columns.extend(key for key in row if key not in columns)
+    print(
+        format_table(
+            rows,
+            columns=columns,
+            title=f"10 um interconnect comparison (length = {length*1e6:.0f} um)",
         )
-    print(format_table(rows, title=f"10 um interconnect comparison (length = {length*1e6:.0f} um)"))
+    )
     print()
 
     # Delay of a driver + line + load, pristine versus doped.
@@ -70,6 +77,23 @@ def main() -> None:
         f"{pristine.intrinsic_resistance / doped.intrinsic_resistance:.2f}"
         f"  (channels per shell 2 -> {doped.channels_per_shell:g})"
     )
+    print()
+
+    # --- experiment layer: the registered paper experiments ---------------
+    engine = Engine()
+
+    doping = engine.run("table_doping_resistance", lengths_um=(1.0, 10.0, 100.0))
+    print(format_table(doping.to_records(), title="Engine.run('table_doping_resistance')"))
+    print()
+
+    fig9 = engine.run("fig9", lengths_um=(0.1, 1.0, 10.0, 100.0))
+    for kind, group in fig9.group_by("kind").items():
+        values = group.filter(length_um=10.0).column("conductivity_ms_per_m")
+        print(f"  {kind:6s} conductivity at 10 um: {values} MS/m")
+    print()
+    print(f"fig9 ResultSet: {len(fig9)} records, columns {fig9.columns}")
+    print(f"provenance: params={fig9.meta['params']['lengths_um']}")
+    print(f"content hash {fig9.content_hash[:16]}, wall time {fig9.meta['wall_time_s']:.3f} s")
 
 
 if __name__ == "__main__":

@@ -14,9 +14,11 @@ The package mirrors the paper's structure (Uhlig et al., DATE 2018):
 * :mod:`repro.characterization` -- TLM / I-V / electromigration / Raman
   measurement emulation,
 * :mod:`repro.analysis` -- experiment drivers that regenerate every figure
-  and table (see DESIGN.md and EXPERIMENTS.md).
+  and table (see DESIGN.md and EXPERIMENTS.md),
+* :mod:`repro.api` -- the experiment engine: registry, declarative sweeps,
+  columnar results, parallel execution and the ``python -m repro`` CLI.
 
-Quick start::
+Model quick start::
 
     from repro.core import MWCNTInterconnect, DopingProfile
     from repro.units import nm, um
@@ -24,10 +26,34 @@ Quick start::
     pristine = MWCNTInterconnect(outer_diameter=nm(10), length=um(500))
     doped = pristine.with_doping(DopingProfile.from_channels(10))
     print(pristine.resistance, doped.resistance)
+
+Experiment quick start::
+
+    from repro.api import Engine, SweepSpec
+
+    engine = Engine()
+    fig9 = engine.run("fig9")
+    print(fig9.filter(kind="Cu").column("conductivity_ms_per_m"))
+
+    sweep = engine.sweep(
+        "table_density", SweepSpec.grid(length_um=[1.0, 10.0, 100.0])
+    )
+    print(len(sweep))
+
+or, from the shell, ``python -m repro list`` / ``python -m repro run fig9``.
 """
 
 from repro import constants, units
+from repro.api import Engine, Experiment, ResultSet, SweepSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["constants", "units", "__version__"]
+__all__ = [
+    "constants",
+    "units",
+    "Engine",
+    "Experiment",
+    "ResultSet",
+    "SweepSpec",
+    "__version__",
+]

@@ -1,22 +1,54 @@
 """Experiment drivers that regenerate the paper's figures and tables.
 
-Each module corresponds to one experiment of the DESIGN.md index (E1-E11)
-and produces plain data structures (lists of dictionaries / dataclasses) that
-the benchmarks print and the examples consume.  No plotting library is used;
-:mod:`repro.analysis.report` renders results as text tables.
+Each module corresponds to one experiment of the DESIGN.md index (E1-E11).
+The drivers are registered into the experiment engine
+(:mod:`repro.api`, definitions in :mod:`repro.analysis.experiments`) and are
+normally executed through it::
+
+    from repro.api import Engine
+
+    records = Engine().run("fig9").to_records()
+
+The historic ``run_figX`` entry points remain importable as thin
+deprecation-shimmed wrappers around the registered implementations.  No
+plotting library is used; :mod:`repro.analysis.report` renders results as
+text tables.
 """
 
 from repro.analysis.paper_reference import PAPER_REFERENCE
 from repro.analysis.report import format_table
-from repro.analysis.fig8_conductance import run_fig8a, run_fig8c
-from repro.analysis.fig9_conductivity import run_fig9
-from repro.analysis.fig10_tcad import run_fig10_capacitance, run_fig10_resistance
-from repro.analysis.fig12_delay_ratio import DelayRatioStudy, run_fig12, summarize_at_length
+from repro.analysis.fig8_conductance import (
+    fig8a_records,
+    fig8c_result,
+    run_fig8a,
+    run_fig8c,
+)
+from repro.analysis.fig9_conductivity import fig9_records, run_fig9
+from repro.analysis.fig10_tcad import (
+    fig10_capacitance_summary,
+    fig10_m1_m2_summary,
+    fig10_resistance_summary,
+    run_fig10_capacitance,
+    run_fig10_resistance,
+)
+from repro.analysis.fig12_delay_ratio import (
+    DelayRatioStudy,
+    fig12_records,
+    run_fig12,
+    summarize_at_length,
+)
 from repro.analysis.tables import ampacity_table, thermal_table, density_table
 
 __all__ = [
     "PAPER_REFERENCE",
     "format_table",
+    "fig8a_records",
+    "fig8c_result",
+    "fig9_records",
+    "fig10_capacitance_summary",
+    "fig10_m1_m2_summary",
+    "fig10_resistance_summary",
+    "fig12_records",
     "run_fig8a",
     "run_fig8c",
     "run_fig9",

@@ -1,0 +1,21 @@
+"""Deprecation plumbing for the legacy ``run_figX`` driver surface.
+
+The experiment engine (:mod:`repro.api`) replaced the per-figure driver
+functions as the public entry point.  The old names keep working -- every
+benchmark and example written against them still runs -- but they emit a
+:class:`DeprecationWarning` pointing at the engine equivalent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_legacy(old_name: str, experiment_name: str) -> None:
+    """Emit the standard deprecation warning for a legacy driver function."""
+    warnings.warn(
+        f"{old_name}() is deprecated; use repro.api.Engine.run({experiment_name!r}) "
+        f"or `python -m repro run {experiment_name}` instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

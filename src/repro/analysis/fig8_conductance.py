@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis._compat import warn_legacy
 from repro.atomistic import (
     Chirality,
     ballistic_conductance,
@@ -24,7 +25,7 @@ from repro.constants import QUANTUM_CONDUCTANCE
 from repro.analysis.paper_reference import PAPER_REFERENCE
 
 
-def run_fig8a(
+def fig8a_records(
     diameter_range_nm: tuple[float, float] = (0.5, 3.0),
     metallic_only: bool = True,
     temperature: float = 300.0,
@@ -84,7 +85,7 @@ class Fig8cResult:
     band_gap_ev: float
 
 
-def run_fig8c(n_k: int = 301, temperature: float = 300.0) -> Fig8cResult:
+def fig8c_result(n_k: int = 301, temperature: float = 300.0) -> Fig8cResult:
     """Regenerate the doped SWCNT(7,7) experiment of Fig. 8b/c."""
     tube = Chirality(7, 7)
     bands = compute_band_structure(tube, n_k=n_k)
@@ -112,8 +113,8 @@ def run_fig8c(n_k: int = 301, temperature: float = 300.0) -> Fig8cResult:
 
 def fig8_summary() -> dict[str, float]:
     """Scalar summary used by the benchmark printout and EXPERIMENTS.md."""
-    result = run_fig8c()
-    sweep = run_fig8a()
+    result = fig8c_result()
+    sweep = fig8a_records()
     channels = np.array([record["channels"] for record in sweep])
     return {
         "metallic_channels_mean": float(channels.mean()),
@@ -124,3 +125,29 @@ def fig8_summary() -> dict[str, float]:
         "paper_pristine_ms": float(PAPER_REFERENCE["pristine_swcnt77_conductance_ms"]),
         "paper_doped_ms": float(PAPER_REFERENCE["doped_swcnt77_conductance_ms"]),
     }
+
+
+def run_fig8a(
+    diameter_range_nm: tuple[float, float] = (0.5, 3.0),
+    metallic_only: bool = True,
+    temperature: float = 300.0,
+    n_k: int = 151,
+) -> list[dict]:
+    """Deprecated driver entry point; use ``Engine.run("fig8a")`` instead."""
+    warn_legacy("run_fig8a", "fig8a")
+    return fig8a_records(
+        diameter_range_nm=diameter_range_nm,
+        metallic_only=metallic_only,
+        temperature=temperature,
+        n_k=n_k,
+    )
+
+
+def run_fig8c(n_k: int = 301, temperature: float = 300.0) -> Fig8cResult:
+    """Deprecated driver entry point; use ``Engine.run("fig8c")`` instead.
+
+    Unlike the registered "fig8c" experiment (scalar records), this keeps the
+    legacy rich return with the transmission staircases as numpy arrays.
+    """
+    warn_legacy("run_fig8c", "fig8c")
+    return fig8c_result(n_k=n_k, temperature=temperature)

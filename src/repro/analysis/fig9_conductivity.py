@@ -11,9 +11,13 @@ shells conduct in parallel.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
+from repro.analysis._compat import warn_legacy
 from repro.core.copper import CopperInterconnect
+from repro.core.line import Conductor
 from repro.core.mwcnt import MWCNTInterconnect
 from repro.core.swcnt import SWCNTInterconnect
 
@@ -22,7 +26,53 @@ DEFAULT_LENGTHS_UM = tuple(np.logspace(-2, 2, 17))
 """Default length sweep from 10 nm to 100 um."""
 
 
-def run_fig9(
+def _line_factories(
+    swcnt_diameter_nm: float,
+    mwcnt_diameters_nm: tuple[float, ...],
+    copper_widths_nm: tuple[float, ...],
+    include_cu_size_effects: bool,
+) -> list[tuple[str, str, Callable[[float], Conductor]]]:
+    """(label, kind, length -> Conductor) for every line of the comparison.
+
+    Every material is handled through the shared :class:`Conductor` protocol,
+    so adding a line type to Fig. 9 is one more factory entry.
+    """
+    factories: list[tuple[str, str, Callable[[float], Conductor]]] = [
+        (
+            f"SWCNT d={swcnt_diameter_nm:g}nm",
+            "SWCNT",
+            lambda length, d=swcnt_diameter_nm: SWCNTInterconnect(
+                diameter=d * 1e-9, length=length
+            ),
+        )
+    ]
+    for diameter_nm in mwcnt_diameters_nm:
+        factories.append(
+            (
+                f"MWCNT D={diameter_nm:g}nm",
+                "MWCNT",
+                lambda length, d=diameter_nm: MWCNTInterconnect(
+                    outer_diameter=d * 1e-9, length=length
+                ),
+            )
+        )
+    for width_nm in copper_widths_nm:
+        factories.append(
+            (
+                f"Cu w={width_nm:g}nm",
+                "Cu",
+                lambda length, w=width_nm: CopperInterconnect(
+                    width=w * 1e-9,
+                    height=w * 1e-9,
+                    length=length,
+                    include_size_effects=include_cu_size_effects,
+                ),
+            )
+        )
+    return factories
+
+
+def fig9_records(
     lengths_um: tuple[float, ...] = DEFAULT_LENGTHS_UM,
     swcnt_diameter_nm: float = 1.0,
     mwcnt_diameters_nm: tuple[float, ...] = (10.0, 22.0),
@@ -48,47 +98,43 @@ def run_fig9(
     include_cu_size_effects:
         Ablation knob: disable to compare against bulk-resistivity copper.
     """
+    factories = _line_factories(
+        swcnt_diameter_nm,
+        tuple(mwcnt_diameters_nm),
+        tuple(copper_widths_nm),
+        include_cu_size_effects,
+    )
     records: list[dict] = []
     for length_um in lengths_um:
         length = float(length_um) * 1e-6
-
-        tube = SWCNTInterconnect(diameter=swcnt_diameter_nm * 1e-9, length=length)
-        records.append(
-            {
-                "line": f"SWCNT d={swcnt_diameter_nm:g}nm",
-                "kind": "SWCNT",
-                "length_um": float(length_um),
-                "conductivity_ms_per_m": tube.effective_conductivity / 1e6,
-            }
-        )
-
-        for diameter_nm in mwcnt_diameters_nm:
-            mwcnt = MWCNTInterconnect(outer_diameter=diameter_nm * 1e-9, length=length)
+        for label, kind, factory in factories:
             records.append(
                 {
-                    "line": f"MWCNT D={diameter_nm:g}nm",
-                    "kind": "MWCNT",
+                    "line": label,
+                    "kind": kind,
                     "length_um": float(length_um),
-                    "conductivity_ms_per_m": mwcnt.effective_conductivity / 1e6,
-                }
-            )
-
-        for width_nm in copper_widths_nm:
-            copper = CopperInterconnect(
-                width=width_nm * 1e-9,
-                height=width_nm * 1e-9,
-                length=length,
-                include_size_effects=include_cu_size_effects,
-            )
-            records.append(
-                {
-                    "line": f"Cu w={width_nm:g}nm",
-                    "kind": "Cu",
-                    "length_um": float(length_um),
-                    "conductivity_ms_per_m": copper.effective_conductivity / 1e6,
+                    "conductivity_ms_per_m": factory(length).effective_conductivity / 1e6,
                 }
             )
     return records
+
+
+def run_fig9(
+    lengths_um: tuple[float, ...] = DEFAULT_LENGTHS_UM,
+    swcnt_diameter_nm: float = 1.0,
+    mwcnt_diameters_nm: tuple[float, ...] = (10.0, 22.0),
+    copper_widths_nm: tuple[float, ...] = (20.0, 100.0),
+    include_cu_size_effects: bool = True,
+) -> list[dict]:
+    """Deprecated driver entry point; use ``Engine.run("fig9")`` instead."""
+    warn_legacy("run_fig9", "fig9")
+    return fig9_records(
+        lengths_um=lengths_um,
+        swcnt_diameter_nm=swcnt_diameter_nm,
+        mwcnt_diameters_nm=mwcnt_diameters_nm,
+        copper_widths_nm=copper_widths_nm,
+        include_cu_size_effects=include_cu_size_effects,
+    )
 
 
 def crossover_length_um(

@@ -1,0 +1,59 @@
+"""Unified experiment engine: registry, sweeps, columnar results, execution.
+
+This subpackage is the public API for reproducing the paper's experiments
+programmatically::
+
+    from repro.api import Engine, SweepSpec
+
+    engine = Engine(cache_dir=".repro-cache", executor="process")
+    fig9 = engine.run("fig9")                       # one figure, memoised
+    sweep = engine.sweep(                           # declarative fan-out
+        "fig12",
+        SweepSpec.grid(contact_resistance=[100e3, 250e3, 500e3]),
+    )
+    for resistance, group in sweep.group_by("contact_resistance").items():
+        print(resistance, group.filter(length_um=500.0).column("delay_ratio"))
+
+The same surface is exposed on the shell as ``python -m repro``
+(``list`` / ``describe`` / ``run`` / ``sweep``).  Experiment definitions
+live in :mod:`repro.analysis.experiments`; the registry imports them on
+first use, so no explicit setup call is needed.
+"""
+
+from repro.api.experiment import (
+    DuplicateExperimentError,
+    Experiment,
+    ExperimentError,
+    ExperimentNotFoundError,
+    ParameterError,
+    ParamSpec,
+    ensure_registered,
+    get_experiment,
+    list_experiments,
+    normalize_records,
+    register_experiment,
+    unregister_experiment,
+)
+from repro.api.results import ResultSet, content_hash
+from repro.api.sweep import SweepSpec
+from repro.api.engine import Engine, cache_key
+
+__all__ = [
+    "DuplicateExperimentError",
+    "Engine",
+    "Experiment",
+    "ExperimentError",
+    "ExperimentNotFoundError",
+    "ParamSpec",
+    "ParameterError",
+    "ResultSet",
+    "SweepSpec",
+    "cache_key",
+    "content_hash",
+    "ensure_registered",
+    "get_experiment",
+    "list_experiments",
+    "normalize_records",
+    "register_experiment",
+    "unregister_experiment",
+]

@@ -1,0 +1,245 @@
+"""``python -m repro`` -- reproduce any figure or table from the shell.
+
+Subcommands
+-----------
+
+``list``
+    Enumerate the registered experiments (name, tags, description).
+``describe NAME``
+    Show an experiment's parameters, kinds and defaults.
+``run NAME [-p key=value ...]``
+    Execute one experiment and print its records as an aligned text table;
+    ``--csv`` / ``--json`` write the ResultSet to files.
+``sweep NAME (--grid | --zip) key=v1,v2 ...``
+    Expand a declarative sweep and fan it out, optionally in parallel
+    (``--executor thread|process --workers N``).
+
+Examples::
+
+    python -m repro list
+    python -m repro describe fig9
+    python -m repro run fig9 -p mwcnt_diameters_nm=10,22 --csv fig9.csv
+    python -m repro sweep fig12 --grid contact_resistance=100e3,250e3 \\
+        --executor process --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.api.engine import EXECUTORS, Engine
+from repro.api.experiment import (
+    ExperimentError,
+    get_experiment,
+    list_experiments,
+)
+from repro.api.results import ResultSet
+from repro.api.sweep import SweepSpec
+
+
+def _parse_assignment(text: str) -> tuple[str, str]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    key, value = text.split("=", 1)
+    return key.strip(), value.strip()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's figures and tables from the shell.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="enumerate registered experiments")
+    list_parser.add_argument("--tag", default=None, help="only experiments with this tag")
+
+    describe = subparsers.add_parser("describe", help="show an experiment's parameters")
+    describe.add_argument("name", help="experiment name (see `list`)")
+
+    def add_execution_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--cache-dir", default=None, help="on-disk memoisation cache directory")
+        sub.add_argument("--no-cache", action="store_true", help="bypass the cache")
+        sub.add_argument("--csv", default=None, metavar="PATH", help="write records as CSV")
+        sub.add_argument("--json", default=None, metavar="PATH", help="write the ResultSet as JSON")
+        sub.add_argument("--limit", type=int, default=40, help="table rows to print (0: all)")
+
+    run = subparsers.add_parser("run", help="execute one experiment")
+    run.add_argument("name", help="experiment name (see `list`)")
+    run.add_argument(
+        "-p", "--param", action="append", default=[], type=_parse_assignment,
+        metavar="KEY=VALUE", help="override one parameter (repeatable)",
+    )
+    add_execution_options(run)
+
+    sweep = subparsers.add_parser("sweep", help="fan an experiment out over a sweep")
+    sweep.add_argument("name", help="experiment name (see `list`)")
+    mode = sweep.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--grid", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
+        help="Cartesian-product sweep axes",
+    )
+    mode.add_argument(
+        "--zip", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
+        dest="zip_axes", help="lock-step sweep axes (equal lengths)",
+    )
+    sweep.add_argument(
+        "-p", "--param", action="append", default=[], type=_parse_assignment,
+        metavar="KEY=VALUE", help="fixed base parameter (repeatable)",
+    )
+    sweep.add_argument("--executor", choices=EXECUTORS, default="serial")
+    sweep.add_argument("--workers", type=int, default=None, help="pool size for parallel executors")
+    add_execution_options(sweep)
+
+    return parser
+
+
+def _coerced_overrides(name: str, assignments: Sequence[tuple[str, str]]) -> dict[str, Any]:
+    experiment = get_experiment(name)
+    return {key: experiment.spec(key).coerce(value) for key, value in assignments}
+
+
+def _coerced_axes(name: str, assignments: Sequence[tuple[str, str]]) -> dict[str, list[Any]]:
+    """Parse sweep axes, coercing each comma-separated value per its ParamSpec.
+
+    For scalar parameter kinds every comma-separated token is one sweep
+    value; for tuple kinds each token would be ambiguous, so axis values for
+    those are separated with ``;`` (e.g. ``lengths_um=1,10;1,100``).
+    """
+    experiment = get_experiment(name)
+    axes: dict[str, list[Any]] = {}
+    for key, value in assignments:
+        spec = experiment.spec(key)
+        if spec.kind in ("floats", "ints", "strs"):
+            tokens = [t for t in value.split(";") if t != ""]
+        else:
+            tokens = [t for t in value.split(",") if t != ""]
+        axes[key] = [spec.coerce(token) for token in tokens]
+    return axes
+
+
+def _print_result(result: ResultSet, args: argparse.Namespace) -> None:
+    from repro.analysis.report import format_table
+
+    records = result.to_records()
+    shown = records if args.limit in (0, None) else records[: args.limit]
+    title = (
+        f"{result.meta.get('experiment', '?')}: {len(records)} records"
+        + (f" (showing {len(shown)})" if len(shown) < len(records) else "")
+        + (" [cache hit]" if result.meta.get("cache_hit") else "")
+    )
+    print(format_table(shown, title=title))
+    wall = result.meta.get("wall_time_s")
+    if wall is not None:
+        print(f"wall time: {wall:.3f} s")
+    print(f"content hash: {result.content_hash[:16]}")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        result.to_json(args.json)
+        print(f"wrote {args.json}")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+
+    rows = [
+        {
+            "name": experiment.name,
+            "tags": ",".join(experiment.tags),
+            "params": len(experiment.params),
+            "description": experiment.description,
+        }
+        for experiment in list_experiments(tag=args.tag)
+    ]
+    print(format_table(rows, title=f"{len(rows)} registered experiments"))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+
+    experiment = get_experiment(args.name)
+    print(f"{experiment.name} (version {experiment.version}): {experiment.description}")
+    if experiment.tags:
+        print(f"tags: {', '.join(experiment.tags)}")
+    def default_text(spec):
+        if spec.default is None:
+            return "(required)"
+        text = repr(spec.default)
+        return text if len(text) <= 48 else text[:45] + "..."
+
+    rows = [
+        {
+            "param": spec.name,
+            "kind": spec.kind,
+            "default": default_text(spec),
+            "help": spec.help,
+        }
+        for spec in experiment.params
+    ]
+    print(format_table(rows, title=f"{len(rows)} parameters"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = Engine(cache_dir=args.cache_dir)
+    result = engine.run(
+        args.name,
+        params=_coerced_overrides(args.name, args.param),
+        use_cache=not args.no_cache,
+    )
+    _print_result(result, args)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    assignments = args.grid if args.grid is not None else args.zip_axes
+    axes = _coerced_axes(args.name, assignments)
+    spec = SweepSpec(mode="grid" if args.grid is not None else "zip", axes=axes)
+    engine = Engine(
+        cache_dir=args.cache_dir, executor=args.executor, max_workers=args.workers
+    )
+    result = engine.sweep(
+        args.name,
+        spec,
+        base_params=_coerced_overrides(args.name, args.param),
+        use_cache=not args.no_cache,
+    )
+    print(f"sweep: {spec.mode} over {spec.axis_names}, {len(spec)} points")
+    _print_result(result, args)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "describe": _cmd_describe,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ExperimentError, ValueError) as error:
+        # ValueError covers user-input rejections from Engine/SweepSpec
+        # construction (bad --workers, malformed axes, ...).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that's a clean exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,330 @@
+"""Execution engine: serial / pooled experiment runs with on-disk memoisation.
+
+The :class:`Engine` is the single entry point that turns a registered
+:class:`~repro.api.experiment.Experiment` plus parameters into a
+:class:`~repro.api.results.ResultSet`:
+
+* ``run(name, **params)`` -- one experiment execution,
+* ``sweep(name, spec)`` -- fan a :class:`~repro.api.sweep.SweepSpec` out over
+  the experiment, serially or through a ``concurrent.futures`` thread/process
+  pool with chunked task submission.
+
+Caching is content-addressed: the key is a SHA-256 over (experiment name,
+experiment version, canonicalised parameters), so identical invocations are
+served from disk regardless of execution mode.  All cache I/O happens in the
+coordinating process -- pool workers only compute -- which keeps the cache
+free of write races.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Mapping
+
+from repro.api.experiment import Experiment, ensure_registered, get_experiment
+from repro.api.results import ResultSet
+from repro.api.sweep import SweepSpec
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def cache_key(name: str, version: str, params: Mapping[str, Any]) -> str:
+    """Content-addressed key of one experiment invocation."""
+    payload = json.dumps(
+        {"experiment": name, "version": version, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _execute_point(name: str, params: dict[str, Any]) -> list[dict[str, Any]]:
+    """Run one experiment invocation; importable so process pools can pickle it."""
+    ensure_registered()
+    return get_experiment(name).run(**params)
+
+
+def _execute_chunk(
+    name: str, points: list[dict[str, Any]]
+) -> list[list[dict[str, Any]]]:
+    """Run a chunk of sweep points in one pool task (amortises dispatch cost)."""
+    return [_execute_point(name, point) for point in points]
+
+
+class Engine:
+    """Executes experiments and sweeps, with optional memoisation.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+        Created on first write.
+    executor:
+        ``"serial"`` (default), ``"thread"`` or ``"process"`` -- how sweep
+        points are fanned out.  Single ``run`` calls always execute inline.
+    max_workers:
+        Pool size for the parallel executors (default: ``os.cpu_count()``).
+    chunk_size:
+        Sweep points per pool task; ``None`` picks a size that gives each
+        worker about four chunks, a standard latency/imbalance compromise.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; use one of {EXECUTORS}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.cache_dir = cache_dir
+        self.executor = executor
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # --- cache ------------------------------------------------------------
+
+    def _cache_path(self, experiment: Experiment, params: Mapping[str, Any]) -> str | None:
+        if self.cache_dir is None:
+            return None
+        key = cache_key(experiment.name, experiment.version, params)
+        return os.path.join(self.cache_dir, f"{experiment.name}-{key[:16]}.json")
+
+    def _cache_load(self, path: str | None) -> ResultSet | None:
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            result = ResultSet.from_json(path)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            return None  # corrupt entry: recompute and overwrite
+        result.meta["cache_hit"] = True
+        return result
+
+    def _cache_store(self, path: str | None, result: ResultSet) -> None:
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        # Atomic write so a crashed run never leaves a truncated entry.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.cache_dir, suffix=".tmp", delete=False
+        )
+        try:
+            handle.write(result.to_json())
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            if os.path.exists(handle.name):
+                os.unlink(handle.name)
+            raise
+
+    def clear_cache(self) -> int:
+        """Delete all cache entries; returns the number of files removed.
+
+        Only files matching the engine's own ``<experiment>-<hash16>.json``
+        naming are touched, so pointing ``cache_dir`` at a directory that
+        also holds exported results cannot destroy them.
+        """
+        if self.cache_dir is None or not os.path.isdir(self.cache_dir):
+            return 0
+        removed = 0
+        for entry in os.listdir(self.cache_dir):
+            if re.fullmatch(r".+-[0-9a-f]{16}\.json", entry):
+                os.unlink(os.path.join(self.cache_dir, entry))
+                removed += 1
+        return removed
+
+    # --- execution --------------------------------------------------------
+
+    def run(
+        self,
+        name: str | Experiment,
+        params: Mapping[str, Any] | None = None,
+        use_cache: bool = True,
+        **param_kwargs: Any,
+    ) -> ResultSet:
+        """Execute one experiment and return its :class:`ResultSet`.
+
+        Parameters can be passed as a mapping, as keywords, or both
+        (keywords win).  With a cache directory configured, a repeated
+        invocation is served from disk (``meta["cache_hit"]`` is then True).
+        """
+        experiment = name if isinstance(name, Experiment) else get_experiment(name)
+        resolved = experiment.resolve_params({**(params or {}), **param_kwargs})
+
+        path = self._cache_path(experiment, resolved) if use_cache else None
+        cached = self._cache_load(path)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+
+        start = time.perf_counter()
+        records = experiment.run(**resolved)
+        elapsed = time.perf_counter() - start
+
+        result = ResultSet.from_records(
+            records, meta=self._meta(experiment, resolved, elapsed)
+        )
+        self._cache_store(path, result)
+        return result
+
+    def sweep(
+        self,
+        name: str | Experiment,
+        spec: SweepSpec,
+        base_params: Mapping[str, Any] | None = None,
+        use_cache: bool = True,
+    ) -> ResultSet:
+        """Fan an experiment out over every point of a sweep.
+
+        Each sweep point is one experiment invocation with the point's
+        values overriding ``base_params``; its records are tagged with the
+        swept parameter values (columns named after the axes) so the
+        combined ResultSet can be grouped and filtered by sweep point.
+        Execution order follows ``spec.points()`` regardless of executor, so
+        serial and parallel sweeps return identical ResultSets.
+        """
+        experiment = name if isinstance(name, Experiment) else get_experiment(name)
+        points = spec.points()
+        resolved_points = [
+            experiment.resolve_params({**(base_params or {}), **point})
+            for point in points
+        ]
+
+        paths: list[str | None] = [
+            self._cache_path(experiment, resolved) if use_cache else None
+            for resolved in resolved_points
+        ]
+        outputs: list[list[dict[str, Any]] | None] = []
+        for path in paths:
+            cached = self._cache_load(path)
+            if cached is not None:
+                self.cache_hits += 1
+                outputs.append(cached.to_records())
+            else:
+                outputs.append(None)
+
+        pending = [i for i, records in enumerate(outputs) if records is None]
+        self.cache_misses += len(pending)
+        start = time.perf_counter()
+        for index, records in self._execute_pending(experiment, resolved_points, pending):
+            outputs[index] = records
+            self._cache_store(
+                paths[index],
+                ResultSet.from_records(
+                    records, meta=self._meta(experiment, resolved_points[index], None)
+                ),
+            )
+        elapsed = time.perf_counter() - start
+
+        tagged: list[dict[str, Any]] = []
+        for point, records in zip(points, outputs):
+            for record in records or []:
+                tagged.append(_tag_record(record, point))
+
+        meta = self._meta(experiment, dict(base_params or {}), elapsed)
+        meta["sweep"] = {
+            "mode": spec.mode,
+            "axes": {name: list(values) for name, values in spec.axes.items()},
+            "n_points": len(points),
+        }
+        return ResultSet.from_records(tagged, meta=meta)
+
+    # --- helpers ----------------------------------------------------------
+
+    def _execute_pending(
+        self,
+        experiment: Experiment,
+        resolved_points: list[dict[str, Any]],
+        pending: list[int],
+    ):
+        """Yield ``(point_index, records)`` for every uncached sweep point."""
+        if not pending:
+            return
+        if self.executor == "serial" or len(pending) == 1:
+            # Execute through the instance itself so ad-hoc (unregistered)
+            # Experiment objects behave exactly like in run().
+            for index in pending:
+                yield index, experiment.run(**resolved_points[index])
+            return
+
+        if self.executor == "process":
+            # Process workers rebuild the registry by name; an instance that
+            # is not the registered one would silently execute the wrong
+            # function (and poison the cache), so refuse early.
+            ensure_registered()
+            from repro.api.experiment import _REGISTRY
+
+            if _REGISTRY.get(experiment.name) is not experiment:
+                raise ValueError(
+                    f"the process executor needs a registered experiment; "
+                    f"{experiment.name!r} is not the registered instance "
+                    "(use executor='thread'/'serial' for ad-hoc experiments)"
+                )
+
+        chunk_size = self.chunk_size or max(1, len(pending) // (self.max_workers * 4))
+        chunks = [pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)]
+        pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=min(self.max_workers, len(chunks))) as pool:
+            if self.executor == "thread":
+                # Threads share the interpreter: execute through the instance
+                # (ad-hoc experiments included), no registry round-trip.
+                def submit(points):
+                    return pool.submit(
+                        lambda pts: [experiment.run(**p) for p in pts], points
+                    )
+
+            else:
+                def submit(points):
+                    return pool.submit(_execute_chunk, experiment.name, points)
+
+            futures = [
+                submit([resolved_points[i] for i in chunk]) for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, futures):
+                for index, records in zip(chunk, future.result()):
+                    yield index, records
+
+    def _meta(
+        self,
+        experiment: Experiment,
+        params: Mapping[str, Any],
+        elapsed: float | None,
+    ) -> dict[str, Any]:
+        meta: dict[str, Any] = {
+            "experiment": experiment.name,
+            "version": experiment.version,
+            "params": dict(params),
+            "executor": self.executor,
+        }
+        if elapsed is not None:
+            meta["wall_time_s"] = elapsed
+        return meta
+
+
+def _tag_record(record: dict[str, Any], point: Mapping[str, Any]) -> dict[str, Any]:
+    """Prepend the sweep-point values as columns of the record.
+
+    A sweep axis whose name collides with an output column of the record is
+    stored under a ``param_`` prefix instead, so experiment output is never
+    silently overwritten.
+    """
+    tags = {}
+    for name, value in point.items():
+        tags[f"param_{name}" if name in record else name] = value
+    return {**tags, **record}

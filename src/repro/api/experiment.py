@@ -1,0 +1,301 @@
+"""Experiment abstraction and global registry.
+
+An :class:`Experiment` wraps one reproducible computation of the paper --
+a figure panel, a table, or an extension study -- behind a uniform contract:
+
+* a unique registry name (``"fig9"``, ``"table_ampacity"``, ...),
+* typed, JSON-serialisable parameters described by :class:`ParamSpec`
+  (so sweeps, caching and the CLI can manipulate them generically),
+* a callable returning a list of records (dicts of scalars).
+
+Experiments are registered with the :func:`register_experiment` decorator and
+looked up by name via :func:`get_experiment` / :func:`list_experiments`.
+Registering all of the paper's drivers happens in
+:mod:`repro.analysis.experiments`, which :func:`ensure_registered` imports on
+demand so that engines (including pool worker processes) always see a
+populated registry.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+
+class ExperimentError(Exception):
+    """Base class for registry and parameter errors."""
+
+
+class ExperimentNotFoundError(ExperimentError, KeyError):
+    """Raised when looking up a name that is not registered."""
+
+    # KeyError.__str__ repr-quotes the message; keep the plain text.
+    __str__ = Exception.__str__
+
+
+class DuplicateExperimentError(ExperimentError, ValueError):
+    """Raised when registering a name twice without ``replace=True``."""
+
+
+class ParameterError(ExperimentError, ValueError):
+    """Raised for unknown parameter names or un-coercible values."""
+
+
+_COERCERS: dict[str, Callable[[Any], Any]] = {
+    "float": float,
+    "int": int,
+    "str": str,
+}
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"not a boolean: {value!r}")
+    return bool(value)
+
+
+def _coerce_sequence(value: Any, item: Callable[[Any], Any]) -> tuple:
+    if isinstance(value, str):
+        parts = [p for p in value.split(",") if p.strip() != ""]
+        return tuple(item(p.strip()) for p in parts)
+    if hasattr(value, "__iter__"):
+        return tuple(item(v) for v in value)
+    return (item(value),)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Typed description of one experiment parameter.
+
+    Attributes
+    ----------
+    name:
+        Parameter name (must match a keyword of the experiment function).
+    kind:
+        One of ``float``, ``int``, ``bool``, ``str``, ``floats``, ``ints``,
+        ``strs`` (the plural kinds are homogeneous tuples and accept
+        comma-separated strings from the CLI).
+    default:
+        Default value; ``None`` means the parameter is required.
+    help:
+        One-line description shown by ``python -m repro describe``.
+    choices:
+        Optional closed set of allowed values (after coercion).
+    """
+
+    name: str
+    kind: str = "float"
+    default: Any = None
+    help: str = ""
+    choices: tuple | None = None
+
+    _KINDS = ("float", "int", "bool", "str", "floats", "ints", "strs")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown param kind {self.kind!r}; use one of {self._KINDS}")
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a raw (possibly CLI string) value to the declared kind."""
+        try:
+            if self.kind == "bool":
+                result: Any = _coerce_bool(value)
+            elif self.kind == "floats":
+                result = _coerce_sequence(value, float)
+            elif self.kind == "ints":
+                result = _coerce_sequence(value, int)
+            elif self.kind == "strs":
+                result = _coerce_sequence(value, str)
+            else:
+                result = _COERCERS[self.kind](value)
+        except (TypeError, ValueError) as error:
+            raise ParameterError(
+                f"parameter {self.name!r} expects kind {self.kind!r}, "
+                f"got {value!r} ({error})"
+            ) from None
+        if self.choices is not None and result not in self.choices:
+            raise ParameterError(
+                f"parameter {self.name!r} must be one of {self.choices}, got {result!r}"
+            )
+        return result
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered, reproducible experiment of the paper.
+
+    Attributes
+    ----------
+    name:
+        Unique registry key (``"fig9"``).
+    fn:
+        Callable accepting the declared parameters as keywords and returning
+        a list of record dicts (or a single dict, which is wrapped).
+    params:
+        Parameter specifications; the only keywords ``fn`` will receive.
+    description:
+        One-line summary for ``python -m repro list``.
+    tags:
+        Free-form labels (``"figure"``, ``"table"``, ``"extension"``).
+    version:
+        Bump when the implementation changes meaningfully; part of the
+        engine's cache key so stale cache entries are never replayed.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    params: tuple[ParamSpec, ...] = ()
+    description: str = ""
+    tags: tuple[str, ...] = ()
+    version: str = "1"
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in experiment {self.name!r}")
+
+    @property
+    def param_names(self) -> list[str]:
+        return [spec.name for spec in self.params]
+
+    def spec(self, name: str) -> ParamSpec:
+        for candidate in self.params:
+            if candidate.name == name:
+                return candidate
+        raise ParameterError(
+            f"experiment {self.name!r} has no parameter {name!r}; "
+            f"available: {self.param_names}"
+        )
+
+    def defaults(self) -> dict[str, Any]:
+        """Default value of every parameter that has one."""
+        return {spec.name: spec.default for spec in self.params if spec.default is not None}
+
+    def resolve_params(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Merge defaults with coerced overrides, rejecting unknown names."""
+        resolved = self.defaults()
+        for name, value in (overrides or {}).items():
+            resolved[name] = self.spec(name).coerce(value)
+        missing = [s.name for s in self.params if s.default is None and s.name not in resolved]
+        if missing:
+            raise ParameterError(f"experiment {self.name!r} missing required params {missing}")
+        return resolved
+
+    def run(self, **overrides: Any) -> list[dict[str, Any]]:
+        """Execute directly (no engine, no cache) and return record dicts."""
+        return normalize_records(self.fn(**self.resolve_params(overrides)))
+
+
+def normalize_records(result: Any) -> list[dict[str, Any]]:
+    """Coerce an experiment return value into a list of record dicts.
+
+    Accepts a list of mappings (the common case), a single mapping (wrapped
+    into a one-record list) or a dataclass instance (converted via its
+    fields).  Anything else is a contract violation.
+    """
+    if isinstance(result, Mapping):
+        return [dict(result)]
+    if hasattr(result, "__dataclass_fields__"):
+        return [
+            {name: getattr(result, name) for name in result.__dataclass_fields__}
+        ]
+    if isinstance(result, Sequence) and not isinstance(result, (str, bytes)):
+        records = []
+        for entry in result:
+            if not isinstance(entry, Mapping):
+                raise TypeError(
+                    f"experiment records must be mappings, got {type(entry).__name__}"
+                )
+            records.append(dict(entry))
+        return records
+    raise TypeError(
+        f"experiment must return records (list of dicts), got {type(result).__name__}"
+    )
+
+
+# --- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register_experiment(
+    name: str,
+    *,
+    params: Sequence[ParamSpec] = (),
+    description: str = "",
+    tags: Sequence[str] = (),
+    version: str = "1",
+    replace: bool = False,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering a function as a named experiment.
+
+    The decorated function is returned unchanged; the registry stores an
+    :class:`Experiment` wrapper around it.  ``description`` defaults to the
+    first line of the function's docstring.
+    """
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        doc = description
+        if not doc and fn.__doc__:
+            doc = inspect.cleandoc(fn.__doc__).splitlines()[0]
+        experiment = Experiment(
+            name=name,
+            fn=fn,
+            params=tuple(params),
+            description=doc,
+            tags=tuple(tags),
+            version=version,
+        )
+        if name in _REGISTRY and not replace:
+            raise DuplicateExperimentError(
+                f"experiment {name!r} is already registered "
+                f"(by {_REGISTRY[name].fn.__module__}.{_REGISTRY[name].fn.__qualname__}); "
+                "pass replace=True to override"
+            )
+        _REGISTRY[name] = experiment
+        return fn
+
+    return decorator
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove one experiment from the registry (mostly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up a registered experiment, with a helpful error on miss."""
+    ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentNotFoundError(
+            f"no experiment {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments(tag: str | None = None) -> list[Experiment]:
+    """All registered experiments sorted by name, optionally tag-filtered."""
+    ensure_registered()
+    experiments = sorted(_REGISTRY.values(), key=lambda e: e.name)
+    if tag is not None:
+        experiments = [e for e in experiments if tag in e.tags]
+    return experiments
+
+
+def ensure_registered() -> None:
+    """Import the standard experiment definitions exactly once.
+
+    Safe to call repeatedly and from pool worker processes; it is what makes
+    ``Engine.run("fig9")`` work without the caller importing
+    :mod:`repro.analysis.experiments` first.
+    """
+    import repro.analysis.experiments  # noqa: F401  (import has the side effect)

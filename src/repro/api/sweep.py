@@ -1,0 +1,136 @@
+"""Declarative parameter sweeps over experiment parameters.
+
+A :class:`SweepSpec` describes *which* points of a parameter space to visit
+without saying *how* (that is the engine's job).  Two expansion modes cover
+the sweeps the paper's experiments need:
+
+* ``grid`` -- full Cartesian product of all axes (the Fig. 12
+  diameter x length x doping cube),
+* ``zip`` -- lock-step pairing of equally long axes (trajectories through a
+  design space).
+
+``refine`` densifies a numeric axis in place (linearly or geometrically),
+which is the standard "zoom into the crossover" workflow of Fig. 9: sweep
+coarse, find the interesting region, refine, re-run -- with the engine's
+memoisation cache making the re-run pay only for the new points.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+
+def _as_list(values: Any) -> list[Any]:
+    if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
+        raise TypeError(f"sweep axis needs an iterable of values, got {values!r}")
+    return list(values)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep over named experiment parameters.
+
+    Build with the :meth:`grid` / :meth:`zip` constructors rather than
+    directly.  ``points()`` expands the spec into a list of parameter-override
+    dicts, one per experiment execution.
+    """
+
+    mode: str = "grid"
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("grid", "zip"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}; use 'grid' or 'zip'")
+        axes = {str(name): _as_list(values) for name, values in self.axes.items()}
+        if not axes:
+            raise ValueError("a sweep needs at least one axis")
+        for name, values in axes.items():
+            if not values:
+                raise ValueError(f"sweep axis {name!r} is empty")
+        if self.mode == "zip":
+            lengths = {name: len(values) for name, values in axes.items()}
+            if len(set(lengths.values())) > 1:
+                raise ValueError(f"zip axes must have equal lengths, got {lengths}")
+        object.__setattr__(self, "axes", axes)
+
+    # --- constructors -----------------------------------------------------
+
+    @classmethod
+    def grid(cls, **axes: Sequence[Any]) -> "SweepSpec":
+        """Cartesian product of the given axes (first axis varies slowest)."""
+        return cls(mode="grid", axes=axes)
+
+    @classmethod
+    def zip(cls, **axes: Sequence[Any]) -> "SweepSpec":
+        """Lock-step pairing of equally long axes."""
+        return cls(mode="zip", axes=axes)
+
+    # --- refinement -------------------------------------------------------
+
+    def refine(self, axis: str, factor: int = 2, scale: str = "linear") -> "SweepSpec":
+        """Densify one numeric axis by inserting ``factor - 1`` intermediate
+        points between each pair of consecutive values.
+
+        ``scale='log'`` inserts geometric midpoints (for logarithmic sweeps
+        such as the Fig. 9 length axis); values must then be positive.
+        Refining a ``zip`` spec is rejected because it would desynchronise
+        the axes.
+        """
+        if self.mode == "zip":
+            raise ValueError("cannot refine a zip sweep; refine the grid axes instead")
+        if axis not in self.axes:
+            raise KeyError(f"no axis {axis!r}; available: {sorted(self.axes)}")
+        if factor < 2:
+            raise ValueError("refine factor must be >= 2")
+        if scale not in ("linear", "log"):
+            raise ValueError(f"unknown scale {scale!r}; use 'linear' or 'log'")
+
+        values = [float(v) for v in self.axes[axis]]
+        if scale == "log" and any(v <= 0 for v in values):
+            raise ValueError("log refinement needs strictly positive axis values")
+        refined: list[float] = []
+        for lo, hi in itertools.pairwise(values):
+            refined.append(lo)
+            for step in range(1, factor):
+                t = step / factor
+                if scale == "log":
+                    refined.append(lo * (hi / lo) ** t)
+                else:
+                    refined.append(lo + (hi - lo) * t)
+        refined.append(values[-1])
+
+        axes = dict(self.axes)
+        axes[axis] = refined
+        return SweepSpec(mode=self.mode, axes=axes)
+
+    # --- expansion --------------------------------------------------------
+
+    @property
+    def axis_names(self) -> list[str]:
+        """The swept parameter names in declaration order."""
+        return list(self.axes)
+
+    def __len__(self) -> int:
+        if self.mode == "zip":
+            return len(next(iter(self.axes.values())))
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.points())
+
+    def points(self) -> list[dict[str, Any]]:
+        """Expand into one parameter-override dict per sweep point."""
+        names = self.axis_names
+        if self.mode == "zip":
+            return [
+                dict(zip(names, combo)) for combo in zip(*(self.axes[n] for n in names))
+            ]
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[n] for n in names))
+        ]

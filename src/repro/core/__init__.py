@@ -39,7 +39,13 @@ from repro.core.ampacity import (
     ampacity_comparison,
 )
 from repro.core.kinetic import kinetic_inductance, magnetic_inductance_over_plane
-from repro.core.line import InterconnectLine, DistributedRC
+from repro.core.line import (
+    Conductor,
+    DistributedRC,
+    InterconnectLine,
+    LineMaterial,
+    conductor_record,
+)
 
 __all__ = [
     "SWCNTInterconnect",
@@ -60,6 +66,9 @@ __all__ = [
     "ampacity_comparison",
     "kinetic_inductance",
     "magnetic_inductance_over_plane",
+    "Conductor",
+    "LineMaterial",
+    "conductor_record",
     "InterconnectLine",
     "DistributedRC",
 ]

@@ -11,11 +11,11 @@ Elmore delay estimate.  This is the hand-off point between the compact models
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 
 @runtime_checkable
-class LineMaterial(Protocol):
+class Conductor(Protocol):
     """Anything that exposes the resistance/capacitance interface of a line.
 
     Satisfied by :class:`~repro.core.swcnt.SWCNTInterconnect`,
@@ -23,6 +23,13 @@ class LineMaterial(Protocol):
     :class:`~repro.core.copper.CopperInterconnect`,
     :class:`~repro.core.bundle.SWCNTBundle` and
     :class:`~repro.core.composite.CuCNTComposite`.
+
+    This is the contract the experiment engine sweeps over: any material
+    satisfying it can be compared uniformly (see :func:`conductor_record`),
+    wrapped into an :class:`InterconnectLine` and driven by the circuit
+    benchmarks.  Optional extras (``effective_conductivity``,
+    ``max_current``, contact-resistance terms) are picked up dynamically
+    when present.
     """
 
     length: float
@@ -32,6 +39,37 @@ class LineMaterial(Protocol):
 
     @property
     def capacitance(self) -> float: ...
+
+
+#: Backwards-compatible alias; the protocol was named ``LineMaterial`` before
+#: the experiment-engine redesign promoted it to the shared sweep contract.
+LineMaterial = Conductor
+
+
+def conductor_record(conductor: Conductor, label: str | None = None) -> dict[str, Any]:
+    """Uniform comparison record of any :class:`Conductor`.
+
+    Core columns (always present): ``label``, ``kind`` (the material class
+    name), ``length_um``, ``resistance_ohm`` and ``capacitance_f``.  Optional
+    material properties are added when the object exposes them:
+    ``conductivity_ms_per_m`` (from ``effective_conductivity``) and
+    ``max_current_ua`` (from ``max_current``).  This is what lets engines
+    sweep heterogeneous materials and still produce one columnar table.
+    """
+    record: dict[str, Any] = {
+        "label": label or type(conductor).__name__,
+        "kind": type(conductor).__name__,
+        "length_um": conductor.length * 1e6,
+        "resistance_ohm": float(conductor.resistance),
+        "capacitance_f": float(conductor.capacitance),
+    }
+    conductivity = getattr(conductor, "effective_conductivity", None)
+    if conductivity is not None:
+        record["conductivity_ms_per_m"] = float(conductivity) / 1e6
+    max_current = getattr(conductor, "max_current", None)
+    if max_current is not None:
+        record["max_current_ua"] = float(max_current) * 1e6
+    return record
 
 
 @dataclass(frozen=True)
@@ -124,12 +162,12 @@ class InterconnectLine:
     Attributes
     ----------
     material:
-        Any object satisfying :class:`LineMaterial`.
+        Any object satisfying :class:`Conductor`.
     n_segments:
         Number of RC segments used when the line is expanded into a ladder.
     """
 
-    material: LineMaterial
+    material: Conductor
     n_segments: int = 20
 
     def __post_init__(self) -> None:

@@ -1,0 +1,141 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.api import ResultSet
+from repro.api.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_every_paper_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("fig8a", "fig8c", "fig9", "fig10_capacitance", "fig12",
+                     "energy", "table_ampacity", "table_density"):
+            assert name in out
+
+    def test_tag_filter(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--tag", "table")
+        assert code == 0
+        assert "table_ampacity" in out and "fig9" not in out
+
+
+class TestDescribe:
+    def test_describe_shows_params(self, capsys):
+        code, out, _ = run_cli(capsys, "describe", "fig9")
+        assert code == 0
+        assert "lengths_um" in out and "floats" in out
+        assert "include_cu_size_effects" in out
+
+    def test_describe_unknown_experiment(self, capsys):
+        code, _, err = run_cli(capsys, "describe", "fig99")
+        assert code == 2
+        assert "fig99" in err
+
+
+class TestRun:
+    def test_run_prints_table(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "table_density")
+        assert code == 0
+        assert "Cu 100x50 nm" in out
+        assert "content hash" in out
+
+    def test_run_with_params_and_outputs(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "fig9.csv")
+        json_path = str(tmp_path / "fig9.json")
+        code, out, _ = run_cli(
+            capsys,
+            "run", "fig9",
+            "-p", "lengths_um=1,10",
+            "-p", "mwcnt_diameters_nm=22",
+            "--csv", csv_path,
+            "--json", json_path,
+        )
+        assert code == 0
+        restored = ResultSet.from_json(json_path)
+        assert len(restored) == 8  # 4 lines x 2 lengths
+        assert set(restored.unique("kind")) == {"SWCNT", "MWCNT", "Cu"}
+        from_csv = ResultSet.from_csv(csv_path)
+        assert from_csv == restored
+
+    def test_run_bad_param_value(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig9", "-p", "lengths_um=banana")
+        assert code == 2
+        assert "lengths_um" in err
+
+    def test_run_unknown_param(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig9", "-p", "bogus=1")
+        assert code == 2
+        assert "bogus" in err
+
+    def test_run_uses_cache_dir(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, out, _ = run_cli(capsys, "run", "table_density", "--cache-dir", cache)
+        assert code == 0 and "cache hit" not in out
+        code, out, _ = run_cli(capsys, "run", "table_density", "--cache-dir", cache)
+        assert code == 0 and "cache hit" in out
+
+
+class TestSweep:
+    def test_grid_sweep(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "table_density", "--grid", "length_um=1,10", "--limit", "0"
+        )
+        assert code == 0
+        assert "grid over ['length_um'], 2 points" in out
+
+    def test_zip_sweep_with_semicolon_tuple_axis(self, capsys):
+        # Tuple-kind axes separate their sweep values with ';'.
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "table_doping_resistance",
+            "--zip", "lengths_um=1,10;100,500",
+            "--limit", "0",
+        )
+        assert code == 0
+        assert "zip over ['lengths_um'], 2 points" in out
+
+    def test_parallel_sweep(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "table_density",
+            "--grid", "length_um=1,5,10",
+            "--executor", "thread", "--workers", "2",
+            "--limit", "4",
+        )
+        assert code == 0
+        assert "3 points" in out
+
+    def test_unequal_zip_axes_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "sweep", "table_thermal",
+            "--zip", "via_diameter_nm=50,100", "via_height_nm=100",
+        )
+        assert code == 2
+        assert "equal lengths" in err
+
+    def test_empty_axis_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "sweep", "table_density", "--grid", "length_um=")
+        assert code == 2
+        assert "empty" in err
+
+    def test_bad_workers_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "sweep", "table_density", "--grid", "length_um=1,10", "--workers", "0",
+        )
+        assert code == 2
+        assert "max_workers" in err
+
+    def test_assignment_without_equals_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "table_density", "--grid", "length_um"])

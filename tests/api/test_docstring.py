@@ -1,0 +1,45 @@
+"""The quickstart snippets in ``repro.__doc__`` must actually run.
+
+Guards against docstring drift: every indented code block of the package
+docstring is extracted and executed.
+"""
+
+import textwrap
+
+import repro
+
+
+def _code_blocks(doc: str) -> list[str]:
+    """Extract the indented literal blocks following ``::`` markers."""
+    blocks: list[str] = []
+    lines = doc.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].rstrip().endswith("::"):
+            i += 1
+            block: list[str] = []
+            while i < len(lines) and (not lines[i].strip() or lines[i].startswith("    ")):
+                block.append(lines[i])
+                i += 1
+            if block:
+                blocks.append(textwrap.dedent("\n".join(block)))
+        else:
+            i += 1
+    return blocks
+
+
+def test_docstring_has_quickstart_blocks():
+    blocks = _code_blocks(repro.__doc__)
+    assert len(blocks) >= 2, "expected model and experiment quickstart blocks"
+
+
+def test_docstring_snippets_run(capsys):
+    for block in _code_blocks(repro.__doc__):
+        exec(compile(block, "<repro docstring>", "exec"), {})
+    assert capsys.readouterr().out  # the snippets print their results
+
+
+def test_api_names_exported_from_top_level():
+    from repro import Engine, Experiment, ResultSet, SweepSpec  # noqa: F401
+
+    assert set(["Engine", "Experiment", "ResultSet", "SweepSpec"]) <= set(repro.__all__)

@@ -1,0 +1,132 @@
+"""Tests for the columnar ResultSet container and its round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import ResultSet, content_hash
+
+RECORDS = [
+    {"line": "Cu", "length_um": 1.0, "r_ohm": 5.0},
+    {"line": "Cu", "length_um": 10.0, "r_ohm": 50.0},
+    {"line": "CNT", "length_um": 1.0, "r_ohm": 20.0},
+    {"line": "CNT", "length_um": 10.0, "r_ohm": 30.0},
+]
+
+
+class TestConstruction:
+    def test_from_records_and_back(self):
+        rs = ResultSet.from_records(RECORDS)
+        assert rs.to_records() == RECORDS
+        assert len(rs) == 4
+        assert rs.columns == ["line", "length_um", "r_ohm"]
+
+    def test_missing_keys_become_none(self):
+        rs = ResultSet.from_records([{"a": 1}, {"b": 2}])
+        assert rs.to_records() == [{"a": 1, "b": None}, {"a": None, "b": 2}]
+
+    def test_numpy_scalars_normalised(self):
+        rs = ResultSet.from_records([{"x": np.float64(1.5), "n": np.int64(3)}])
+        record = rs.to_records()[0]
+        assert type(record["x"]) is float and type(record["n"]) is int
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            ResultSet({"a": [1, 2], "b": [1]})
+
+    def test_empty(self):
+        rs = ResultSet.from_records([])
+        assert len(rs) == 0 and rs.to_records() == []
+
+
+class TestRelationalOps:
+    @pytest.fixture
+    def rs(self):
+        return ResultSet.from_records(RECORDS, meta={"experiment": "demo"})
+
+    def test_filter_equality(self, rs):
+        cu = rs.filter(line="Cu")
+        assert len(cu) == 2
+        assert cu.unique("line") == ["Cu"]
+        assert cu.meta["experiment"] == "demo"
+
+    def test_filter_predicate(self, rs):
+        long_lines = rs.filter(lambda r: r["length_um"] > 5.0, line="CNT")
+        assert long_lines.to_records() == [RECORDS[3]]
+
+    def test_filter_unknown_column(self, rs):
+        with pytest.raises(KeyError, match="no column"):
+            rs.filter(width=3)
+
+    def test_group_by_single_key(self, rs):
+        groups = rs.group_by("line")
+        assert set(groups) == {"Cu", "CNT"}
+        assert all(len(group) == 2 for group in groups.values())
+
+    def test_group_by_multiple_keys(self, rs):
+        groups = rs.group_by("line", "length_um")
+        assert ("Cu", 1.0) in groups and len(groups) == 4
+
+    def test_select_and_column(self, rs):
+        projected = rs.select("r_ohm", "line")
+        assert projected.columns == ["r_ohm", "line"]
+        assert rs.column("r_ohm") == [5.0, 50.0, 20.0, 30.0]
+        with pytest.raises(KeyError):
+            rs.column("nope")
+
+    def test_sorted_by(self, rs):
+        ordered = rs.sorted_by("r_ohm", reverse=True)
+        assert ordered.column("r_ohm") == [50.0, 30.0, 20.0, 5.0]
+
+
+class TestSerialisation:
+    def test_json_round_trip_in_memory(self):
+        rs = ResultSet.from_records(RECORDS, meta={"experiment": "demo", "params": {"n": 3}})
+        restored = ResultSet.from_json(rs.to_json())
+        assert restored == rs
+        assert restored.meta["params"] == {"n": 3}
+
+    def test_json_round_trip_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        rs = ResultSet.from_records(RECORDS)
+        rs.to_json(path)
+        assert ResultSet.from_json(path) == rs
+
+    def test_json_tamper_detection(self):
+        rs = ResultSet.from_records(RECORDS)
+        tampered = rs.to_json().replace("50.0", "51.0")
+        with pytest.raises(ValueError, match="content hash"):
+            ResultSet.from_json(tampered)
+
+    def test_csv_round_trip(self, tmp_path):
+        rs = ResultSet.from_records(RECORDS)
+        assert ResultSet.from_csv(rs.to_csv()) == rs
+        path = str(tmp_path / "out.csv")
+        rs.to_csv(path)
+        assert ResultSet.from_csv(path) == rs
+
+    def test_csv_preserves_mixed_types(self):
+        rs = ResultSet.from_records(
+            [{"name": "a", "n": 2, "x": 1.5, "ok": True, "missing": None}]
+        )
+        restored = ResultSet.from_csv(rs.to_csv())
+        assert restored.to_records() == [
+            {"name": "a", "n": 2, "x": 1.5, "ok": True, "missing": None}
+        ]
+
+
+class TestProvenance:
+    def test_content_hash_stable_and_data_sensitive(self):
+        first = ResultSet.from_records(RECORDS)
+        second = ResultSet.from_records(RECORDS, meta={"wall_time_s": 99.0})
+        assert first.content_hash == second.content_hash  # meta-independent
+        changed = ResultSet.from_records(RECORDS[:3])
+        assert changed.content_hash != first.content_hash
+        assert content_hash(RECORDS) == first.content_hash
+
+    def test_equality_ignores_meta_and_handles_nan(self):
+        a = ResultSet.from_records([{"x": math.nan}], meta={"a": 1})
+        b = ResultSet.from_records([{"x": math.nan}], meta={"b": 2})
+        assert a == b
+        assert ResultSet.from_records([{"x": 1.0}]) != ResultSet.from_records([{"x": 2.0}])

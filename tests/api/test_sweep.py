@@ -1,0 +1,91 @@
+"""Tests for the declarative SweepSpec (grid / zip expansion and refinement)."""
+
+import pytest
+
+from repro.api import SweepSpec
+
+
+class TestGrid:
+    def test_cartesian_product_order(self):
+        spec = SweepSpec.grid(a=[1, 2], b=["x", "y"])
+        assert spec.points() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+        assert len(spec) == 4
+        assert spec.axis_names == ["a", "b"]
+
+    def test_single_axis(self):
+        assert SweepSpec.grid(a=[1, 2, 3]).points() == [{"a": 1}, {"a": 2}, {"a": 3}]
+
+    def test_iteration(self):
+        assert list(SweepSpec.grid(a=[1])) == [{"a": 1}]
+
+
+class TestZip:
+    def test_lockstep_pairing(self):
+        spec = SweepSpec.zip(a=[1, 2], b=[10, 20])
+        assert spec.points() == [{"a": 1, "b": 10}, {"a": 2, "b": 20}]
+        assert len(spec) == 2
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            SweepSpec.zip(a=[1, 2], b=[10])
+
+
+class TestValidation:
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            SweepSpec.grid()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="is empty"):
+            SweepSpec.grid(a=[])
+
+    def test_scalar_axis_rejected(self):
+        with pytest.raises(TypeError, match="iterable"):
+            SweepSpec.grid(a=3)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            SweepSpec(mode="random", axes={"a": [1]})
+
+
+class TestRefine:
+    def test_linear_midpoints(self):
+        spec = SweepSpec.grid(a=[0.0, 2.0, 4.0]).refine("a", 2)
+        assert spec.axes["a"] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_higher_factor(self):
+        spec = SweepSpec.grid(a=[0.0, 3.0]).refine("a", 3)
+        assert spec.axes["a"] == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_log_midpoints(self):
+        spec = SweepSpec.grid(a=[1.0, 100.0]).refine("a", 2, scale="log")
+        assert spec.axes["a"] == pytest.approx([1.0, 10.0, 100.0])
+
+    def test_log_requires_positive_values(self):
+        with pytest.raises(ValueError, match="positive"):
+            SweepSpec.grid(a=[0.0, 1.0]).refine("a", 2, scale="log")
+
+    def test_other_axes_untouched(self):
+        spec = SweepSpec.grid(a=[1.0, 2.0], b=[5, 6]).refine("a", 2)
+        assert spec.axes["b"] == [5, 6]
+        assert len(spec) == 6
+
+    def test_refine_zip_rejected(self):
+        with pytest.raises(ValueError, match="zip"):
+            SweepSpec.zip(a=[1, 2], b=[3, 4]).refine("a")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(KeyError, match="no axis"):
+            SweepSpec.grid(a=[1, 2]).refine("b")
+
+    def test_bad_factor_and_scale(self):
+        spec = SweepSpec.grid(a=[1.0, 2.0])
+        with pytest.raises(ValueError, match="factor"):
+            spec.refine("a", 1)
+        with pytest.raises(ValueError, match="scale"):
+            spec.refine("a", 2, scale="cubic")
