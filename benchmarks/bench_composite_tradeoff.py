@@ -1,26 +1,30 @@
 """Experiment E11 -- Section II.C: Cu-CNT composite resistivity/ampacity trade-off.
 
-Paper claims: embedding CNTs in a copper matrix enables manufacturable
-integration and "an efficient trade-off between resistivity and ampacity can
-be realized" (reference [14] demonstrated a hundred-fold ampacity increase).
+Thin wrapper over the registered ``composite_tradeoff`` experiment.  Paper
+claims: embedding CNTs in a copper matrix enables manufacturable integration
+and "an efficient trade-off between resistivity and ampacity can be
+realized" (reference [14] demonstrated a hundred-fold ampacity increase).
 """
 
 from repro.analysis.report import format_table
-from repro.core.composite import tradeoff_sweep
+from repro.api import Engine
 from repro.process.composite_process import FillProcess, composite_from_process, simulate_fill
 from repro.units import nm, um
 
-FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7]
-
 
 def test_composite_tradeoff(benchmark):
-    records = benchmark(tradeoff_sweep, nm(100), nm(50), um(10), FRACTIONS)
+    result = benchmark(Engine().run, "composite_tradeoff")
 
     print()
-    print(format_table(records, title="Cu-CNT composite trade-off (10 um line, 100x50 nm)"))
+    print(
+        format_table(
+            result.to_records(),
+            title="Cu-CNT composite trade-off (10 um line, 100x50 nm)",
+        )
+    )
 
-    gains = [record["ampacity_gain"] for record in records]
-    penalties = [record["resistivity_penalty"] for record in records]
+    gains = result.column("ampacity_gain")
+    penalties = result.column("resistivity_penalty")
 
     # Ampacity rises monotonically with the CNT fraction...
     assert all(b >= a for a, b in zip(gains, gains[1:]))

@@ -1,43 +1,25 @@
 """Extension of experiment E4 -- circuit-level consequence of the Fig. 10a crosstalk.
 
-Couples two identical MWCNT lines with the coupling capacitance obtained from
-the TCAD extraction and measures the induced noise glitch and the delay
-push-out with the MNA transient engine -- the signal-integrity question the
-paper's field-streamline figure raises.
+Thin wrapper over the registered ``crosstalk`` experiment: two identical
+MWCNT lines are coupled with the capacitance obtained from the TCAD
+extraction and the induced noise glitch and delay push-out are measured with
+the MNA transient engine -- the signal-integrity question the paper's
+field-streamline figure raises.
 """
 
-from repro.analysis.fig10_tcad import run_fig10_capacitance
-from repro.circuit.crosstalk import analyze_crosstalk
-from repro.core import InterconnectLine, MWCNTInterconnect
-from repro.units import nm, um
-
-LINE_LENGTH_UM = 50.0
+from repro.analysis.report import format_table
+from repro.api import Engine
 
 
 def test_crosstalk_noise_from_tcad_coupling(once, benchmark):
-    def experiment():
-        extraction = run_fig10_capacitance(resolution=3)
-        coupling_per_length = extraction["victim_coupling_af_per_um"] * 1e-18 / 1e-6
-        line = InterconnectLine(
-            MWCNTInterconnect(
-                outer_diameter=nm(10), length=um(LINE_LENGTH_UM), contact_resistance=100e3
-            ),
-            n_segments=8,
-        )
-        coupling = coupling_per_length * um(LINE_LENGTH_UM)
-        return extraction, analyze_crosstalk(line, coupling, n_time_steps=400)
-
-    extraction, result = once(benchmark, experiment)
+    result = once(benchmark, Engine().run, "crosstalk", {"resolution": 3})
+    record = result[0]
 
     print()
-    print(
-        f"TCAD coupling {extraction['victim_coupling_af_per_um']:.1f} aF/um over "
-        f"{LINE_LENGTH_UM:g} um -> noise peak {100*result.noise_peak_fraction:.1f} % of VDD, "
-        f"delay push-out {100*result.delay_pushout:.1f} %"
-    )
+    print(format_table(result.to_records(), title="TCAD-coupled crosstalk (50 um lines)"))
 
     # The extracted coupling produces a visible but non-destructive glitch...
-    assert 0.01 < result.noise_peak_fraction < 0.9
+    assert 0.01 < record["noise_peak_fraction"] < 0.9
     # ...and an opposite-switching aggressor slows the victim down.
-    assert result.delay_pushout > 0.05
-    assert result.victim_delay_opposite_switching > result.victim_delay_quiet
+    assert record["delay_pushout"] > 0.05
+    assert record["victim_delay_opposite_ps"] > record["victim_delay_quiet_ps"]

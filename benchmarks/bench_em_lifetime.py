@@ -1,54 +1,48 @@
 """Experiment E7 companion -- electromigration lifetimes (Section IV.A focus).
 
-The test layout of Fig. 13 exists to benchmark the Cu-CNT composite against
-Cu "with the focus on reliability improvement ... regarding ampacity and
-electromigration resistance"; this bench regenerates the projected lifetime
-comparison from Black's equation.
+Thin wrapper over the registered ``em_lifetime`` experiment: the test layout
+of Fig. 13 exists to benchmark the Cu-CNT composite against Cu "with the
+focus on reliability improvement ... regarding ampacity and electromigration
+resistance"; this bench regenerates the projected lifetime comparison from
+Black's equation, and sweeps the stress current density through the engine.
 """
 
 from repro.analysis.report import format_table
-from repro.characterization.electromigration import em_stress_test, lifetime_comparison
+from repro.api import Engine, SweepSpec
 from repro.constants import COPPER_EM_CURRENT_DENSITY_LIMIT
 
 
 def test_em_lifetime_comparison(benchmark):
-    comparison = benchmark(lifetime_comparison)
+    result = benchmark(Engine().run, "em_lifetime")
 
     print()
-    rows = [
-        {
-            "material": name,
-            "lifetime_years": result.lifetime_years,
-            "immediate_failure": result.immediate_failure,
-        }
-        for name, result in comparison.items()
-    ]
-    print(format_table(rows, title="EM lifetime at 1e6 A/cm^2, 105 C (Black's equation)"))
+    print(format_table(result.to_records(), title="EM lifetime at 1e6 A/cm^2, 105 C (Black's equation)"))
 
-    copper = comparison["copper"]
-    cnt = comparison["cnt"]
-    composite = comparison["composite"]
+    copper = result.filter(material="copper")[0]
+    cnt = result.filter(material="cnt")[0]
+    composite = result.filter(material="composite")[0]
 
     # Copper at its rated current density lasts on the order of 10 years.
-    assert 3.0 < copper.lifetime_years < 30.0
+    assert 3.0 < copper["lifetime_years"] < 30.0
     # CNTs are effectively immune to electromigration at these densities.
-    assert cnt.lifetime_years > 1e3 * copper.lifetime_years
+    assert cnt["lifetime_years"] > 1e3 * copper["lifetime_years"]
     # The composite inherits a sizeable fraction of that benefit.
-    assert composite.lifetime_years > 10.0 * copper.lifetime_years
+    assert composite["lifetime_years"] > 10.0 * copper["lifetime_years"]
 
 
 def test_em_acceleration_with_stress(benchmark):
-    def sweep():
-        return [
-            em_stress_test("copper", factor * COPPER_EM_CURRENT_DENSITY_LIMIT)
-            for factor in (1.0, 2.0, 5.0, 10.0)
+    spec = SweepSpec.grid(
+        current_density=[
+            factor * COPPER_EM_CURRENT_DENSITY_LIMIT for factor in (1.0, 2.0, 5.0, 10.0)
         ]
+    )
 
-    results = benchmark(sweep)
-    lifetimes = [r.median_lifetime for r in results]
+    result = benchmark(Engine().sweep, "em_lifetime", spec)
+    copper = result.filter(material="copper")
+    lifetimes = copper.column("lifetime_years")
     print()
-    for factor, result in zip((1, 2, 5, 10), results):
-        print(f"{factor:2d}x EM limit: {result.lifetime_years:.3g} years")
+    for record in copper:
+        print(f"{record['current_density']:.3g} A/m^2: {record['lifetime_years']:.3g} years")
     # Black's equation: lifetime drops monotonically (quadratically) with stress.
     assert all(b < a for a, b in zip(lifetimes, lifetimes[1:]))
     assert lifetimes[0] / lifetimes[1] > 3.0

@@ -1,56 +1,48 @@
 """Experiment E10 (growth) -- Section II.B: Co-catalyst growth window and wafer scale.
 
-Paper claims: good CNT growth on a Co catalyst is possible at CMOS-compatible
-temperatures (< 400 C), albeit slower / more defective than hot growth, and
-full 300 mm wafer growth with good starting uniformity was demonstrated.
+Thin wrappers over the registered ``growth_window`` and ``wafer_uniformity``
+experiments.  Paper claims: good CNT growth on a Co catalyst is possible at
+CMOS-compatible temperatures (< 400 C), albeit slower / more defective than
+hot growth, and full 300 mm wafer growth with good starting uniformity was
+demonstrated.
 """
 
 from repro.analysis.report import format_table
-from repro.process.catalyst import CO_CATALYST, FE_CATALYST, cmos_compatible
-from repro.process.growth import GrowthRecipe, growth_temperature_sweep, simulate_growth
-from repro.process.wafer import simulate_wafer_growth
-from repro.units import celsius_to_kelvin
+from repro.api import Engine
 
 
 def test_growth_temperature_window(benchmark):
-    temperatures = [celsius_to_kelvin(t) for t in (300.0, 350.0, 400.0, 450.0, 500.0, 600.0)]
-    results = benchmark(growth_temperature_sweep, temperatures)
+    result = benchmark(Engine().run, "growth_window")
 
     print()
-    rows = [
-        {
-            "T_C": t - 273.15,
-            "length_um": r.mean_length * 1e6,
-            "quality": r.quality,
-            "yield": r.nucleation_yield,
-            "CMOS_ok": r.cmos_compatible,
-        }
-        for t, r in zip(temperatures, results)
-    ]
-    print(format_table(rows, title="Co-catalyst growth window"))
+    print(format_table(result.to_records(), title="Co-catalyst growth window"))
 
-    at_400 = results[3 - 1]  # 400 C entry
-    hot = results[-1]
+    at_400 = result.filter(temperature_c=400.0)[0]
+    hot = result.filter(temperature_c=600.0)[0]
     # Growth at 400 C on Co is possible (non-zero length, reasonable yield)...
-    assert at_400.mean_length > 0
-    assert at_400.nucleation_yield > 0.3
-    assert at_400.cmos_compatible
+    assert at_400["mean_length_um"] > 0
+    assert at_400["nucleation_yield"] > 0.3
+    assert at_400["cmos_compatible"]
     # ...but hotter growth is faster and cleaner (the paper's trade-off).
-    assert hot.mean_length > at_400.mean_length
-    assert hot.quality >= at_400.quality
-    assert not hot.cmos_compatible
+    assert hot["mean_length_um"] > at_400["mean_length_um"]
+    assert hot["quality"] >= at_400["quality"]
+    assert not hot["cmos_compatible"]
     # Fe-catalyst growth is never CMOS compatible regardless of temperature.
-    assert not cmos_compatible(FE_CATALYST, celsius_to_kelvin(390.0))
-    assert cmos_compatible(CO_CATALYST, celsius_to_kelvin(390.0))
+    engine = Engine()
+    fe = engine.run("growth_window", temperatures_c=(390.0,), catalyst="Fe")
+    assert not fe[0]["cmos_compatible"]
+    co = engine.run("growth_window", temperatures_c=(390.0,), catalyst="Co")
+    assert co[0]["cmos_compatible"]
 
 
 def test_wafer_uniformity(benchmark):
-    wafer = benchmark(simulate_wafer_growth)
+    result = benchmark(Engine().run, "wafer_uniformity")
+    wafer = result[0]
     print()
     print(
-        f"{wafer.n_dies} dies on 300 mm, uniformity {100*wafer.uniformity:.1f} %, "
-        f"CV {100*wafer.coefficient_of_variation:.1f} %"
+        f"{wafer['n_dies']} dies on 300 mm, uniformity {100*wafer['uniformity']:.1f} %, "
+        f"CV {100*wafer['coefficient_of_variation']:.1f} %"
     )
     # "good starting uniformity and full 300 mm wafer CNT-growth"
-    assert wafer.n_dies > 100
-    assert wafer.uniformity > 0.8
+    assert wafer["n_dies"] > 100
+    assert wafer["uniformity"] > 0.8

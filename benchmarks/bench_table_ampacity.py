@@ -1,21 +1,22 @@
 """Experiment E7 -- Section I text table: ampacity and minimum-density comparison.
 
-Paper claims: Cu is EM-limited to 1e6 A/cm^2 (the 100 nm x 50 nm reference
-line carries at most ~50 uA) while a single ~1 nm CNT carries 20-25 uA at up
-to 1e9 A/cm^2, so a few CNTs match a Cu line; a pure CNT interconnect needs
-at least 0.096 tubes/nm^2 to also win on resistance.
+Thin wrapper over the registered ``table_ampacity`` and ``table_density``
+experiments.  Paper claims: Cu is EM-limited to 1e6 A/cm^2 (the 100 nm x
+50 nm reference line carries at most ~50 uA) while a single ~1 nm CNT
+carries 20-25 uA at up to 1e9 A/cm^2, so a few CNTs match a Cu line; a pure
+CNT interconnect needs at least 0.096 tubes/nm^2 to also win on resistance.
 """
 
 import pytest
 
 from repro.analysis.paper_reference import PAPER_REFERENCE
 from repro.analysis.report import format_table
-from repro.analysis.tables import ampacity_table, density_table
+from repro.api import Engine
 from repro.core.ampacity import cnts_needed_to_match_copper
 
 
 def test_ampacity_table(benchmark):
-    rows = benchmark(ampacity_table)
+    rows = benchmark(Engine().run, "table_ampacity").to_records()
     print()
     print(format_table(rows, title="Section I ampacity comparison"))
 
@@ -35,7 +36,7 @@ def test_ampacity_table(benchmark):
 
 
 def test_minimum_density_table(benchmark):
-    rows = benchmark(density_table)
+    rows = benchmark(Engine().run, "table_density").to_records()
     print()
     print(format_table(rows, title="Minimum-density argument (0.096 nm^-2)"))
 

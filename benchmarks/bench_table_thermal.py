@@ -1,22 +1,20 @@
 """Experiment E8 -- Section I/IV thermal claims: CNT vs Cu thermal conduction.
 
-Paper claims: SWCNT bundles conduct 3000-10000 W/mK against 385 W/mK for
-copper, so heat diffuses more efficiently through CNT vias and can reduce the
-on-chip temperature.
+Thin wrapper over the registered ``table_thermal`` and ``self_heating``
+experiments.  Paper claims: SWCNT bundles conduct 3000-10000 W/mK against
+385 W/mK for copper, so heat diffuses more efficiently through CNT vias and
+can reduce the on-chip temperature.
 """
 
 import pytest
 
 from repro.analysis.paper_reference import PAPER_REFERENCE
 from repro.analysis.report import format_table
-from repro.analysis.tables import thermal_table
-from repro.core import MWCNTInterconnect
-from repro.thermal import self_heating_analysis
-from repro.units import nm, um
+from repro.api import Engine
 
 
 def test_thermal_table(benchmark):
-    rows = benchmark(thermal_table)
+    rows = benchmark(Engine().run, "table_thermal").to_records()
     print()
     print(format_table(rows, title="Thermal comparison (Section I)"))
 
@@ -32,14 +30,11 @@ def test_thermal_table(benchmark):
 
 def test_cnt_line_selfheating_modest(benchmark):
     """A CNT line carrying its rated current stays far from thermal runaway."""
-    tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(2))
-    result = benchmark(
-        self_heating_analysis, tube, 50e-6, 0.05
-    )
+    record = benchmark(Engine().run, "self_heating")[0]
     print()
     print(
-        f"peak temperature {result.peak_temperature:.1f} K at 50 uA "
-        f"({result.dissipated_power*1e6:.1f} uW dissipated)"
+        f"peak temperature {record['peak_temperature_k']:.1f} K at 50 uA "
+        f"({record['dissipated_power_uw']:.1f} uW dissipated)"
     )
-    assert result.converged
-    assert result.peak_temperature < 400.0
+    assert record["converged"]
+    assert record["peak_temperature_k"] < 400.0

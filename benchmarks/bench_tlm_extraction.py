@@ -1,38 +1,38 @@
 """Experiment E9 -- Section IV.B: transmission-line-measurement extraction.
 
-Paper description: MWCNTs of different lengths are contacted, the resistance
-is measured, and the correlation of resistance with length separates the
-contact resistance (intercept) from the CNT resistance per unit length
-(slope).  The benchmark runs the full measure-then-extract round trip on
-synthetic data and checks that the truth is recovered.
+Thin wrapper over the registered ``tlm`` experiment.  Paper description:
+MWCNTs of different lengths are contacted, the resistance is measured, and
+the correlation of resistance with length separates the contact resistance
+(intercept) from the CNT resistance per unit length (slope).  The benchmark
+runs the full measure-then-extract round trip on synthetic data and checks
+that the truth is recovered.
 """
 
 import pytest
 
-from repro.characterization.tlm import tlm_round_trip
-from repro.core import MWCNTInterconnect
-from repro.units import nm, um
-
-LENGTHS = [um(1), um(2), um(5), um(10), um(20), um(50)]
+from repro.api import Engine
 
 
 def test_tlm_round_trip(benchmark):
-    device = MWCNTInterconnect(outer_diameter=nm(7.5), length=um(2))
-    extraction, true_contact, true_slope = benchmark(
-        tlm_round_trip, device, LENGTHS, 30e3, 0.02, 0
-    )
+    result = benchmark(Engine().run, "tlm")
+    record = result[0]
 
     print()
     print(
-        f"contact resistance: extracted {extraction.contact_resistance/1e3:.1f} kOhm "
-        f"(true {true_contact/1e3:.1f} kOhm)"
+        f"contact resistance: extracted {record['contact_resistance_kohm']:.1f} kOhm "
+        f"(true {record['true_contact_resistance_kohm']:.1f} kOhm)"
     )
     print(
-        f"resistance per length: extracted {extraction.resistance_per_length/1e9:.2f} kOhm/um "
-        f"(true {true_slope/1e9:.2f} kOhm/um), R^2 = {extraction.r_squared:.3f}"
+        f"resistance per length: extracted {record['resistance_per_length_kohm_per_um']:.2f} kOhm/um "
+        f"(true {record['true_resistance_per_length_kohm_per_um']:.2f} kOhm/um), "
+        f"R^2 = {record['r_squared']:.3f}"
     )
 
-    assert extraction.contact_resistance == pytest.approx(true_contact, rel=0.2)
-    assert extraction.resistance_per_length == pytest.approx(true_slope, rel=0.2)
-    assert extraction.r_squared > 0.9
-    assert extraction.transfer_length() > 0
+    assert record["contact_resistance_kohm"] == pytest.approx(
+        record["true_contact_resistance_kohm"], rel=0.2
+    )
+    assert record["resistance_per_length_kohm_per_um"] == pytest.approx(
+        record["true_resistance_per_length_kohm_per_um"], rel=0.2
+    )
+    assert record["r_squared"] > 0.9
+    assert record["transfer_length_um"] > 0

@@ -1,36 +1,36 @@
 """Experiment E10 -- Section II.A: resistance variability and doping as its cure.
 
-Paper claims: CVD-grown CNTs vary in resistance because of chirality (2/3
-semiconducting), defects and contacts; doping suppresses that variability.
+Thin wrapper over the registered ``variability`` experiment.  Paper claims:
+CVD-grown CNTs vary in resistance because of chirality (2/3 semiconducting),
+defects and contacts; doping suppresses that variability.
 """
 
 from repro.analysis.report import format_table
-from repro.process.variability import doping_variability_comparison
+from repro.api import Engine
 
 
 def test_variability_pristine_vs_doped(benchmark):
-    comparison = benchmark(doping_variability_comparison, 10.0e-6, 6.0, 400, 0)
+    result = benchmark(Engine().run, "variability", {"n_devices": 400})
 
-    pristine = comparison["pristine"]
-    doped = comparison["doped"]
+    pristine = result.filter(population="pristine")[0]
+    doped = result.filter(population="doped")[0]
 
     print()
-    rows = [
-        {
-            "population": name,
-            "mean_kOhm": result.mean / 1e3,
-            "CV": result.coefficient_of_variation,
-            "open_fraction": result.open_fraction,
-        }
-        for name, result in comparison.items()
-    ]
-    print(format_table(rows, title="MWCNT interconnect resistance variability (10 um lines)"))
+    print(
+        format_table(
+            result.to_records(),
+            title="MWCNT interconnect resistance variability (10 um lines)",
+        )
+    )
 
     # Doping lowers the mean resistance, narrows the spread and rescues the
     # devices that drew no metallic shell at all in the chirality lottery.
-    assert doped.mean < pristine.mean
-    assert doped.coefficient_of_variation < pristine.coefficient_of_variation * 0.9
-    assert doped.open_fraction == 0.0
+    assert doped["mean_kohm"] < pristine["mean_kohm"]
+    assert (
+        doped["coefficient_of_variation"]
+        < pristine["coefficient_of_variation"] * 0.9
+    )
+    assert doped["open_fraction"] == 0.0
     # A non-negligible fraction of pristine MWCNTs has no metallic shell
     # ((2/3)^Ns of the devices) and is effectively open.
-    assert 0.02 < pristine.open_fraction < 0.5
+    assert 0.02 < pristine["open_fraction"] < 0.5

@@ -14,9 +14,11 @@ The package mirrors the paper's structure (Uhlig et al., DATE 2018):
 * :mod:`repro.characterization` -- TLM / I-V / electromigration / Raman
   measurement emulation,
 * :mod:`repro.analysis` -- experiment drivers that regenerate every figure
-  and table (see DESIGN.md and EXPERIMENTS.md),
+  and table plus the registered extension studies (catalog in
+  docs/EXPERIMENTS.md),
 * :mod:`repro.api` -- the experiment engine: registry, declarative sweeps,
-  columnar results, parallel execution and the ``python -m repro`` CLI.
+  columnar results, parallel/streaming execution, the on-disk result cache
+  and the ``python -m repro`` CLI.
 
 Model quick start::
 
@@ -40,7 +42,9 @@ Experiment quick start::
     )
     print(len(sweep))
 
-or, from the shell, ``python -m repro list`` / ``python -m repro run fig9``.
+or, from the shell, ``python -m repro list`` / ``python -m repro run fig9``
+(``python -m repro cache stats`` inspects the memoisation cache, and
+``python -m repro docs`` regenerates the experiment catalog).
 """
 
 from repro import constants, units

@@ -1,15 +1,20 @@
 """Experiment drivers that regenerate the paper's figures and tables.
 
 Each module corresponds to one experiment of the DESIGN.md index (E1-E11).
-The drivers are registered into the experiment engine
-(:mod:`repro.api`, definitions in :mod:`repro.analysis.experiments`) and are
-normally executed through it::
+The drivers are registered into the experiment engine (:mod:`repro.api`):
+figure/table registrations live in :mod:`repro.analysis.experiments`, the
+extension studies (crosstalk, EM lifetime, variability, growth window,
+composite trade-off, TLM, self-heating) in :mod:`repro.analysis.studies`.
+All of them are normally executed through the engine::
 
     from repro.api import Engine
 
-    records = Engine().run("fig9").to_records()
+    records = Engine().run("table_ampacity").to_records()
+    print(len(records))
 
-The historic ``run_figX`` entry points remain importable as thin
+The generated catalog of every registered experiment is
+``docs/EXPERIMENTS.md`` (regenerate with ``python -m repro docs``).  The
+historic ``run_figX`` entry points remain importable as thin
 deprecation-shimmed wrappers around the registered implementations.  No
 plotting library is used; :mod:`repro.analysis.report` renders results as
 text tables.

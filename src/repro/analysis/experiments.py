@@ -26,6 +26,11 @@ needs to import it explicitly.  The experiment names follow the paper:
 ``table_density``         minimum CNT density argument
 ``table_doping_resistance``  pristine vs doped MWCNT resistance table
 ========================  =====================================================
+
+The extension studies the paper motivates in prose (crosstalk, EM lifetime,
+variability, growth window, composite trade-off, TLM, self-heating) are
+registered in :mod:`repro.analysis.studies`; the generated catalog of every
+registered experiment is ``docs/EXPERIMENTS.md``.
 """
 
 from __future__ import annotations

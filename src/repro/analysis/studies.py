@@ -1,0 +1,363 @@
+"""Registry definitions: the paper's extension studies as Experiments.
+
+:mod:`repro.analysis.experiments` registers the figure and table drivers;
+this module registers the *extension studies* the paper motivates in prose
+-- crosstalk signal integrity, electromigration lifetime, growth and
+variability, the Cu-CNT composite trade-off, TLM extraction and
+self-heating.  They used to exist only as ad-hoc ``benchmarks/bench_*.py``
+scripts; registering them makes every workload visible to
+``python -m repro list``, sweepable, and memoised through the engine cache
+(the benchmarks are now thin wrappers over these registrations).
+
+Like the figure registrations, each experiment exposes a flat
+JSON-serialisable parameter surface; composite driver arguments (material
+objects, catalyst records, unit conversions) are assembled inside the
+adapter functions.
+
+Quick start::
+
+    from repro.api import Engine
+
+    lifetime = Engine().run("em_lifetime")
+    print(lifetime.filter(material="cnt").column("lifetime_years"))
+
+========================  ====================================================
+``crosstalk``             TCAD-coupled victim/aggressor noise + delay push-out
+``em_lifetime``           Black's-equation EM lifetime: Cu vs CNT vs composite
+``variability``           pristine vs doped MWCNT resistance variability
+``growth_window``         catalyst growth window vs temperature (Co or Fe)
+``wafer_uniformity``      300 mm wafer CNT-growth uniformity map
+``composite_tradeoff``    Cu-CNT composite resistivity/ampacity trade-off
+``tlm``                   TLM contact/line-resistance extraction round trip
+``self_heating``          self-consistent Joule heating of a CNT line
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fig10_tcad import fig10_capacitance_summary
+from repro.api.experiment import ParamSpec, register_experiment
+from repro.characterization.electromigration import em_stress_test
+from repro.characterization.tlm import tlm_round_trip
+from repro.circuit.crosstalk import analyze_crosstalk
+from repro.circuit.technology import node_by_name
+from repro.constants import COPPER_EM_CURRENT_DENSITY_LIMIT
+from repro.core import InterconnectLine, MWCNTInterconnect
+from repro.core.composite import tradeoff_sweep
+from repro.process.catalyst import CO_CATALYST, FE_CATALYST
+from repro.process.growth import growth_temperature_sweep
+from repro.process.variability import doping_variability_comparison
+from repro.process.wafer import simulate_wafer_growth
+from repro.thermal import self_heating_analysis
+from repro.units import celsius_to_kelvin, nm, um
+
+_TECHNOLOGIES = ("14nm", "45nm")
+
+
+# --- crosstalk: circuit consequence of the Fig. 10a coupling ----------------
+
+
+@register_experiment(
+    "crosstalk",
+    params=(
+        ParamSpec("line_length_um", "float", 50.0, "coupled line length in um"),
+        ParamSpec("outer_diameter_nm", "float", 10.0, "MWCNT outer diameter in nm"),
+        ParamSpec("contact_resistance", "float", 100.0e3, "per-line contact resistance in ohm"),
+        ParamSpec("n_segments", "int", 8, "RC-ladder segments per line"),
+        ParamSpec("technology", "str", "14nm", "TCAD extraction node", choices=_TECHNOLOGIES),
+        ParamSpec("resolution", "int", 3, "TCAD grid cells per feature"),
+        ParamSpec("n_time_steps", "int", 400, "transient steps per simulation"),
+    ),
+    description="Victim/aggressor crosstalk noise from the TCAD-extracted coupling",
+    tags=("extension", "circuit", "tcad"),
+)
+def _crosstalk(
+    line_length_um: float,
+    outer_diameter_nm: float,
+    contact_resistance: float,
+    n_segments: int,
+    technology: str,
+    resolution: int,
+    n_time_steps: int,
+) -> list[dict]:
+    extraction = fig10_capacitance_summary(
+        technology=node_by_name(technology), resolution=resolution
+    )
+    coupling_per_length = extraction["victim_coupling_af_per_um"] * 1e-18 / 1e-6
+    coupling = coupling_per_length * um(line_length_um)
+    line = InterconnectLine(
+        MWCNTInterconnect(
+            outer_diameter=nm(outer_diameter_nm),
+            length=um(line_length_um),
+            contact_resistance=contact_resistance,
+        ),
+        n_segments=n_segments,
+    )
+    result = analyze_crosstalk(line, coupling, n_time_steps=n_time_steps)
+    return [
+        {
+            "coupling_af_per_um": extraction["victim_coupling_af_per_um"],
+            "coupling_ff": coupling * 1e15,
+            "noise_peak_fraction": result.noise_peak_fraction,
+            "victim_delay_quiet_ps": result.victim_delay_quiet * 1e12,
+            "victim_delay_opposite_ps": result.victim_delay_opposite_switching * 1e12,
+            "delay_pushout": result.delay_pushout,
+        }
+    ]
+
+
+# --- electromigration lifetime ----------------------------------------------
+
+
+@register_experiment(
+    "em_lifetime",
+    params=(
+        ParamSpec(
+            "current_density",
+            "float",
+            COPPER_EM_CURRENT_DENSITY_LIMIT,
+            "stress current density in A/m^2",
+        ),
+        ParamSpec("temperature", "float", 378.0, "stress temperature in kelvin"),
+        ParamSpec("cnt_fraction", "float", 0.3, "CNT volume fraction of the composite"),
+    ),
+    description="Electromigration lifetimes (Black's equation): Cu vs CNT vs composite",
+    tags=("extension", "reliability"),
+)
+def _em_lifetime(
+    current_density: float, temperature: float, cnt_fraction: float
+) -> list[dict]:
+    records = []
+    for material in ("copper", "cnt", "composite"):
+        result = em_stress_test(
+            material, current_density, temperature, cnt_fraction=cnt_fraction
+        )
+        records.append(
+            {
+                "material": material,
+                "lifetime_years": result.lifetime_years,
+                "immediate_failure": result.immediate_failure,
+            }
+        )
+    copper_years = records[0]["lifetime_years"]
+    for record in records:
+        if copper_years > 0:
+            gain = record["lifetime_years"] / copper_years
+        elif record["lifetime_years"] > 0:
+            gain = float("inf")  # finite lifetime vs instantly-failing copper
+        else:
+            gain = float("nan")  # 0/0: both failed immediately
+        record["gain_over_copper"] = gain
+    return records
+
+
+# --- resistance variability --------------------------------------------------
+
+
+@register_experiment(
+    "variability",
+    params=(
+        ParamSpec("length_um", "float", 10.0, "interconnect length in um"),
+        ParamSpec("doped_channels", "float", 6.0, "channels per shell of the doped population"),
+        ParamSpec("n_devices", "int", 400, "Monte-Carlo population size"),
+        ParamSpec("seed", "int", 0, "random seed"),
+    ),
+    description="Pristine vs doped MWCNT resistance variability (Section II.A)",
+    tags=("extension", "process"),
+)
+def _variability(
+    length_um: float, doped_channels: float, n_devices: int, seed: int
+) -> list[dict]:
+    comparison = doping_variability_comparison(
+        length=um(length_um),
+        doped_channels=doped_channels,
+        n_devices=n_devices,
+        seed=seed,
+    )
+    return [
+        {
+            "population": name,
+            "mean_kohm": result.mean / 1e3,
+            "std_kohm": result.std / 1e3,
+            "median_kohm": result.median / 1e3,
+            "coefficient_of_variation": result.coefficient_of_variation,
+            "open_fraction": result.open_fraction,
+        }
+        for name, result in comparison.items()
+    ]
+
+
+# --- growth window and wafer scale -------------------------------------------
+
+_CATALYSTS = {"Co": CO_CATALYST, "Fe": FE_CATALYST}
+
+
+@register_experiment(
+    "growth_window",
+    params=(
+        ParamSpec(
+            "temperatures_c",
+            "floats",
+            (300.0, 350.0, 400.0, 450.0, 500.0, 600.0),
+            "growth temperatures in Celsius",
+        ),
+        ParamSpec("catalyst", "str", "Co", "catalyst metal", choices=tuple(_CATALYSTS)),
+        ParamSpec("duration_s", "float", 600.0, "growth duration in seconds"),
+    ),
+    description="Catalyst growth window vs temperature (Section II.B)",
+    tags=("extension", "process"),
+)
+def _growth_window(
+    temperatures_c: tuple[float, ...], catalyst: str, duration_s: float
+) -> list[dict]:
+    temperatures_k = [celsius_to_kelvin(t) for t in temperatures_c]
+    results = growth_temperature_sweep(
+        temperatures_k, catalyst=_CATALYSTS[catalyst], duration=duration_s
+    )
+    return [
+        {
+            "temperature_c": t_c,
+            "mean_length_um": result.mean_length * 1e6,
+            "quality": result.quality,
+            "nucleation_yield": result.nucleation_yield,
+            "walls": result.walls,
+            "cmos_compatible": result.cmos_compatible,
+        }
+        for t_c, result in zip(temperatures_c, results)
+    ]
+
+
+@register_experiment(
+    "wafer_uniformity",
+    params=(
+        ParamSpec("die_pitch_mm", "float", 20.0, "die spacing in mm"),
+        ParamSpec("edge_drop", "float", 0.1, "fractional growth drop at the wafer edge"),
+        ParamSpec("noise", "float", 0.02, "relative within-wafer noise (1-sigma)"),
+        ParamSpec("seed", "int", 0, "random seed"),
+    ),
+    description="300 mm wafer CNT-growth uniformity map (Section II.B)",
+    tags=("extension", "process"),
+)
+def _wafer_uniformity(
+    die_pitch_mm: float, edge_drop: float, noise: float, seed: int
+) -> list[dict]:
+    wafer = simulate_wafer_growth(
+        die_pitch=die_pitch_mm * 1e-3, edge_drop=edge_drop, noise=noise, seed=seed
+    )
+    return [
+        {
+            "n_dies": wafer.n_dies,
+            "mean": wafer.mean,
+            "uniformity": wafer.uniformity,
+            "coefficient_of_variation": wafer.coefficient_of_variation,
+        }
+    ]
+
+
+# --- Cu-CNT composite trade-off ----------------------------------------------
+
+
+@register_experiment(
+    "composite_tradeoff",
+    params=(
+        ParamSpec("width_nm", "float", 100.0, "line width in nm"),
+        ParamSpec("height_nm", "float", 50.0, "line height in nm"),
+        ParamSpec("length_um", "float", 10.0, "line length in um"),
+        ParamSpec(
+            "fractions",
+            "floats",
+            (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7),
+            "CNT volume fractions to sweep",
+        ),
+    ),
+    description="Cu-CNT composite resistivity/ampacity trade-off (Section II.C)",
+    tags=("extension", "compact-model"),
+)
+def _composite_tradeoff(
+    width_nm: float, height_nm: float, length_um: float, fractions: tuple[float, ...]
+) -> list[dict]:
+    return tradeoff_sweep(nm(width_nm), nm(height_nm), um(length_um), list(fractions))
+
+
+# --- TLM extraction round trip -----------------------------------------------
+
+
+@register_experiment(
+    "tlm",
+    params=(
+        ParamSpec("outer_diameter_nm", "float", 7.5, "MWCNT outer diameter in nm"),
+        ParamSpec(
+            "lengths_um",
+            "floats",
+            (1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
+            "TLM structure lengths in um",
+        ),
+        ParamSpec("contact_resistance", "float", 30.0e3, "true extrinsic contact resistance in ohm"),
+        ParamSpec("noise_fraction", "float", 0.02, "relative measurement noise (1-sigma)"),
+        ParamSpec("seed", "int", 0, "random seed"),
+    ),
+    description="TLM contact/line-resistance extraction round trip (Section IV.B)",
+    tags=("extension", "characterization"),
+)
+def _tlm(
+    outer_diameter_nm: float,
+    lengths_um: tuple[float, ...],
+    contact_resistance: float,
+    noise_fraction: float,
+    seed: int,
+) -> list[dict]:
+    device = MWCNTInterconnect(outer_diameter=nm(outer_diameter_nm), length=um(2.0))
+    extraction, true_contact, true_slope = tlm_round_trip(
+        device,
+        [um(length) for length in lengths_um],
+        contact_resistance,
+        noise_fraction,
+        seed,
+    )
+    return [
+        {
+            "contact_resistance_kohm": extraction.contact_resistance / 1e3,
+            "true_contact_resistance_kohm": true_contact / 1e3,
+            "resistance_per_length_kohm_per_um": extraction.resistance_per_length / 1e9,
+            "true_resistance_per_length_kohm_per_um": true_slope / 1e9,
+            "r_squared": extraction.r_squared,
+            "transfer_length_um": extraction.transfer_length() * 1e6,
+        }
+    ]
+
+
+# --- self-heating -------------------------------------------------------------
+
+
+@register_experiment(
+    "self_heating",
+    params=(
+        ParamSpec("outer_diameter_nm", "float", 10.0, "MWCNT outer diameter in nm"),
+        ParamSpec("length_um", "float", 2.0, "line length in um"),
+        ParamSpec("current_ua", "float", 50.0, "drive current in uA"),
+        ParamSpec("substrate_coupling", "float", 0.05, "substrate heat-sinking fraction"),
+    ),
+    description="Self-consistent Joule heating of a current-carrying CNT line",
+    tags=("extension", "thermal"),
+)
+def _self_heating(
+    outer_diameter_nm: float,
+    length_um: float,
+    current_ua: float,
+    substrate_coupling: float,
+) -> list[dict]:
+    result = self_heating_analysis(
+        MWCNTInterconnect(outer_diameter=nm(outer_diameter_nm), length=um(length_um)),
+        current_ua * 1e-6,
+        substrate_coupling,
+    )
+    return [
+        {
+            "peak_temperature_k": result.peak_temperature,
+            "average_temperature_k": result.average_temperature,
+            "resistance_ohm": result.resistance,
+            "dissipated_power_uw": result.dissipated_power * 1e6,
+            "iterations": result.iterations,
+            "converged": result.converged,
+        }
+    ]

@@ -3,21 +3,30 @@
 This subpackage is the public API for reproducing the paper's experiments
 programmatically::
 
+    import tempfile
+
     from repro.api import Engine, SweepSpec
 
-    engine = Engine(cache_dir=".repro-cache", executor="process")
-    fig9 = engine.run("fig9")                       # one figure, memoised
-    sweep = engine.sweep(                           # declarative fan-out
-        "fig12",
-        SweepSpec.grid(contact_resistance=[100e3, 250e3, 500e3]),
-    )
-    for resistance, group in sweep.group_by("contact_resistance").items():
-        print(resistance, group.filter(length_um=500.0).column("delay_ratio"))
+    engine = Engine(cache_dir=tempfile.mkdtemp())
+    table = engine.run("table_density")             # one experiment, memoised
+    print(table.column("density_per_nm2"))
+
+    spec = SweepSpec.grid(length_um=[1.0, 10.0])    # declarative fan-out
+    for point in engine.iter_sweep("table_density", spec):
+        print(point.index, point.cache_hit, len(point.result))
+
+``Engine.sweep`` gathers a whole sweep into one tagged
+:class:`~repro.api.results.ResultSet`; ``Engine.iter_sweep`` streams one
+:class:`~repro.api.engine.SweepPoint` per sweep point as it completes, and a
+failed point keeps its completed siblings (``SweepError.partial``).  The
+on-disk cache is managed through :mod:`repro.api.cache`.
 
 The same surface is exposed on the shell as ``python -m repro``
-(``list`` / ``describe`` / ``run`` / ``sweep``).  Experiment definitions
-live in :mod:`repro.analysis.experiments`; the registry imports them on
-first use, so no explicit setup call is needed.
+(``list`` / ``describe`` / ``run`` / ``sweep`` / ``cache`` / ``docs``).
+Experiment definitions live in :mod:`repro.analysis.experiments` (paper
+figures and tables) and :mod:`repro.analysis.studies` (extension studies);
+the registry imports them on first use, so no explicit setup call is
+needed.  The generated experiment catalog is ``docs/EXPERIMENTS.md``.
 """
 
 from repro.api.experiment import (
@@ -36,9 +45,19 @@ from repro.api.experiment import (
 )
 from repro.api.results import ResultSet, content_hash
 from repro.api.sweep import SweepSpec
-from repro.api.engine import Engine, cache_key
+from repro.api.engine import Engine, SweepError, SweepPoint, cache_key
+from repro.api.cache import (
+    CacheEntry,
+    CacheStats,
+    cache_stats,
+    clear_cache,
+    prune_cache,
+    scan_cache,
+)
 
 __all__ = [
+    "CacheEntry",
+    "CacheStats",
     "DuplicateExperimentError",
     "Engine",
     "Experiment",
@@ -47,9 +66,15 @@ __all__ = [
     "ParamSpec",
     "ParameterError",
     "ResultSet",
+    "SweepError",
+    "SweepPoint",
     "SweepSpec",
     "cache_key",
+    "cache_stats",
+    "clear_cache",
     "content_hash",
+    "prune_cache",
+    "scan_cache",
     "ensure_registered",
     "get_experiment",
     "list_experiments",

@@ -1,0 +1,248 @@
+"""Inspection and eviction of the engine's on-disk result cache.
+
+:class:`~repro.api.engine.Engine` memoises experiment results as
+``<experiment>-<key16>.json`` files (the key is the content-addressed
+SHA-256 of experiment name, version and resolved parameters).  This module
+is the management surface over that store:
+
+* :func:`scan_cache` -- enumerate entries with their provenance metadata,
+* :func:`cache_stats` -- per-experiment aggregates (entries, bytes, ages),
+* :func:`clear_cache` -- delete every entry,
+* :func:`prune_cache` -- delete entries matching an experiment name, an
+  experiment version and/or a minimum age (useful after bumping an
+  experiment's ``version``, which orphans the old entries forever).
+
+Everything here only ever touches files matching the engine's own naming
+pattern, so a cache directory that also holds exported results is safe.
+The same operations are exposed on the shell as
+``python -m repro cache {stats,clear,prune}``.
+
+Quick start::
+
+    import tempfile
+
+    from repro.api import Engine
+    from repro.api.cache import cache_stats, prune_cache
+
+    cache_dir = tempfile.mkdtemp()
+    Engine(cache_dir=cache_dir).run("table_density")
+
+    stats = cache_stats(cache_dir)
+    print(stats.n_entries, stats.experiments())
+
+    removed = prune_cache(cache_dir, experiment="table_density")
+    print(len(removed))
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import time
+from dataclasses import dataclass
+from typing import Any
+
+# The engine's cache file naming: "<experiment>-<first 16 hex of key>.json".
+_ENTRY_PATTERN = re.compile(r"(?P<experiment>.+)-(?P<key>[0-9a-f]{16})\.json$")
+
+# Accepted --older-than suffixes, in seconds.
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One memoised result file with its provenance.
+
+    ``version`` and ``params`` come from the entry's embedded metadata and
+    are ``None`` for unreadable (corrupt) entries -- those still count as
+    entries so that ``clear`` / ``prune`` can dispose of them.
+    """
+
+    path: str
+    experiment: str
+    key: str
+    version: str | None
+    params: dict[str, Any] | None
+    size_bytes: int
+    mtime: float
+
+    def age_seconds(self, now: float | None = None) -> float:
+        """Seconds since the entry was written (non-negative)."""
+        return max(0.0, (time.time() if now is None else now) - self.mtime)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate view over a cache directory's entries."""
+
+    cache_dir: str
+    entries: tuple[CacheEntry, ...]
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries)
+
+    def experiments(self) -> list[str]:
+        """Distinct experiment names with cached entries, sorted."""
+        return sorted({entry.experiment for entry in self.entries})
+
+    def by_experiment(self) -> dict[str, list[CacheEntry]]:
+        """Entries grouped by experiment name (sorted by name)."""
+        groups: dict[str, list[CacheEntry]] = {}
+        for entry in sorted(self.entries, key=lambda e: (e.experiment, e.path)):
+            groups.setdefault(entry.experiment, []).append(entry)
+        return groups
+
+
+def scan_cache(cache_dir: str | None, read_meta: bool = True) -> list[CacheEntry]:
+    """Enumerate the cache entries of a directory, sorted by path.
+
+    A missing or ``None`` directory yields an empty list (a cache that was
+    never written is just empty).  Non-entry files are ignored; entries whose
+    JSON cannot be read still appear, with ``version``/``params`` of ``None``.
+    ``read_meta=False`` skips parsing the entry payloads entirely (they can
+    be large) for callers that only need the file inventory.
+    """
+    if cache_dir is None or not os.path.isdir(cache_dir):
+        return []
+    entries: list[CacheEntry] = []
+    for filename in sorted(os.listdir(cache_dir)):
+        match = _ENTRY_PATTERN.fullmatch(filename)
+        if match is None:
+            continue
+        path = os.path.join(cache_dir, filename)
+        try:
+            stat = os.stat(path)
+        except OSError:
+            continue  # deleted concurrently
+        version: str | None = None
+        params: dict[str, Any] | None = None
+        if read_meta:
+            try:
+                with open(path) as handle:
+                    meta = json.load(handle).get("meta", {})
+                version = meta.get("version")
+                params = meta.get("params")
+            except (OSError, json.JSONDecodeError, AttributeError):
+                pass  # corrupt entry: keep it listed so prune/clear can remove it
+        entries.append(
+            CacheEntry(
+                path=path,
+                experiment=match.group("experiment"),
+                key=match.group("key"),
+                version=version,
+                params=params,
+                size_bytes=stat.st_size,
+                mtime=stat.st_mtime,
+            )
+        )
+    return entries
+
+
+def cache_stats(cache_dir: str | None) -> CacheStats:
+    """Aggregate statistics over a cache directory."""
+    return CacheStats(cache_dir=cache_dir or "", entries=tuple(scan_cache(cache_dir)))
+
+
+def clear_cache(cache_dir: str | None) -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    return _remove(scan_cache(cache_dir, read_meta=False))
+
+
+def prune_cache(
+    cache_dir: str | None,
+    experiment: str | None = None,
+    version: str | None = None,
+    older_than: float | None = None,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> list[CacheEntry]:
+    """Delete the cache entries matching *all* given criteria.
+
+    Parameters
+    ----------
+    experiment:
+        Only entries of this experiment name.
+    version:
+        Only entries whose stored experiment version equals this (corrupt
+        entries with unknown version match any ``version`` filter, so they
+        are always eligible for disposal).
+    older_than:
+        Only entries at least this many seconds old (see :func:`parse_age`
+        for the CLI's ``30s`` / ``12h`` / ``7d`` spelling).
+    now:
+        Reference timestamp for the age comparison (default: current time).
+    dry_run:
+        Report what would be removed without deleting anything.
+
+    Returns the matched entries (removed unless ``dry_run``).  At least one
+    criterion is required -- an unconditional prune is spelled
+    :func:`clear_cache`.
+    """
+    if experiment is None and version is None and older_than is None:
+        raise ValueError(
+            "prune_cache needs at least one of experiment/version/older_than; "
+            "use clear_cache() to remove everything"
+        )
+    if older_than is not None and (not math.isfinite(older_than) or older_than < 0):
+        # NaN must not slip through: every `age < NaN` comparison is False,
+        # which would silently match (and delete) every entry.
+        raise ValueError("older_than must be finite and non-negative")
+
+    matched = []
+    # Only the version filter consults the entry metadata; experiment comes
+    # from the filename and age from mtime, so skip the (potentially large)
+    # payload parse unless it is actually needed.
+    for entry in scan_cache(cache_dir, read_meta=version is not None):
+        if experiment is not None and entry.experiment != experiment:
+            continue
+        if (
+            version is not None
+            and entry.version is not None
+            and str(entry.version) != str(version)
+        ):
+            continue
+        if older_than is not None and entry.age_seconds(now) < older_than:
+            continue
+        matched.append(entry)
+    if not dry_run:
+        _remove(matched)
+    return matched
+
+
+def parse_age(text: str) -> float:
+    """Parse a human age spec (``"45s"``, ``"30m"``, ``"12h"``, ``"7d"``,
+    ``"2w"``, or a plain number of seconds) into seconds."""
+    text = text.strip().lower()
+    if not text:
+        raise ValueError("empty age; use e.g. 30s, 45m, 12h, 7d or plain seconds")
+    unit = _AGE_UNITS.get(text[-1])
+    magnitude = text[:-1] if unit is not None else text
+    try:
+        seconds = float(magnitude) * (unit if unit is not None else 1.0)
+    except ValueError:
+        raise ValueError(
+            f"malformed age {text!r}; use e.g. 30s, 45m, 12h, 7d or plain seconds"
+        ) from None
+    # Reject NaN/inf explicitly: a NaN age makes every `age < older_than`
+    # comparison False and would turn prune into an unintended full clear.
+    if not math.isfinite(seconds) or seconds < 0:
+        raise ValueError(f"age must be finite and non-negative, got {text!r}")
+    return seconds
+
+
+def _remove(entries: list[CacheEntry]) -> int:
+    removed = 0
+    for entry in entries:
+        try:
+            os.unlink(entry.path)
+            removed += 1
+        except FileNotFoundError:
+            pass  # deleted concurrently: already gone is fine
+    return removed

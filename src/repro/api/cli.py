@@ -12,7 +12,15 @@ Subcommands
     ``--csv`` / ``--json`` write the ResultSet to files.
 ``sweep NAME (--grid | --zip) key=v1,v2 ...``
     Expand a declarative sweep and fan it out, optionally in parallel
-    (``--executor thread|process --workers N``).
+    (``--executor thread|process --workers N``).  Per-point progress is
+    streamed to stderr as results land; failed points keep the completed
+    ones (partial results are printed and exported, exit code 1).
+``cache {stats,clear,prune}``
+    Inspect or evict the on-disk memoisation cache (prune by
+    ``--experiment``, ``--version`` and/or ``--older-than 7d``).
+``docs``
+    Print the generated experiment catalog; ``--write``/``--check`` keep
+    ``docs/EXPERIMENTS.md`` in sync with the registry.
 
 Examples::
 
@@ -21,6 +29,9 @@ Examples::
     python -m repro run fig9 -p mwcnt_diameters_nm=10,22 --csv fig9.csv
     python -m repro sweep fig12 --grid contact_resistance=100e3,250e3 \\
         --executor process --workers 4
+    python -m repro cache stats --cache-dir .repro-cache
+    python -m repro cache prune --experiment fig12 --older-than 7d
+    python -m repro docs --check docs/EXPERIMENTS.md
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ import argparse
 import sys
 from typing import Any, Sequence
 
-from repro.api.engine import EXECUTORS, Engine
+from repro.api.engine import EXECUTORS, Engine, SweepError, SweepPoint
 from repro.api.experiment import (
     ExperimentError,
     get_experiment,
@@ -37,6 +48,8 @@ from repro.api.experiment import (
 )
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
+
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _parse_assignment(text: str) -> tuple[str, str]:
@@ -93,7 +106,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--executor", choices=EXECUTORS, default="serial")
     sweep.add_argument("--workers", type=int, default=None, help="pool size for parallel executors")
+    sweep.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-point progress lines on stderr",
+    )
     add_execution_options(sweep)
+
+    cache = subparsers.add_parser("cache", help="inspect or evict the result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR,
+            help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+
+    cache_stats = cache_sub.add_parser("stats", help="per-experiment entry counts and sizes")
+    add_cache_dir(cache_stats)
+
+    cache_clear = cache_sub.add_parser("clear", help="delete every cache entry")
+    add_cache_dir(cache_clear)
+
+    cache_prune = cache_sub.add_parser(
+        "prune", help="delete entries matching experiment/version/age filters"
+    )
+    add_cache_dir(cache_prune)
+    cache_prune.add_argument("--experiment", default=None, help="only this experiment's entries")
+    cache_prune.add_argument("--version", default=None, help="only entries of this experiment version")
+    cache_prune.add_argument(
+        "--older-than", default=None, metavar="AGE",
+        help="only entries at least this old (e.g. 45s, 30m, 12h, 7d)",
+    )
+    cache_prune.add_argument(
+        "--dry-run", action="store_true", help="report matches without deleting"
+    )
+
+    docs = subparsers.add_parser(
+        "docs", help="generate the experiment catalog (docs/EXPERIMENTS.md)"
+    )
+    docs_mode = docs.add_mutually_exclusive_group()
+    docs_mode.add_argument(
+        "--write", default=None, metavar="PATH", help="write the catalog to PATH"
+    )
+    docs_mode.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="fail (exit 1) when PATH differs from the current registry",
+    )
 
     return parser
 
@@ -198,6 +256,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(total: int):
+    """Per-point progress callback rendering one stderr line per result."""
+    done = {"count": 0}
+
+    def on_result(point: SweepPoint) -> None:
+        done["count"] += 1
+        values = " ".join(f"{key}={value}" for key, value in point.point.items())
+        if not point.ok:
+            status = f"FAILED: {point.error}"
+        elif point.cache_hit:
+            status = "cached"
+        else:
+            wall = point.result.meta.get("wall_time_s")
+            status = "ok" if wall is None else f"ok ({wall:.3f} s)"
+        print(f"  [{done['count']}/{total}] {values} ... {status}", file=sys.stderr)
+
+    return on_result
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     assignments = args.grid if args.grid is not None else args.zip_axes
     axes = _coerced_axes(args.name, assignments)
@@ -205,14 +282,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     engine = Engine(
         cache_dir=args.cache_dir, executor=args.executor, max_workers=args.workers
     )
-    result = engine.sweep(
-        args.name,
-        spec,
-        base_params=_coerced_overrides(args.name, args.param),
-        use_cache=not args.no_cache,
-    )
     print(f"sweep: {spec.mode} over {spec.axis_names}, {len(spec)} points")
+    try:
+        result = engine.sweep(
+            args.name,
+            spec,
+            base_params=_coerced_overrides(args.name, args.param),
+            use_cache=not args.no_cache,
+            on_result=None if args.no_progress else _progress_printer(len(spec)),
+        )
+    except SweepError as error:
+        # Completed points survive the failure: print and export them so the
+        # work (also sitting in the cache) is not lost.
+        print(f"error: {error}", file=sys.stderr)
+        _print_result(error.partial, args)
+        return 1
     _print_result(result, args)
+    return 0
+
+
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "kB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} GB"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.api.cache import cache_stats, clear_cache, parse_age, prune_cache
+
+    if args.cache_command == "stats":
+        stats = cache_stats(args.cache_dir)
+        rows = [
+            {
+                "experiment": name,
+                "entries": len(entries),
+                "size": _format_bytes(sum(e.size_bytes for e in entries)),
+                "versions": ",".join(
+                    sorted({str(e.version) for e in entries if e.version is not None})
+                ) or "?",
+            }
+            for name, entries in stats.by_experiment().items()
+        ]
+        print(
+            format_table(
+                rows,
+                title=f"cache {args.cache_dir}: {stats.n_entries} entries, "
+                f"{_format_bytes(stats.total_bytes)}",
+            )
+        )
+        return 0
+
+    if args.cache_command == "clear":
+        removed = clear_cache(args.cache_dir)
+        print(f"removed {removed} cache entries from {args.cache_dir}")
+        return 0
+
+    # prune
+    matched = prune_cache(
+        args.cache_dir,
+        experiment=args.experiment,
+        version=args.version,
+        older_than=None if args.older_than is None else parse_age(args.older_than),
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(matched)} cache entries from {args.cache_dir}")
+    for entry in matched:
+        # Metadata is only read when pruning by version; omit it otherwise.
+        version = "" if entry.version is None else f" (version {entry.version})"
+        print(f"  {entry.experiment}{version} {entry.path}")
+    return 0
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from repro.api.catalog import catalog_markdown, check_catalog
+
+    if args.check is not None:
+        if check_catalog(args.check):
+            print(f"{args.check} is up to date")
+            return 0
+        print(
+            f"error: {args.check} is stale; regenerate with "
+            f"`python -m repro docs --write {args.check}`",
+            file=sys.stderr,
+        )
+        return 1
+    text = catalog_markdown()
+    if args.write is not None:
+        with open(args.write, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.write}")
+        return 0
+    print(text, end="")
     return 0
 
 
@@ -224,6 +389,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "describe": _cmd_describe,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
+        "docs": _cmd_docs,
     }
     try:
         return handlers[args.command](args)

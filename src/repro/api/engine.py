@@ -7,13 +7,24 @@ The :class:`Engine` is the single entry point that turns a registered
 * ``run(name, **params)`` -- one experiment execution,
 * ``sweep(name, spec)`` -- fan a :class:`~repro.api.sweep.SweepSpec` out over
   the experiment, serially or through a ``concurrent.futures`` thread/process
-  pool with chunked task submission.
+  pool with chunked task submission,
+* ``iter_sweep(name, spec)`` -- the streaming form of ``sweep``: a generator
+  yielding one :class:`SweepPoint` per sweep point *as it completes* (cache
+  hits first, then executed points in completion order), so callers can
+  render progress or consume partial results while the sweep is running.
+
+``sweep`` is built on ``iter_sweep`` and accepts an ``on_result`` callback
+invoked once per completed point.  A point whose experiment raises no longer
+aborts the whole fan-out: the remaining points still execute, completed
+points stay cached, and ``sweep`` raises :class:`SweepError` carrying the
+partial :class:`ResultSet`.
 
 Caching is content-addressed: the key is a SHA-256 over (experiment name,
 experiment version, canonicalised parameters), so identical invocations are
 served from disk regardless of execution mode.  All cache I/O happens in the
 coordinating process -- pool workers only compute -- which keeps the cache
-free of write races.
+free of write races.  Cache inspection and eviction live in
+:mod:`repro.api.cache` (``python -m repro cache`` on the shell).
 """
 
 from __future__ import annotations
@@ -21,11 +32,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import re
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Mapping
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.api.experiment import Experiment, ensure_registered, get_experiment
 from repro.api.results import ResultSet
@@ -45,17 +56,96 @@ def cache_key(name: str, version: str, params: Mapping[str, Any]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _execute_point(name: str, params: dict[str, Any]) -> list[dict[str, Any]]:
-    """Run one experiment invocation; importable so process pools can pickle it."""
+# One executed sweep point before tagging: (records, error message, wall time).
+# ``records`` is None exactly when ``error`` is set; capturing the error as a
+# string keeps the tuple picklable across process-pool boundaries.
+_Outcome = tuple[list[dict[str, Any]] | None, str | None, float]
+
+
+def _run_outcomes(
+    run: Callable[..., list[dict[str, Any]]], points: list[dict[str, Any]]
+) -> list[_Outcome]:
+    """Run sweep points one by one, capturing per-point failures.
+
+    An exception in one point must not poison its siblings (that is the
+    partial-failure guarantee of ``sweep``), so each point's error is caught
+    and reported as data rather than raised.
+    """
+    outcomes: list[_Outcome] = []
+    for point in points:
+        start = time.perf_counter()
+        try:
+            records = run(**point)
+        except Exception as error:
+            outcomes.append(
+                (None, f"{type(error).__name__}: {error}", time.perf_counter() - start)
+            )
+        else:
+            outcomes.append((records, None, time.perf_counter() - start))
+    return outcomes
+
+
+def _execute_chunk(name: str, points: list[dict[str, Any]]) -> list[_Outcome]:
+    """Run a chunk of sweep points in one pool task (amortises dispatch cost).
+
+    Importable (not a closure) so process pools can pickle it; the worker
+    rebuilds the registry by name via :func:`ensure_registered`.
+    """
     ensure_registered()
-    return get_experiment(name).run(**params)
+    return _run_outcomes(get_experiment(name).run, points)
 
 
-def _execute_chunk(
-    name: str, points: list[dict[str, Any]]
-) -> list[list[dict[str, Any]]]:
-    """Run a chunk of sweep points in one pool task (amortises dispatch cost)."""
-    return [_execute_point(name, point) for point in points]
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep point's outcome, yielded by :meth:`Engine.iter_sweep`.
+
+    Attributes
+    ----------
+    index:
+        Position of the point in ``spec.points()`` order (the order the
+        combined ResultSet is assembled in, regardless of completion order).
+    point:
+        The sweep-axis overrides of this point (what tags its records).
+    params:
+        The fully resolved parameter dict the experiment ran with.
+    result:
+        The point's :class:`ResultSet`, or ``None`` if the point failed.
+    error:
+        ``"ExceptionType: message"`` when the experiment raised, else ``None``.
+    cache_hit:
+        True when the result was served from the on-disk cache.
+    """
+
+    index: int
+    point: dict[str, Any]
+    params: dict[str, Any]
+    result: ResultSet | None
+    error: str | None = None
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point completed without error."""
+        return self.error is None
+
+
+class SweepError(RuntimeError):
+    """One or more sweep points failed; the completed points are preserved.
+
+    Attributes
+    ----------
+    partial:
+        :class:`ResultSet` of every *completed* point, assembled exactly as
+        the successful return value would have been (completed points are
+        also already in the cache, so a re-run pays only for the failures).
+    failures:
+        The failed :class:`SweepPoint` objects, in sweep order.
+    """
+
+    def __init__(self, message: str, partial: ResultSet, failures: list[SweepPoint]):
+        super().__init__(message)
+        self.partial = partial
+        self.failures = failures
 
 
 class Engine:
@@ -137,16 +227,13 @@ class Engine:
 
         Only files matching the engine's own ``<experiment>-<hash16>.json``
         naming are touched, so pointing ``cache_dir`` at a directory that
-        also holds exported results cannot destroy them.
+        also holds exported results cannot destroy them.  Finer-grained
+        eviction (by experiment, version or age) lives in
+        :func:`repro.api.cache.prune_cache`.
         """
-        if self.cache_dir is None or not os.path.isdir(self.cache_dir):
-            return 0
-        removed = 0
-        for entry in os.listdir(self.cache_dir):
-            if re.fullmatch(r".+-[0-9a-f]{16}\.json", entry):
-                os.unlink(os.path.join(self.cache_dir, entry))
-                removed += 1
-        return removed
+        from repro.api.cache import clear_cache
+
+        return clear_cache(self.cache_dir)
 
     # --- execution --------------------------------------------------------
 
@@ -189,6 +276,7 @@ class Engine:
         spec: SweepSpec,
         base_params: Mapping[str, Any] | None = None,
         use_cache: bool = True,
+        on_result: Callable[[SweepPoint], None] | None = None,
     ) -> ResultSet:
         """Fan an experiment out over every point of a sweep.
 
@@ -196,46 +284,38 @@ class Engine:
         values overriding ``base_params``; its records are tagged with the
         swept parameter values (columns named after the axes) so the
         combined ResultSet can be grouped and filtered by sweep point.
-        Execution order follows ``spec.points()`` regardless of executor, so
-        serial and parallel sweeps return identical ResultSets.
+        The combined ResultSet follows ``spec.points()`` order regardless of
+        executor, so serial and parallel sweeps return identical ResultSets.
+
+        ``on_result`` is called once per sweep point *as it completes*
+        (completion order, which may differ from sweep order under the
+        parallel executors) -- the hook the CLI uses to render progressive
+        per-point progress.  If any point fails, the remaining points still
+        execute and :class:`SweepError` is raised at the end; its ``partial``
+        attribute holds the ResultSet of the completed points, which are also
+        already cached, so a re-run pays only for the failures.
         """
         experiment = name if isinstance(name, Experiment) else get_experiment(name)
         points = spec.points()
-        resolved_points = [
-            experiment.resolve_params({**(base_params or {}), **point})
-            for point in points
-        ]
-
-        paths: list[str | None] = [
-            self._cache_path(experiment, resolved) if use_cache else None
-            for resolved in resolved_points
-        ]
-        outputs: list[list[dict[str, Any]] | None] = []
-        for path in paths:
-            cached = self._cache_load(path)
-            if cached is not None:
-                self.cache_hits += 1
-                outputs.append(cached.to_records())
-            else:
-                outputs.append(None)
-
-        pending = [i for i, records in enumerate(outputs) if records is None]
-        self.cache_misses += len(pending)
         start = time.perf_counter()
-        for index, records in self._execute_pending(experiment, resolved_points, pending):
-            outputs[index] = records
-            self._cache_store(
-                paths[index],
-                ResultSet.from_records(
-                    records, meta=self._meta(experiment, resolved_points[index], None)
-                ),
-            )
+        completed: list[SweepPoint | None] = [None] * len(points)
+        for sweep_point in self.iter_sweep(
+            experiment, spec, base_params=base_params, use_cache=use_cache
+        ):
+            completed[sweep_point.index] = sweep_point
+            if on_result is not None:
+                on_result(sweep_point)
         elapsed = time.perf_counter() - start
 
         tagged: list[dict[str, Any]] = []
-        for point, records in zip(points, outputs):
-            for record in records or []:
-                tagged.append(_tag_record(record, point))
+        failures: list[SweepPoint] = []
+        for sweep_point in completed:
+            assert sweep_point is not None  # iter_sweep yields every point
+            if not sweep_point.ok:
+                failures.append(sweep_point)
+                continue
+            for record in sweep_point.result.to_records():
+                tagged.append(_tag_record(record, sweep_point.point))
 
         meta = self._meta(experiment, dict(base_params or {}), elapsed)
         meta["sweep"] = {
@@ -243,7 +323,97 @@ class Engine:
             "axes": {name: list(values) for name, values in spec.axes.items()},
             "n_points": len(points),
         }
-        return ResultSet.from_records(tagged, meta=meta)
+        result = ResultSet.from_records(tagged, meta=meta)
+        if failures:
+            raise SweepError(
+                f"{len(failures)} of {len(points)} sweep points failed; "
+                f"first failure at point {failures[0].index} "
+                f"({failures[0].point}): {failures[0].error}",
+                partial=result,
+                failures=failures,
+            )
+        return result
+
+    def iter_sweep(
+        self,
+        name: str | Experiment,
+        spec: SweepSpec,
+        base_params: Mapping[str, Any] | None = None,
+        use_cache: bool = True,
+    ) -> Iterator[SweepPoint]:
+        """Stream a sweep: yield one :class:`SweepPoint` per point as it lands.
+
+        Cache hits are yielded first (in sweep order, they are free), then
+        executed points in completion order -- under the thread and process
+        executors a fast point is yielded while slower ones are still
+        running.  A failed point is yielded with ``error`` set instead of
+        aborting the generator, so consumers always see every point exactly
+        once; ``SweepPoint.index`` maps it back to ``spec.points()`` order.
+
+        Unlike :meth:`sweep`, nothing is raised for failed points: streaming
+        consumers decide themselves how to react.  Parameter errors (unknown
+        axis names, un-coercible values) raise here, at the call site --
+        every point is resolved before the stream is handed back, so the
+        generator itself only ever yields.
+        """
+        experiment = name if isinstance(name, Experiment) else get_experiment(name)
+        points = spec.points()
+        resolved_points = [
+            experiment.resolve_params({**(base_params or {}), **point})
+            for point in points
+        ]
+        paths: list[str | None] = [
+            self._cache_path(experiment, resolved) if use_cache else None
+            for resolved in resolved_points
+        ]
+        return self._iter_resolved(experiment, points, resolved_points, paths)
+
+    def _iter_resolved(
+        self,
+        experiment: Experiment,
+        points: list[dict[str, Any]],
+        resolved_points: list[dict[str, Any]],
+        paths: list[str | None],
+    ) -> Iterator[SweepPoint]:
+        """The generator body of :meth:`iter_sweep` (post parameter resolution)."""
+        pending: list[int] = []
+        for index, path in enumerate(paths):
+            cached = self._cache_load(path)
+            if cached is None:
+                pending.append(index)
+                continue
+            self.cache_hits += 1
+            yield SweepPoint(
+                index=index,
+                point=points[index],
+                params=resolved_points[index],
+                result=cached,
+                cache_hit=True,
+            )
+        self.cache_misses += len(pending)
+
+        for index, (records, error, elapsed) in self._execute_pending(
+            experiment, resolved_points, pending
+        ):
+            if error is not None:
+                yield SweepPoint(
+                    index=index,
+                    point=points[index],
+                    params=resolved_points[index],
+                    result=None,
+                    error=error,
+                )
+                continue
+            result = ResultSet.from_records(
+                records, meta=self._meta(experiment, resolved_points[index], elapsed)
+            )
+            self._cache_store(paths[index], result)
+            yield SweepPoint(
+                index=index,
+                point=points[index],
+                params=resolved_points[index],
+                result=result,
+            )
 
     # --- helpers ----------------------------------------------------------
 
@@ -252,15 +422,20 @@ class Engine:
         experiment: Experiment,
         resolved_points: list[dict[str, Any]],
         pending: list[int],
-    ):
-        """Yield ``(point_index, records)`` for every uncached sweep point."""
+    ) -> Iterator[tuple[int, _Outcome]]:
+        """Yield ``(point_index, outcome)`` for every uncached sweep point.
+
+        Serial execution yields in sweep order; the pooled executors submit
+        chunks and yield each chunk's points as its future completes, which
+        is what makes :meth:`iter_sweep` stream under parallel execution.
+        """
         if not pending:
             return
         if self.executor == "serial" or len(pending) == 1:
             # Execute through the instance itself so ad-hoc (unregistered)
             # Experiment objects behave exactly like in run().
             for index in pending:
-                yield index, experiment.run(**resolved_points[index])
+                yield index, _run_outcomes(experiment.run, [resolved_points[index]])[0]
             return
 
         if self.executor == "process":
@@ -280,25 +455,30 @@ class Engine:
         chunk_size = self.chunk_size or max(1, len(pending) // (self.max_workers * 4))
         chunks = [pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)]
         pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=min(self.max_workers, len(chunks))) as pool:
+        pool = pool_cls(max_workers=min(self.max_workers, len(chunks)))
+        try:
             if self.executor == "thread":
                 # Threads share the interpreter: execute through the instance
                 # (ad-hoc experiments included), no registry round-trip.
                 def submit(points):
-                    return pool.submit(
-                        lambda pts: [experiment.run(**p) for p in pts], points
-                    )
+                    return pool.submit(_run_outcomes, experiment.run, points)
 
             else:
                 def submit(points):
                     return pool.submit(_execute_chunk, experiment.name, points)
 
-            futures = [
-                submit([resolved_points[i] for i in chunk]) for chunk in chunks
-            ]
-            for chunk, future in zip(chunks, futures):
-                for index, records in zip(chunk, future.result()):
-                    yield index, records
+            future_to_chunk = {
+                submit([resolved_points[i] for i in chunk]): chunk for chunk in chunks
+            }
+            for future in as_completed(future_to_chunk):
+                for index, outcome in zip(future_to_chunk[future], future.result()):
+                    yield index, outcome
+        finally:
+            # A streaming consumer may abandon the generator mid-sweep
+            # (GeneratorExit lands here); cancelling the queued chunks keeps
+            # the shutdown wait bounded to the chunks already in flight
+            # instead of computing the rest of the sweep for nobody.
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def _meta(
         self,

@@ -296,6 +296,9 @@ def ensure_registered() -> None:
 
     Safe to call repeatedly and from pool worker processes; it is what makes
     ``Engine.run("fig9")`` work without the caller importing
-    :mod:`repro.analysis.experiments` first.
+    :mod:`repro.analysis.experiments` first.  Covers both the paper's
+    figure/table drivers and the extension studies
+    (:mod:`repro.analysis.studies`).
     """
     import repro.analysis.experiments  # noqa: F401  (import has the side effect)
+    import repro.analysis.studies  # noqa: F401  (import has the side effect)

@@ -1,0 +1,50 @@
+"""The generated experiment catalog (docs/EXPERIMENTS.md) must not go stale."""
+
+from pathlib import Path
+
+from repro.api import list_experiments
+from repro.api.catalog import catalog_markdown, check_catalog
+
+DOCS_PATH = Path(__file__).resolve().parents[2] / "docs" / "EXPERIMENTS.md"
+
+
+def test_checked_in_catalog_matches_registry():
+    assert DOCS_PATH.exists(), "docs/EXPERIMENTS.md is missing"
+    assert DOCS_PATH.read_text() == catalog_markdown(), (
+        "docs/EXPERIMENTS.md is stale; regenerate with "
+        "`python -m repro docs --write docs/EXPERIMENTS.md`"
+    )
+    assert check_catalog(str(DOCS_PATH))
+
+
+def test_catalog_lists_every_registered_experiment():
+    text = catalog_markdown()
+    for experiment in list_experiments():
+        assert f"## {experiment.name}" in text
+        for spec in experiment.params:
+            assert f"`{spec.name}`" in text
+
+
+def test_catalog_marks_required_params():
+    from repro.api import ParamSpec, register_experiment, unregister_experiment
+
+    @register_experiment(
+        "api_test_catalog",
+        params=(ParamSpec("mandatory", "float", None, "no default"),),
+        replace=True,
+    )
+    def catalogued(mandatory: float):
+        return [{"x": mandatory}]
+
+    try:
+        text = catalog_markdown()
+        assert "*required*" in text
+    finally:
+        unregister_experiment("api_test_catalog")
+
+
+def test_check_catalog_detects_drift(tmp_path):
+    stale = tmp_path / "EXPERIMENTS.md"
+    stale.write_text("# outdated\n")
+    assert not check_catalog(str(stale))
+    assert not check_catalog(str(tmp_path / "missing.md"))

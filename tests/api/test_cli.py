@@ -139,3 +139,142 @@ class TestSweep:
     def test_assignment_without_equals_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["sweep", "table_density", "--grid", "length_um"])
+
+    def test_sweep_streams_progress_to_stderr(self, capsys):
+        code, out, err = run_cli(
+            capsys, "sweep", "table_density", "--grid", "length_um=1,10", "--limit", "0"
+        )
+        assert code == 0
+        assert "[1/2]" in err and "[2/2]" in err
+        assert "length_um=" in err and "... ok" in err
+
+    def test_sweep_progress_marks_cache_hits(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_cli(capsys, "sweep", "table_density", "--grid", "length_um=1,10",
+                "--cache-dir", cache)
+        _, _, err = run_cli(
+            capsys, "sweep", "table_density", "--grid", "length_um=1,10",
+            "--cache-dir", cache,
+        )
+        assert err.count("cached") == 2
+
+    def test_no_progress_flag(self, capsys):
+        code, _, err = run_cli(
+            capsys, "sweep", "table_density", "--grid", "length_um=1,10",
+            "--no-progress", "--limit", "0",
+        )
+        assert code == 0
+        assert "[1/2]" not in err
+
+    def test_partial_failure_prints_completed_points(self, capsys):
+        from repro.api import ParamSpec, register_experiment, unregister_experiment
+
+        @register_experiment(
+            "api_test_cli_flaky", params=(ParamSpec("x", "float", 1.0),), replace=True
+        )
+        def flaky(x: float):
+            if x == 2.0:
+                raise RuntimeError("boom")
+            return [{"x": x, "y": x * 10}]
+
+        try:
+            code, out, err = run_cli(
+                capsys,
+                "sweep", "api_test_cli_flaky", "--grid", "x=1,2,3", "--limit", "0",
+            )
+            assert code == 1
+            assert "FAILED" in err and "boom" in err
+            assert "1 of 3 sweep points failed" in err
+            # The completed points are still rendered (partial ResultSet).
+            assert "2 records" in out
+        finally:
+            unregister_experiment("api_test_cli_flaky")
+
+
+class TestCacheCommand:
+    def _populate(self, capsys, cache):
+        run_cli(capsys, "run", "table_density", "--cache-dir", cache, "--limit", "0")
+        run_cli(capsys, "run", "table_thermal", "--cache-dir", cache, "--limit", "0")
+
+    def test_stats(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(capsys, cache)
+        code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", cache)
+        assert code == 0
+        assert "2 entries" in out
+        assert "table_density" in out and "table_thermal" in out
+
+    def test_stats_empty_cache(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "cache", "stats", "--cache-dir", str(tmp_path / "nope")
+        )
+        assert code == 0
+        assert "0 entries" in out
+
+    def test_clear(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(capsys, cache)
+        code, out, _ = run_cli(capsys, "cache", "clear", "--cache-dir", cache)
+        assert code == 0
+        assert "removed 2 cache entries" in out
+
+    def test_prune_by_experiment(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(capsys, cache)
+        code, out, _ = run_cli(
+            capsys, "cache", "prune", "--cache-dir", cache,
+            "--experiment", "table_density",
+        )
+        assert code == 0
+        assert "removed 1 cache entries" in out and "table_density" in out
+        code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", cache)
+        assert "table_thermal" in out and "table_density" not in out
+
+    def test_prune_dry_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        self._populate(capsys, cache)
+        code, out, _ = run_cli(
+            capsys, "cache", "prune", "--cache-dir", cache,
+            "--older-than", "0s", "--dry-run",
+        )
+        assert code == 0
+        assert "would remove 2 cache entries" in out
+        _, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", cache)
+        assert "2 entries" in out
+
+    def test_prune_without_criteria_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "cache", "prune", "--cache-dir", str(tmp_path)
+        )
+        assert code == 2
+        assert "at least one" in err
+
+    def test_prune_bad_age_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "cache", "prune", "--cache-dir", str(tmp_path),
+            "--older-than", "banana",
+        )
+        assert code == 2
+        assert "banana" in err
+
+
+class TestDocsCommand:
+    def test_prints_catalog(self, capsys):
+        code, out, _ = run_cli(capsys, "docs")
+        assert code == 0
+        assert out.startswith("# Experiment catalog")
+        assert "## fig9" in out
+
+    def test_write_and_check_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "EXPERIMENTS.md")
+        code, out, _ = run_cli(capsys, "docs", "--write", path)
+        assert code == 0 and "wrote" in out
+        code, out, _ = run_cli(capsys, "docs", "--check", path)
+        assert code == 0 and "up to date" in out
+
+    def test_check_detects_drift(self, capsys, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        path.write_text("# stale\n")
+        code, _, err = run_cli(capsys, "docs", "--check", str(path))
+        assert code == 1
+        assert "stale" in err and "--write" in err

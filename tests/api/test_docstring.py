@@ -1,12 +1,22 @@
-"""The quickstart snippets in ``repro.__doc__`` must actually run.
+"""The quickstart snippets in the package docstrings must actually run.
 
-Guards against docstring drift: every indented code block of the package
-docstring is extracted and executed.
+Guards against docstring drift: every indented code block following a ``::``
+marker is extracted and executed -- for the top-level package and for every
+module of the public API surface (``repro.api``, ``repro.analysis`` and the
+newer :mod:`repro.api.cache`, :mod:`repro.api.catalog`,
+:mod:`repro.analysis.studies`).
 """
 
 import textwrap
 
+import pytest
+
 import repro
+import repro.analysis
+import repro.analysis.studies
+import repro.api
+import repro.api.cache
+import repro.api.catalog
 
 
 def _code_blocks(doc: str) -> list[str]:
@@ -43,3 +53,31 @@ def test_api_names_exported_from_top_level():
     from repro import Engine, Experiment, ResultSet, SweepSpec  # noqa: F401
 
     assert set(["Engine", "Experiment", "ResultSet", "SweepSpec"]) <= set(repro.__all__)
+
+
+DOCUMENTED_MODULES = [
+    repro.api,
+    repro.analysis,
+    repro.analysis.studies,
+    repro.api.cache,
+    repro.api.catalog,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda module: module.__name__
+)
+def test_module_docstring_snippets_run(module):
+    """Every public API module carries at least one runnable quickstart block."""
+    blocks = _code_blocks(module.__doc__ or "")
+    assert blocks, f"{module.__name__} docstring has no runnable :: blocks"
+    for block in blocks:
+        exec(compile(block, f"<{module.__name__} docstring>", "exec"), {})
+
+
+def test_streaming_names_exported_from_api():
+    from repro.api import SweepError, SweepPoint, cache_stats, prune_cache  # noqa: F401
+
+    assert {"SweepError", "SweepPoint", "cache_stats", "prune_cache"} <= set(
+        repro.api.__all__
+    )

@@ -30,11 +30,70 @@ EXPECTED_EXPERIMENTS = {
     "table_doping_resistance",
 }
 
+# The extension studies registered in repro.analysis.studies.
+EXPECTED_STUDIES = {
+    "crosstalk",
+    "em_lifetime",
+    "variability",
+    "growth_window",
+    "wafer_uniformity",
+    "composite_tradeoff",
+    "tlm",
+    "self_heating",
+}
+
 
 class TestRegistry:
     def test_every_paper_experiment_is_registered(self):
         names = {experiment.name for experiment in list_experiments()}
         assert EXPECTED_EXPERIMENTS <= names
+
+    def test_every_extension_study_is_registered(self):
+        names = {experiment.name for experiment in list_experiments()}
+        assert EXPECTED_STUDIES <= names
+        assert len(EXPECTED_EXPERIMENTS | EXPECTED_STUDIES) >= 19
+
+    def test_extension_studies_tagged_and_described(self):
+        for experiment in list_experiments(tag="extension"):
+            assert experiment.description
+            for spec in experiment.params:
+                assert spec.help, f"{experiment.name}.{spec.name} lacks help text"
+
+    def test_em_lifetime_gain_when_copper_fails_immediately(self):
+        # At a stress density where copper fails instantly, copper's gain
+        # over itself is undefined (NaN) while surviving materials are
+        # infinitely better -- not inf across the board.
+        import math
+
+        from repro.api import Engine
+
+        records = Engine().run("em_lifetime", current_density=1.0e12).to_records()
+        by_material = {record["material"]: record for record in records}
+        assert by_material["copper"]["lifetime_years"] == 0.0
+        assert math.isnan(by_material["copper"]["gain_over_copper"])
+        assert by_material["cnt"]["gain_over_copper"] == float("inf")
+
+    def test_cheap_studies_run_and_cache_through_the_engine(self, tmp_path):
+        # The heavyweight studies (crosstalk, fig12, ...) are exercised by the
+        # benchmarks; here a representative cheap subset proves every study is
+        # a real engine citizen: runnable, memoised and replayable.
+        from repro.api import Engine
+
+        engine = Engine(cache_dir=str(tmp_path))
+        for name, params in [
+            ("em_lifetime", {}),
+            ("variability", {"n_devices": 50}),
+            ("growth_window", {"temperatures_c": (400.0, 600.0)}),
+            ("wafer_uniformity", {}),
+            ("composite_tradeoff", {"fractions": (0.0, 0.3)}),
+            ("tlm", {}),
+            ("self_heating", {}),
+        ]:
+            first = engine.run(name, params)
+            assert len(first) > 0, name
+            replay = engine.run(name, params)
+            assert replay.meta["cache_hit"] is True, name
+            assert replay == first, name
 
     def test_lookup_unknown_name(self):
         with pytest.raises(ExperimentNotFoundError, match="registered:"):
