@@ -1,0 +1,326 @@
+"""Perf-trajectory harness: times the hot paths, asserts speedup + parity.
+
+Each case times a *legacy* implementation against the *fast* path introduced
+in PR 3 (compiled sparse MNA with factorization reuse; vectorised Monte
+Carlo), checks numerical parity between the two, and reports wall-clock
+numbers.  :func:`run_suite` executes every case and returns the
+machine-readable record that ``run.py`` writes to ``BENCH_<pr>.json`` --
+the perf trajectory future PRs extend and compare against.
+
+Modes
+-----
+``full`` (default)
+    Paper-scale problem sizes.  Speedup floors are asserted (the ISSUE-3
+    acceptance criteria): >= 5x on the segmented-RC-line transient and
+    >= 10x on the 500-device variability Monte Carlo.
+``smoke``
+    Reduced sizes for CI: parity is still asserted (it is
+    size-independent), speedup floors are reported but not enforced --
+    shared CI runners make wall-clock guarantees meaningless.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.api import Engine, SweepSpec
+from repro.circuit import Circuit, Step, solver_backend, transient_analysis
+from repro.circuit.crosstalk import analyze_crosstalk
+from repro.circuit.delay import measure_inverter_line_delay
+from repro.circuit.mna import MNAAssembler
+from repro.circuit.rcline import add_rc_ladder
+from repro.core import InterconnectLine, MWCNTInterconnect
+from repro.core.line import DistributedRC
+from repro.process.variability import VariabilityInputs, resistance_variability
+from repro.units import nm, um
+
+PARITY_RTOL = 1.0e-9
+
+SPEEDUP_FLOORS = {"transient_rc_line": 5.0, "variability_mc": 10.0}
+"""Acceptance floors (full mode only), from ISSUE 3."""
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one benchmark case."""
+
+    name: str
+    legacy_s: float
+    fast_s: float
+    parity_max_rel: float
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.legacy_s / self.fast_s if self.fast_s > 0 else float("inf")
+
+    def to_record(self) -> dict:
+        return {
+            "name": self.name,
+            "legacy_s": round(self.legacy_s, 6),
+            "fast_s": round(self.fast_s, 6),
+            "speedup": round(self.speedup, 2),
+            "parity_max_rel": self.parity_max_rel,
+            **self.detail,
+        }
+
+
+def _timed(function: Callable, repeats: int = 1):
+    """(best wall time over ``repeats`` runs, last return value)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = function()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _waveform_parity(reference, candidate) -> float:
+    scale = max(max(np.max(np.abs(w)) for w in reference.node_voltages.values()), 1e-30)
+    worst = max(
+        float(np.max(np.abs(reference.voltage(n) - candidate.voltage(n))))
+        for n in reference.node_voltages
+    )
+    return worst / scale
+
+
+# --- cases -------------------------------------------------------------------
+
+
+def case_transient_rc_line(smoke: bool) -> CaseResult:
+    """Headline case: segmented RC line, dense re-stamping vs compiled sparse.
+
+    Full mode uses >= 200 nodes and >= 500 steps (the ISSUE-3 benchmark
+    shape); the matrix is static, so the sparse path pays one LU
+    factorization and then only triangular solves.
+    """
+    n_segments = 60 if smoke else 220
+    n_steps = 150 if smoke else 500
+
+    circuit = Circuit("segmented RC line")
+    circuit.add_voltage_source("vin", "a", "0", Step(0.0, 1.0, delay=1e-12, rise_time=5e-12))
+    circuit.add_resistor("rdrv", "a", "n0", 1e3)
+    ladder = DistributedRC(
+        total_resistance=5e4,
+        total_capacitance=2e-13,
+        contact_resistance=6e3,
+        n_segments=n_segments,
+    )
+    add_rc_ladder(circuit, ladder, "n0", "far", name_prefix="dut")
+    circuit.add_capacitor("cl", "far", "0", 5e-15)
+    size = MNAAssembler(circuit).size
+
+    stop = 2e-9
+    dt = stop / n_steps
+    legacy_s, reference = _timed(
+        lambda: transient_analysis(circuit, stop, dt, backend="dense")
+    )
+    fast_s, candidate = _timed(
+        lambda: transient_analysis(circuit, stop, dt, backend="sparse"), repeats=3
+    )
+    return CaseResult(
+        name="transient_rc_line",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=_waveform_parity(reference, candidate),
+        detail={"n_nodes": size, "n_steps": n_steps},
+    )
+
+
+def case_variability_mc(smoke: bool) -> CaseResult:
+    """500-device Monte Carlo: per-device objects vs whole-population numpy."""
+    n_devices = 200 if smoke else 500
+    inputs = VariabilityInputs()
+
+    legacy_s, reference = _timed(
+        lambda: resistance_variability(inputs, n_devices=n_devices, seed=0, vectorized=False),
+        repeats=3,
+    )
+    fast_s, candidate = _timed(
+        lambda: resistance_variability(inputs, n_devices=n_devices, seed=0, vectorized=True),
+        repeats=5,
+    )
+    parity = max(
+        float(
+            np.max(
+                np.abs(reference.resistances - candidate.resistances)
+                / np.abs(reference.resistances)
+            )
+        ),
+        abs(reference.open_fraction - candidate.open_fraction),
+    )
+    return CaseResult(
+        name="variability_mc",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=parity,
+        detail={"n_devices": n_devices, "mean_ohm": round(candidate.mean, 3)},
+    )
+
+
+def case_delay_benchmark(smoke: bool) -> CaseResult:
+    """Fig. 11 inverter-line-inverter benchmark (nonlinear Newton path)."""
+    n_segments = 30 if smoke else 100
+    n_steps = 200 if smoke else 600
+    tube = MWCNTInterconnect(
+        outer_diameter=nm(10), length=um(200), contact_resistance=100e3
+    )
+    line = InterconnectLine(tube, n_segments=n_segments)
+
+    legacy_s, reference = _timed(
+        lambda: measure_inverter_line_delay(line, n_time_steps=n_steps, backend="dense")
+    )
+    fast_s, candidate = _timed(
+        lambda: measure_inverter_line_delay(line, n_time_steps=n_steps, backend="sparse")
+    )
+    parity = abs(candidate.propagation_delay - reference.propagation_delay) / abs(
+        reference.propagation_delay
+    )
+    return CaseResult(
+        name="delay_benchmark",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=parity,
+        detail={
+            "n_segments": n_segments,
+            "delay_ps": round(candidate.propagation_delay * 1e12, 4),
+        },
+    )
+
+
+def case_crosstalk(smoke: bool) -> CaseResult:
+    """Victim/aggressor crosstalk: two coupled ladders + four inverters."""
+    n_segments = 8 if smoke else 30
+    n_steps = 150 if smoke else 400
+    tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(50), contact_resistance=100e3)
+    line = InterconnectLine(tube, n_segments=n_segments)
+    coupling = 40e-18 / 1e-6 * um(50)  # ~40 aF/um of line-to-line coupling
+
+    legacy_s, reference = _timed(
+        lambda: analyze_crosstalk(line, coupling, n_time_steps=n_steps, backend="dense")
+    )
+    fast_s, candidate = _timed(
+        lambda: analyze_crosstalk(line, coupling, n_time_steps=n_steps, backend="sparse")
+    )
+    parity = max(
+        abs(candidate.noise_peak - reference.noise_peak)
+        / max(abs(reference.noise_peak), 1e-30),
+        abs(candidate.victim_delay_quiet - reference.victim_delay_quiet)
+        / max(abs(reference.victim_delay_quiet), 1e-30),
+    )
+    return CaseResult(
+        name="crosstalk",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=parity,
+        detail={
+            "n_segments_per_line": n_segments,
+            "noise_peak_fraction": round(candidate.noise_peak_fraction, 6),
+        },
+    )
+
+
+def case_engine_sweep(smoke: bool) -> CaseResult:
+    """Engine fan-out: serial vs process pool with per-point futures.
+
+    Keeps the ROADMAP's serial-vs-parallel parity assertion alive with the
+    same transient-heavy Fig. 12 sweep the PR-1 baseline used -- each point
+    is a real MNA workload, so the fan-out measures parallel scaling, not
+    dispatch overhead.  The speedup is host-dependent by nature (on a
+    single-core runner the pool only adds dispatch cost -- check
+    ``host.cpus`` in the JSON before comparing trajectory points); parity
+    is the invariant.
+    """
+    contacts = [100e3, 250e3] if smoke else [50e3, 100e3, 150e3, 200e3, 300e3, 400e3]
+    spec = SweepSpec.grid(contact_resistance=contacts)
+    base = {
+        "diameters_nm": (10.0,),
+        "lengths_um": (100.0,) if smoke else (100.0, 500.0),
+        "channel_counts": (2.0, 10.0),
+        "use_transient": True,
+        "n_segments": 10,
+    }
+
+    # Warm-up: pay the one-time registry import outside the timed region.
+    Engine().run("fig12", use_transient=False, **{k: v for k, v in base.items() if k != "use_transient"})
+
+    legacy_s, reference = _timed(lambda: Engine().sweep("fig12", spec, base_params=base))
+    fast_s, candidate = _timed(
+        lambda: Engine(executor="process", max_workers=4).sweep("fig12", spec, base_params=base)
+    )
+    parity = 0.0 if candidate == reference else float("inf")
+    return CaseResult(
+        name="engine_sweep",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=parity,
+        detail={"n_points": len(spec), "executor": "process"},
+    )
+
+
+CASES = (
+    case_transient_rc_line,
+    case_variability_mc,
+    case_delay_benchmark,
+    case_crosstalk,
+    case_engine_sweep,
+)
+
+
+# --- suite -------------------------------------------------------------------
+
+
+def run_suite(smoke: bool = False, enforce_floors: bool | None = None) -> dict:
+    """Run every case; return the JSON-ready trajectory record.
+
+    Parity is asserted in both modes.  Speedup floors are asserted when
+    ``enforce_floors`` is true (default: full mode only).
+    """
+    if enforce_floors is None:
+        enforce_floors = not smoke
+
+    results: list[CaseResult] = []
+    for case in CASES:
+        result = case(smoke)
+        print(
+            f"  {result.name:<20s} legacy {result.legacy_s * 1e3:9.1f} ms   "
+            f"fast {result.fast_s * 1e3:9.1f} ms   speedup {result.speedup:7.1f}x   "
+            f"parity {result.parity_max_rel:.2e}",
+            file=sys.stderr,
+        )
+        if not result.parity_max_rel <= PARITY_RTOL:
+            raise AssertionError(
+                f"{result.name}: fast/legacy parity {result.parity_max_rel:.3e} "
+                f"exceeds {PARITY_RTOL:.0e}"
+            )
+        floor = SPEEDUP_FLOORS.get(result.name)
+        if enforce_floors and floor is not None and result.speedup < floor:
+            raise AssertionError(
+                f"{result.name}: speedup {result.speedup:.1f}x below the "
+                f"{floor:.0f}x acceptance floor"
+            )
+        results.append(result)
+
+    return {
+        "schema": 1,
+        "pr": 3,
+        "mode": "smoke" if smoke else "full",
+        "parity_rtol": PARITY_RTOL,
+        "speedup_floors": SPEEDUP_FLOORS,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cases": [result.to_record() for result in results],
+    }

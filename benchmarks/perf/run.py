@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Run the perf-trajectory harness and write ``BENCH_<pr>.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/run.py            # full, asserts floors
+    PYTHONPATH=src python benchmarks/perf/run.py --smoke    # CI: small, parity only
+    PYTHONPATH=src python benchmarks/perf/run.py --output BENCH_local.json
+
+Full mode writes ``benchmarks/perf/BENCH_3.json`` (the committed trajectory
+point for this PR); smoke mode defaults to ``BENCH_smoke.json`` in the
+working directory so CI can upload it as a build artifact without touching
+the tree.  See docs/PERFORMANCE.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import run_suite  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sizes; parity asserted, speedup floors reported only",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="output JSON path (default: benchmarks/perf/BENCH_3.json, "
+        "or ./BENCH_smoke.json with --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    output = args.output
+    if output is None:
+        output = (
+            "BENCH_smoke.json"
+            if args.smoke
+            else os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_3.json")
+        )
+
+    print(f"perf harness ({'smoke' if args.smoke else 'full'} mode)", file=sys.stderr)
+    record = run_suite(smoke=args.smoke)
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

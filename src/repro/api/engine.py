@@ -7,7 +7,7 @@ The :class:`Engine` is the single entry point that turns a registered
 * ``run(name, **params)`` -- one experiment execution,
 * ``sweep(name, spec)`` -- fan a :class:`~repro.api.sweep.SweepSpec` out over
   the experiment, serially or through a ``concurrent.futures`` thread/process
-  pool with chunked task submission,
+  pool with per-point future submission (optionally chunked),
 * ``iter_sweep(name, spec)`` -- the streaming form of ``sweep``: a generator
   yielding one :class:`SweepPoint` per sweep point *as it completes* (cache
   hits first, then executed points in completion order), so callers can
@@ -162,8 +162,12 @@ class Engine:
     max_workers:
         Pool size for the parallel executors (default: ``os.cpu_count()``).
     chunk_size:
-        Sweep points per pool task; ``None`` picks a size that gives each
-        worker about four chunks, a standard latency/imbalance compromise.
+        Sweep points per pool task.  ``None`` (default) submits one future
+        per point, which is what lets :meth:`iter_sweep` stream
+        point-granularly under the pooled executors (the process pool
+        pre-imports the registry through a worker initializer, so the
+        per-task dispatch cost stays small).  Set a larger value to batch
+        very cheap points and amortise pickling overhead.
     """
 
     def __init__(
@@ -208,12 +212,17 @@ class Engine:
         if path is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
-        # Atomic write so a crashed run never leaves a truncated entry.
+        # Atomic write (tmp file in the same directory + os.replace) so a
+        # crashed run never leaves a truncated or corrupt entry behind: the
+        # final name only ever points at a fully written file, and the fsync
+        # makes sure the data hit the disk before the rename publishes it.
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.cache_dir, suffix=".tmp", delete=False
         )
         try:
             handle.write(result.to_json())
+            handle.flush()
+            os.fsync(handle.fileno())
             handle.close()
             os.replace(handle.name, path)
         except BaseException:
@@ -417,6 +426,22 @@ class Engine:
 
     # --- helpers ----------------------------------------------------------
 
+    def _chunks(self, pending: list[int]) -> list[list[int]]:
+        """Split pending point indices into pool tasks.
+
+        With ``chunk_size=None`` every point is its own task: a fast point's
+        result streams back the moment it finishes instead of waiting for
+        chunk-mates, which is the point-granular latency :meth:`iter_sweep`
+        promises.  An explicit ``chunk_size`` restores batched submission
+        for workloads whose per-point cost is dwarfed by dispatch overhead.
+        """
+        if self.chunk_size is None:
+            return [[index] for index in pending]
+        return [
+            pending[i : i + self.chunk_size]
+            for i in range(0, len(pending), self.chunk_size)
+        ]
+
     def _execute_pending(
         self,
         experiment: Experiment,
@@ -426,8 +451,9 @@ class Engine:
         """Yield ``(point_index, outcome)`` for every uncached sweep point.
 
         Serial execution yields in sweep order; the pooled executors submit
-        chunks and yield each chunk's points as its future completes, which
-        is what makes :meth:`iter_sweep` stream under parallel execution.
+        one future per point by default (see :meth:`_chunks`) and yield each
+        future's points as it completes, which is what makes
+        :meth:`iter_sweep` stream point-granularly under parallel execution.
         """
         if not pending:
             return
@@ -438,6 +464,7 @@ class Engine:
                 yield index, _run_outcomes(experiment.run, [resolved_points[index]])[0]
             return
 
+        pool_kwargs: dict[str, Any] = {}
         if self.executor == "process":
             # Process workers rebuild the registry by name; an instance that
             # is not the registered one would silently execute the wrong
@@ -451,11 +478,14 @@ class Engine:
                     f"{experiment.name!r} is not the registered instance "
                     "(use executor='thread'/'serial' for ad-hoc experiments)"
                 )
+            # Import the registry once per worker at startup instead of per
+            # submitted task -- with per-point futures the task count equals
+            # the point count, so per-task work must stay minimal.
+            pool_kwargs["initializer"] = ensure_registered
 
-        chunk_size = self.chunk_size or max(1, len(pending) // (self.max_workers * 4))
-        chunks = [pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)]
+        chunks = self._chunks(pending)
         pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
-        pool = pool_cls(max_workers=min(self.max_workers, len(chunks)))
+        pool = pool_cls(max_workers=min(self.max_workers, len(chunks)), **pool_kwargs)
         try:
             if self.executor == "thread":
                 # Threads share the interpreter: execute through the instance

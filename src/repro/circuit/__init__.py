@@ -10,7 +10,9 @@ This subpackage provides the equivalent machinery:
 * :mod:`repro.circuit.technology` -- 45 nm / 14 nm technology-node parameters,
 * :mod:`repro.circuit.netlist` -- the circuit container (nodes, elements,
   SPICE-like export),
-* :mod:`repro.circuit.mna` -- modified nodal analysis assembly,
+* :mod:`repro.circuit.mna` -- modified nodal analysis assembly (dense),
+* :mod:`repro.circuit.compiled` -- compiled sparse stamping with
+  factorization reuse (the fast path for large circuits),
 * :mod:`repro.circuit.dc` -- Newton DC operating point,
 * :mod:`repro.circuit.transient` -- backward-Euler / trapezoidal transient,
 * :mod:`repro.circuit.inverter` -- CMOS inverter cells and chains,
@@ -28,6 +30,12 @@ from repro.circuit.elements import (
     Resistor,
     Step,
     VoltageSource,
+)
+from repro.circuit.compiled import (
+    SPARSE_SIZE_THRESHOLD,
+    CompiledMNA,
+    resolve_backend,
+    solver_backend,
 )
 from repro.circuit.netlist import Circuit
 from repro.circuit.mosfet import MOSFET, MOSFETParameters
@@ -53,6 +61,10 @@ __all__ = [
     "Pulse",
     "PieceWiseLinear",
     "Circuit",
+    "CompiledMNA",
+    "SPARSE_SIZE_THRESHOLD",
+    "resolve_backend",
+    "solver_backend",
     "MOSFET",
     "MOSFETParameters",
     "TechnologyNode",

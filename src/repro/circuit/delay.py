@@ -143,6 +143,7 @@ def measure_inverter_line_delay(
     simulation_margin: float = 8.0,
     n_time_steps: int = 600,
     method: str = "trapezoidal",
+    backend: str | None = None,
 ) -> DelayMeasurement:
     """Run the Fig. 11 benchmark: driver inverter -> interconnect -> receiver inverter.
 
@@ -171,6 +172,9 @@ def measure_inverter_line_delay(
         Number of fixed transient steps.
     method:
         Integration method passed to the transient engine.
+    backend:
+        MNA solver backend (``"dense"``/``"sparse"``); ``None`` selects by
+        circuit size (:func:`repro.circuit.compiled.resolve_backend`).
 
     Returns
     -------
@@ -209,7 +213,7 @@ def measure_inverter_line_delay(
     stop_time = max(simulation_margin * (elmore + input_rise_time), 50.0e-12)
     time_step = stop_time / n_time_steps
 
-    result = transient_analysis(circuit, stop_time, time_step, method=method)
+    result = transient_analysis(circuit, stop_time, time_step, method=method, backend=backend)
 
     delay_far = propagation_delay(result, "in", "far", v_dd)
     delay_out = propagation_delay(result, "in", "out", v_dd)

@@ -1,4 +1,4 @@
-"""Modified nodal analysis (MNA) assembly.
+"""Modified nodal analysis (MNA) assembly (dense reference path).
 
 The assembler maps a :class:`~repro.circuit.netlist.Circuit` onto the dense
 MNA matrix equation ``A x = b`` where ``x`` stacks the non-ground node
@@ -7,9 +7,16 @@ Nonlinear MOSFETs are handled by Newton iteration: each call to
 :meth:`MNAAssembler.assemble` linearises them around the supplied operating
 point, so repeated solves converge to the nonlinear solution.
 
-Dense matrices are used on purpose: the benchmark circuits (a handful of
-inverters plus distributed RC ladders) have at most a few hundred unknowns,
-where dense LU is both faster and simpler than a sparse setup.
+This is the *reference* implementation: every stamp is written out
+explicitly, one Python statement per matrix entry, which makes it the
+ground truth the compiled sparse path
+(:class:`repro.circuit.compiled.CompiledMNA` -- topology compiled once,
+values refreshed per step, LU factorizations reused) is parity-tested
+against.  It is also the faster backend below
+:data:`~repro.circuit.compiled.SPARSE_SIZE_THRESHOLD` unknowns, where a
+dense LAPACK solve on a contiguous array beats any sparse setup, so
+:func:`repro.circuit.transient.transient_analysis` still routes small
+circuits (and :mod:`repro.circuit.dc` all one-shot DC solves) through it.
 """
 
 from __future__ import annotations

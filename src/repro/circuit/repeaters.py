@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.circuit.inverter import Inverter
 from repro.circuit.technology import NODE_45NM, TechnologyNode
-from repro.core.line import InterconnectLine
+from repro.core.line import DistributedRC, InterconnectLine
 
 SWITCHING_ACTIVITY_DEFAULT = 0.15
 """Default signal switching activity used for energy estimates."""
@@ -61,10 +62,38 @@ class RepeaterDesign:
     repeater_area: float
 
 
+@lru_cache(maxsize=None)
 def _unit_driver(technology: TechnologyNode) -> tuple[float, float]:
-    """(output resistance, input capacitance) of a unit inverter."""
+    """(output resistance, input capacitance) of a unit inverter.
+
+    Cached per technology node: the repeater-count search below evaluates
+    many candidate designs and each one only needs these two scalars, not a
+    freshly built inverter cell.
+    """
     unit = Inverter("unit", "a", "b", technology=technology, size=1.0)
     return unit.output_resistance(), unit.input_capacitance
+
+
+def _segmented_delay(
+    ladder: DistributedRC,
+    n_repeaters: int,
+    repeater_size: float,
+    r_unit: float,
+    c_unit: float,
+) -> float:
+    """Delay of a pre-expanded ladder split into repeater-driven segments."""
+    driver_resistance = r_unit / repeater_size
+    load_capacitance = c_unit * repeater_size
+
+    segment = ladder.resized(max(1, ladder.n_segments // n_repeaters))
+    segment_rc = type(segment)(
+        total_resistance=ladder.total_resistance / n_repeaters,
+        total_capacitance=ladder.total_capacitance / n_repeaters,
+        contact_resistance=ladder.contact_resistance / n_repeaters,
+        n_segments=segment.n_segments,
+    )
+    per_stage = segment_rc.elmore_delay(driver_resistance, load_capacitance)
+    return n_repeaters * per_stage
 
 
 def segment_delay(
@@ -86,19 +115,7 @@ def segment_delay(
         raise ValueError("repeater size must be positive")
 
     r_unit, c_unit = _unit_driver(technology)
-    driver_resistance = r_unit / repeater_size
-    load_capacitance = c_unit * repeater_size
-
-    ladder = line.distributed()
-    segment = ladder.resized(max(1, ladder.n_segments // n_repeaters))
-    segment_rc = type(segment)(
-        total_resistance=ladder.total_resistance / n_repeaters,
-        total_capacitance=ladder.total_capacitance / n_repeaters,
-        contact_resistance=ladder.contact_resistance / n_repeaters,
-        n_segments=segment.n_segments,
-    )
-    per_stage = segment_rc.elmore_delay(driver_resistance, load_capacitance)
-    return n_repeaters * per_stage
+    return _segmented_delay(line.distributed(), n_repeaters, repeater_size, r_unit, c_unit)
 
 
 def optimal_repeater_design(
@@ -156,9 +173,12 @@ def optimal_repeater_design(
     if not candidates:
         candidates = [1]
 
+    # Expand the line once; every candidate evaluation below reuses it.
+    ladder = line.distributed()
+
     best: tuple[float, int] | None = None
     for k in candidates:
-        delay = segment_delay(line, k, h_optimal, technology)
+        delay = _segmented_delay(ladder, k, h_optimal, r_unit, c_unit)
         if best is None or delay < best[0]:
             best = (delay, k)
     best_delay, best_k = best
@@ -170,7 +190,7 @@ def optimal_repeater_design(
         for k in (best_k - 1, best_k + 1):
             if k < 1 or k > max_repeaters:
                 continue
-            delay = segment_delay(line, k, h_optimal, technology)
+            delay = _segmented_delay(ladder, k, h_optimal, r_unit, c_unit)
             if delay < best_delay:
                 best_delay, best_k = delay, k
                 improved = True

@@ -5,6 +5,14 @@ the DC operating point at ``t = 0``) with a fixed time step, solving the
 nonlinear MNA system by Newton iteration at every step.  Results are exposed
 as numpy arrays per node, which is what the delay-measurement helpers of
 :mod:`repro.circuit.delay` operate on.
+
+Two solver backends share this front end (see
+:mod:`repro.circuit.compiled`): small circuits keep the legacy dense
+assembler, larger ones run through the compiled sparse stamping path with
+factorization reuse.  Both record every step into one preallocated
+``(n_steps + 1, size)`` trace array; the per-node waveform dict is cut from
+it once at the end instead of being filled name-by-name inside the step
+loop.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.compiled import ArrayState, CompiledMNA, resolve_backend
 from repro.circuit.dc import dc_operating_point
 from repro.circuit.mna import CompanionState, MNAAssembler, newton_solve
 from repro.circuit.netlist import Circuit, is_ground
@@ -66,6 +75,7 @@ def transient_analysis(
     method: str = "trapezoidal",
     use_dc_start: bool = True,
     max_newton_iterations: int = 60,
+    backend: str | None = None,
 ) -> TransientResult:
     """Run a fixed-step transient analysis.
 
@@ -85,6 +95,10 @@ def transient_analysis(
         at 0 V and capacitor initial voltages are honoured.
     max_newton_iterations:
         Per-step Newton cap.
+    backend:
+        ``"dense"``, ``"sparse"`` or ``None`` (default) for automatic
+        size-based selection -- see :func:`repro.circuit.compiled.resolve_backend`.
+        Both backends produce the same waveforms to solver precision.
 
     Returns
     -------
@@ -118,29 +132,39 @@ def transient_analysis(
             inductor_voltages={l.name: 0.0 for l in circuit.inductors},
         )
 
-    voltages = {name: np.zeros(n_steps + 1) for name in assembler.node_names}
-    currents = {source.name: np.zeros(n_steps + 1) for source in circuit.voltage_sources}
+    trace = np.empty((n_steps + 1, assembler.size))
+    trace[0] = solution
 
-    def record(step: int, vector: np.ndarray) -> None:
-        for name in assembler.node_names:
-            voltages[name][step] = vector[assembler.node_index(name)]
-        for position, source in enumerate(circuit.voltage_sources):
-            currents[source.name][step] = vector[assembler.vsource_index(position)]
+    if resolve_backend(assembler.size, backend) == "sparse":
+        compiled = CompiledMNA(circuit, dt=time_step, method=method, assembler=assembler)
+        array_state = ArrayState.from_companion(state, circuit)
+        for step in range(1, n_steps + 1):
+            solution = compiled.solve_step(
+                times[step], solution, array_state, max_iterations=max_newton_iterations
+            )
+            array_state = compiled.update_state(solution, array_state)
+            trace[step] = solution
+    else:
+        for step in range(1, n_steps + 1):
+            time = times[step]
+            solution = newton_solve(
+                assembler,
+                time,
+                solution,
+                state=state,
+                dt=time_step,
+                method=method,
+                max_iterations=max_newton_iterations,
+            )
+            state = assembler.update_state(solution, state, time_step, method=method)
+            trace[step] = solution
 
-    record(0, solution)
-
-    for step in range(1, n_steps + 1):
-        time = times[step]
-        solution = newton_solve(
-            assembler,
-            time,
-            solution,
-            state=state,
-            dt=time_step,
-            method=method,
-            max_iterations=max_newton_iterations,
-        )
-        state = assembler.update_state(solution, state, time_step, method=method)
-        record(step, solution)
-
+    voltages = {
+        name: np.ascontiguousarray(trace[:, assembler.node_index(name)])
+        for name in assembler.node_names
+    }
+    currents = {
+        source.name: np.ascontiguousarray(trace[:, assembler.vsource_index(position)])
+        for position, source in enumerate(circuit.voltage_sources)
+    }
     return TransientResult(times=times, node_voltages=voltages, source_currents=currents)

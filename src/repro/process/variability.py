@@ -15,10 +15,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constants import MFP_DIAMETER_RATIO, QUANTUM_CONDUCTANCE
 from repro.core.doping import DopingProfile
 from repro.core.mwcnt import MWCNTInterconnect
 from repro.process.chirality_dist import ChiralityDistribution
-from repro.process.defects import defect_limited_mfp
+from repro.process.defects import (
+    DEFECT_SCATTERING_CROSS_SECTION,
+    REFERENCE_DEFECT_SPACING,
+    defect_limited_mfp,
+)
 
 
 @dataclass(frozen=True)
@@ -104,31 +109,11 @@ class VariabilityResult:
         return float(np.percentile(self.resistances, q))
 
 
-def resistance_variability(
-    inputs: VariabilityInputs,
-    n_devices: int = 500,
-    seed: int | None = 0,
-) -> VariabilityResult:
-    """Monte-Carlo resistance distribution of a CNT interconnect population.
-
-    Parameters
-    ----------
-    inputs:
-        Population statistics.
-    n_devices:
-        Number of devices to sample.
-    seed:
-        Random seed (None for non-reproducible sampling).
-
-    Returns
-    -------
-    VariabilityResult
-    """
-    if n_devices < 2:
-        raise ValueError("need at least two devices for statistics")
-    rng = np.random.default_rng(seed)
+def _sample_population(
+    inputs: VariabilityInputs, n_devices: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw the per-device (diameter, growth quality, contact R) samples."""
     distribution = inputs.distribution
-
     diameters = rng.lognormal(
         mean=np.log(distribution.mean_diameter),
         sigma=max(distribution.diameter_sigma, 1e-9),
@@ -144,6 +129,105 @@ def resistance_variability(
         sigma=max(inputs.contact_resistance_sigma, 1e-9),
         size=n_devices,
     )
+    return diameters, qualities, contacts
+
+
+def resistance_variability(
+    inputs: VariabilityInputs,
+    n_devices: int = 500,
+    seed: int | None = 0,
+    vectorized: bool = True,
+) -> VariabilityResult:
+    """Monte-Carlo resistance distribution of a CNT interconnect population.
+
+    Parameters
+    ----------
+    inputs:
+        Population statistics.
+    n_devices:
+        Number of devices to sample.
+    seed:
+        Random seed (None for non-reproducible sampling).
+    vectorized:
+        Evaluate the whole population with numpy array arithmetic (default);
+        ``False`` falls back to instantiating one
+        :class:`~repro.core.mwcnt.MWCNTInterconnect` per device, the slow
+        reference path the vectorised statistics are parity-tested against.
+        Both paths consume the random stream identically, so they produce
+        the same resistances for the same seed.
+
+    Returns
+    -------
+    VariabilityResult
+    """
+    if n_devices < 2:
+        raise ValueError("need at least two devices for statistics")
+    rng = np.random.default_rng(seed)
+    if vectorized:
+        return _resistance_variability_vectorized(inputs, n_devices, rng)
+    return _resistance_variability_objects(inputs, n_devices, rng)
+
+
+def _resistance_variability_vectorized(
+    inputs: VariabilityInputs, n_devices: int, rng: np.random.Generator
+) -> VariabilityResult:
+    """Whole-population evaluation of the compact model in numpy.
+
+    Mirrors :func:`_resistance_variability_objects` expression by
+    expression -- same shell-count rule, same Matthiessen combination, same
+    conducting-shell rescale -- so the two paths agree to floating-point
+    round-off.  The compact-model identities it relies on (all shells share
+    the outer-diameter mean free path because ``per_shell_mfp=False``, so
+    the intrinsic resistance collapses to ``1 / (Ns * g_shell)``) hold for
+    the default :class:`~repro.core.mwcnt.MWCNTInterconnect` configuration
+    the object path instantiates.
+    """
+    distribution = inputs.distribution
+    diameters, qualities, contacts = _sample_population(inputs, n_devices, rng)
+
+    # Shell count: the paper's simplified rule, Ns = diameter(nm) - 1.
+    total_shells = np.maximum(1, np.rint(diameters * 1.0e9).astype(np.int64) - 1)
+
+    doped = inputs.doping.is_doped and inputs.effectively_metallic_when_doped
+    if doped:
+        conducting_shells = total_shells
+    else:
+        # Identical stream to per-device scalar draws (numpy's Generator
+        # consumes bits element-wise in order for array arguments).
+        conducting_shells = rng.binomial(total_shells, distribution.metallic_fraction)
+
+    # Defect-limited mean free path (repro.process.defects formulas, kept in
+    # the same double-reciprocal form for bit-level agreement).
+    defect_density = 1.0 / (REFERENCE_DEFECT_SPACING * qualities**2)
+    defect_mfp = 1.0 / (defect_density * DEFECT_SCATTERING_CROSS_SECTION)
+    phonon_mfp = MFP_DIAMETER_RATIO * diameters  # room temperature: ratio term is 1
+    mfp = 1.0 / (1.0 / phonon_mfp + 1.0 / defect_mfp)
+
+    # Per-shell conductance; with the shared mean free path the parallel
+    # stack is Ns identical shells, so intrinsic R = 1 / (Ns * g_shell).
+    per_channel = QUANTUM_CONDUCTANCE / (1.0 + inputs.length / mfp)
+    shell_conductance = inputs.doping.channels_per_shell * per_channel
+    intrinsic = 1.0 / (total_shells * shell_conductance)
+
+    conducting = conducting_shells > 0
+    open_devices = int(n_devices - np.count_nonzero(conducting))
+    if open_devices == n_devices:
+        raise RuntimeError("no conducting devices in the population")
+    resistances = (
+        contacts[conducting]
+        + intrinsic[conducting] * total_shells[conducting] / conducting_shells[conducting]
+    )
+    return VariabilityResult(
+        resistances=resistances, open_fraction=open_devices / n_devices
+    )
+
+
+def _resistance_variability_objects(
+    inputs: VariabilityInputs, n_devices: int, rng: np.random.Generator
+) -> VariabilityResult:
+    """Reference implementation: one compact-model object per device."""
+    distribution = inputs.distribution
+    diameters, qualities, contacts = _sample_population(inputs, n_devices, rng)
 
     doped = inputs.doping.is_doped and inputs.effectively_metallic_when_doped
     resistances = []
@@ -184,6 +268,7 @@ def doping_variability_comparison(
     doped_channels: float = 6.0,
     n_devices: int = 500,
     seed: int | None = 0,
+    vectorized: bool = True,
 ) -> dict[str, VariabilityResult]:
     """Pristine versus doped variability, the paper's Section II.A argument.
 
@@ -196,6 +281,10 @@ def doping_variability_comparison(
         length=length, doping=DopingProfile.from_channels(doped_channels)
     )
     return {
-        "pristine": resistance_variability(pristine_inputs, n_devices=n_devices, seed=seed),
-        "doped": resistance_variability(doped_inputs, n_devices=n_devices, seed=seed),
+        "pristine": resistance_variability(
+            pristine_inputs, n_devices=n_devices, seed=seed, vectorized=vectorized
+        ),
+        "doped": resistance_variability(
+            doped_inputs, n_devices=n_devices, seed=seed, vectorized=vectorized
+        ),
     }

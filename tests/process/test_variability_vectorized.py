@@ -1,0 +1,74 @@
+"""Vectorised Monte-Carlo variability: parity against the object-path reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.doping import DopingProfile
+from repro.process.chirality_dist import ChiralityDistribution
+from repro.process.variability import (
+    VariabilityInputs,
+    doping_variability_comparison,
+    resistance_variability,
+)
+
+PARITY_RTOL = 1.0e-9
+
+
+def _inputs_matrix() -> list[VariabilityInputs]:
+    return [
+        VariabilityInputs(),
+        VariabilityInputs(doping=DopingProfile.from_channels(6.0)),
+        VariabilityInputs(
+            length=50e-6,
+            distribution=ChiralityDistribution(mean_diameter=14e-9, diameter_sigma=0.3),
+            growth_quality_mean=0.5,
+            contact_resistance_mean=50e3,
+        ),
+        VariabilityInputs(
+            doping=DopingProfile.from_channels(8.0),
+            effectively_metallic_when_doped=False,
+        ),
+    ]
+
+
+@pytest.mark.parametrize("inputs", _inputs_matrix())
+@pytest.mark.parametrize("seed", [0, 17])
+def test_vectorized_matches_object_loop(inputs, seed):
+    objects = resistance_variability(inputs, n_devices=60, seed=seed, vectorized=False)
+    vectors = resistance_variability(inputs, n_devices=60, seed=seed, vectorized=True)
+    # Same random stream -> same devices survive, element-for-element.
+    assert vectors.resistances.shape == objects.resistances.shape
+    np.testing.assert_allclose(
+        vectors.resistances, objects.resistances, rtol=PARITY_RTOL
+    )
+    assert vectors.open_fraction == objects.open_fraction
+    assert vectors.mean == pytest.approx(objects.mean, rel=PARITY_RTOL)
+    assert vectors.std == pytest.approx(objects.std, rel=PARITY_RTOL)
+    assert vectors.coefficient_of_variation == pytest.approx(
+        objects.coefficient_of_variation, rel=PARITY_RTOL
+    )
+
+
+def test_comparison_routes_both_paths_identically():
+    loop = doping_variability_comparison(n_devices=40, seed=2, vectorized=False)
+    fast = doping_variability_comparison(n_devices=40, seed=2, vectorized=True)
+    for key in ("pristine", "doped"):
+        np.testing.assert_allclose(
+            fast[key].resistances, loop[key].resistances, rtol=PARITY_RTOL
+        )
+
+
+def test_doped_population_suppresses_variability():
+    """The paper's Section II.A claim must hold on the vectorised path too."""
+    comparison = doping_variability_comparison(n_devices=300, seed=0)
+    assert comparison["doped"].mean < comparison["pristine"].mean
+    assert (
+        comparison["doped"].coefficient_of_variation
+        < comparison["pristine"].coefficient_of_variation
+    )
+    assert comparison["doped"].open_fraction == 0.0
+
+
+def test_vectorized_validation_matches_legacy():
+    with pytest.raises(ValueError):
+        resistance_variability(VariabilityInputs(), n_devices=1)
