@@ -266,12 +266,80 @@ def case_engine_sweep(smoke: bool) -> CaseResult:
     )
 
 
+def case_dist_workers(smoke: bool) -> CaseResult:
+    """Distributed fan-out: serial engine vs two lease-claiming workers.
+
+    The workers cooperate only through a :class:`repro.dist.SharedStore`
+    (locked claims + atomic publish); the case asserts every point was
+    executed exactly once across the workers and that the merged-from-store
+    sweep equals the serial run bit-for-bit -- the PR-4 acceptance
+    invariant.  The workers run in threads, so the speedup is GIL- and
+    host-dependent (no floor); parity is the invariant.
+    """
+    import shutil
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.dist import SharedStore, run_worker
+
+    contacts = [100e3, 250e3] if smoke else [50e3, 100e3, 200e3, 400e3]
+    spec = SweepSpec.grid(contact_resistance=contacts)
+    base = {
+        "diameters_nm": (10.0,),
+        "lengths_um": (100.0,),
+        "channel_counts": (2.0, 10.0),
+        "use_transient": True,
+        "n_segments": 10,
+    }
+
+    legacy_s, reference = _timed(lambda: Engine().sweep("fig12", spec, base_params=base))
+
+    def distributed():
+        directory = tempfile.mkdtemp(prefix="repro-dist-bench-")
+        try:
+            store = SharedStore(directory)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                reports = [
+                    future.result()
+                    for future in [
+                        pool.submit(
+                            run_worker,
+                            "fig12",
+                            spec,
+                            store,
+                            base_params=base,
+                            worker_id=f"bench-w{i}",
+                        )
+                        for i in range(2)
+                    ]
+                ]
+            executed = sum(len(report.executed) for report in reports)
+            if executed != len(spec):
+                raise AssertionError(
+                    f"{executed} executions for {len(spec)} points (duplicates or losses)"
+                )
+            return Engine(store=store).sweep("fig12", spec, base_params=base)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    fast_s, candidate = _timed(distributed)
+    parity = 0.0 if candidate == reference else float("inf")
+    return CaseResult(
+        name="dist_workers",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=parity,
+        detail={"n_points": len(spec), "n_workers": 2},
+    )
+
+
 CASES = (
     case_transient_rc_line,
     case_variability_mc,
     case_delay_benchmark,
     case_crosstalk,
     case_engine_sweep,
+    case_dist_workers,
 )
 
 
@@ -311,7 +379,7 @@ def run_suite(smoke: bool = False, enforce_floors: bool | None = None) -> dict:
 
     return {
         "schema": 1,
-        "pr": 3,
+        "pr": 4,
         "mode": "smoke" if smoke else "full",
         "parity_rtol": PARITY_RTOL,
         "speedup_floors": SPEEDUP_FLOORS,

@@ -22,7 +22,10 @@ failed point keeps its completed siblings (``SweepError.partial``).  The
 on-disk cache is managed through :mod:`repro.api.cache`.
 
 The same surface is exposed on the shell as ``python -m repro``
-(``list`` / ``describe`` / ``run`` / ``sweep`` / ``cache`` / ``docs``).
+(``list`` / ``describe`` / ``run`` / ``sweep`` / ``worker`` / ``merge`` /
+``cache`` / ``perf-report`` / ``docs``).  Distributed execution -- shared
+result stores, lease-claiming workers, deterministic sharding -- lives in
+:mod:`repro.dist`.
 Experiment definitions live in :mod:`repro.analysis.experiments` (paper
 figures and tables) and :mod:`repro.analysis.studies` (extension studies);
 the registry imports them on first use, so no explicit setup call is

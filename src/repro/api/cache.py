@@ -14,8 +14,12 @@ is the management surface over that store:
 
 Everything here only ever touches files matching the engine's own naming
 pattern, so a cache directory that also holds exported results is safe.
-The same operations are exposed on the shell as
-``python -m repro cache {stats,clear,prune}``.
+Destructive operations (``clear`` / ``prune``) take the store's advisory
+lock (:func:`repro.dist.store.store_lock`), so evicting entries from a
+*shared* store that live workers are publishing into cannot interleave with
+a publish or with claim-lease bookkeeping; each removed entry's stale
+``.lease`` file (if any) is disposed of along with it.  The same operations
+are exposed on the shell as ``python -m repro cache {stats,clear,prune}``.
 
 Quick start::
 
@@ -151,8 +155,18 @@ def cache_stats(cache_dir: str | None) -> CacheStats:
 
 
 def clear_cache(cache_dir: str | None) -> int:
-    """Delete every cache entry; returns the number of files removed."""
-    return _remove(scan_cache(cache_dir, read_meta=False))
+    """Delete every cache entry; returns the number of files removed.
+
+    Holds the store lock for the scan + removal, so concurrent writers
+    (distributed workers publishing into a shared store) are never
+    interleaved with the eviction.
+    """
+    if cache_dir is None or not os.path.isdir(cache_dir):
+        return 0
+    from repro.dist.store import store_lock
+
+    with store_lock(cache_dir):
+        return _remove(scan_cache(cache_dir, read_meta=False))
 
 
 def prune_cache(
@@ -183,7 +197,9 @@ def prune_cache(
 
     Returns the matched entries (removed unless ``dry_run``).  At least one
     criterion is required -- an unconditional prune is spelled
-    :func:`clear_cache`.
+    :func:`clear_cache`.  Unless ``dry_run``, the scan and the removal
+    happen under the store lock, so pruning a live shared store never
+    interleaves with a worker's publish.
     """
     if experiment is None and version is None and older_than is None:
         raise ValueError(
@@ -195,23 +211,31 @@ def prune_cache(
         # which would silently match (and delete) every entry.
         raise ValueError("older_than must be finite and non-negative")
 
-    matched = []
-    # Only the version filter consults the entry metadata; experiment comes
-    # from the filename and age from mtime, so skip the (potentially large)
-    # payload parse unless it is actually needed.
-    for entry in scan_cache(cache_dir, read_meta=version is not None):
-        if experiment is not None and entry.experiment != experiment:
-            continue
-        if (
-            version is not None
-            and entry.version is not None
-            and str(entry.version) != str(version)
-        ):
-            continue
-        if older_than is not None and entry.age_seconds(now) < older_than:
-            continue
-        matched.append(entry)
-    if not dry_run:
+    def match() -> list[CacheEntry]:
+        matched = []
+        # Only the version filter consults the entry metadata; experiment
+        # comes from the filename and age from mtime, so skip the
+        # (potentially large) payload parse unless it is actually needed.
+        for entry in scan_cache(cache_dir, read_meta=version is not None):
+            if experiment is not None and entry.experiment != experiment:
+                continue
+            if (
+                version is not None
+                and entry.version is not None
+                and str(entry.version) != str(version)
+            ):
+                continue
+            if older_than is not None and entry.age_seconds(now) < older_than:
+                continue
+            matched.append(entry)
+        return matched
+
+    if dry_run or cache_dir is None or not os.path.isdir(cache_dir):
+        return match()
+    from repro.dist.store import store_lock
+
+    with store_lock(cache_dir):
+        matched = match()
         _remove(matched)
     return matched
 
@@ -238,6 +262,8 @@ def parse_age(text: str) -> float:
 
 
 def _remove(entries: list[CacheEntry]) -> int:
+    from repro.dist.store import LEASE_SUFFIX
+
     removed = 0
     for entry in entries:
         try:
@@ -245,4 +271,10 @@ def _remove(entries: list[CacheEntry]) -> int:
             removed += 1
         except FileNotFoundError:
             pass  # deleted concurrently: already gone is fine
+        # An entry's claim lease (shared stores) dies with the entry --
+        # leaving it behind would make the point look claimed after eviction.
+        try:
+            os.unlink(entry.path + LEASE_SUFFIX)
+        except FileNotFoundError:
+            pass
     return removed

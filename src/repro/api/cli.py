@@ -15,9 +15,24 @@ Subcommands
     (``--executor thread|process --workers N``).  Per-point progress is
     streamed to stderr as results land; failed points keep the completed
     ones (partial results are printed and exported, exit code 1).
+    ``--shards N --shard-index i`` runs one deterministic slice of the
+    sweep (stable param-hash partition), for coordination-free splitting
+    across machines; ``merge`` reassembles the exported slices.
+``worker NAME (--grid | --zip) ... --store DIR``
+    Attach to a shared result store and claim the sweep's pending points
+    one by one (lease-based, ttl-bounded) -- run the same command in N
+    terminals or on N machines sharing the directory and each point is
+    executed exactly once.  See docs/DISTRIBUTED.md.
+``merge PART.json ...``
+    Reassemble partial sweep exports (shard or worker runs) into the full
+    sweep ResultSet, bit-identical to a serial run.
 ``cache {stats,clear,prune}``
     Inspect or evict the on-disk memoisation cache (prune by
-    ``--experiment``, ``--version`` and/or ``--older-than 7d``).
+    ``--experiment``, ``--version`` and/or ``--older-than 7d``); eviction
+    takes the store lock, so it is safe against live workers.
+``perf-report``
+    Render the committed perf trajectory (``benchmarks/perf/BENCH_*.json``)
+    with per-case speedup deltas; ``--check`` fails on regressions.
 ``docs``
     Print the generated experiment catalog; ``--write``/``--check`` keep
     ``docs/EXPERIMENTS.md`` in sync with the registry.
@@ -29,8 +44,14 @@ Examples::
     python -m repro run fig9 -p mwcnt_diameters_nm=10,22 --csv fig9.csv
     python -m repro sweep fig12 --grid contact_resistance=100e3,250e3 \\
         --executor process --workers 4
+    python -m repro sweep fig12 --grid contact_resistance=100e3,250e3 \\
+        --shards 4 --shard-index 0 --json part0.json
+    python -m repro worker fig12 --grid contact_resistance=100e3,250e3 \\
+        --store /shared/fig12-store
+    python -m repro merge part0.json part1.json --json merged.json
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro cache prune --experiment fig12 --older-than 7d
+    python -m repro perf-report --check
     python -m repro docs --check docs/EXPERIMENTS.md
 """
 
@@ -89,28 +110,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_execution_options(run)
 
+    def add_sweep_axes(sub: argparse.ArgumentParser) -> None:
+        mode = sub.add_mutually_exclusive_group(required=True)
+        mode.add_argument(
+            "--grid", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
+            help="Cartesian-product sweep axes",
+        )
+        mode.add_argument(
+            "--zip", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
+            dest="zip_axes", help="lock-step sweep axes (equal lengths)",
+        )
+        sub.add_argument(
+            "-p", "--param", action="append", default=[], type=_parse_assignment,
+            metavar="KEY=VALUE", help="fixed base parameter (repeatable)",
+        )
+
+    def add_shard_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="statically partition the sweep into N param-hash shards",
+        )
+        sub.add_argument(
+            "--shard-index", type=int, default=None, metavar="I",
+            help="which shard (0..N-1) this invocation executes",
+        )
+
     sweep = subparsers.add_parser("sweep", help="fan an experiment out over a sweep")
     sweep.add_argument("name", help="experiment name (see `list`)")
-    mode = sweep.add_mutually_exclusive_group(required=True)
-    mode.add_argument(
-        "--grid", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
-        help="Cartesian-product sweep axes",
-    )
-    mode.add_argument(
-        "--zip", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
-        dest="zip_axes", help="lock-step sweep axes (equal lengths)",
-    )
-    sweep.add_argument(
-        "-p", "--param", action="append", default=[], type=_parse_assignment,
-        metavar="KEY=VALUE", help="fixed base parameter (repeatable)",
-    )
+    add_sweep_axes(sweep)
     sweep.add_argument("--executor", choices=EXECUTORS, default="serial")
     sweep.add_argument("--workers", type=int, default=None, help="pool size for parallel executors")
     sweep.add_argument(
         "--no-progress", action="store_true",
         help="suppress the per-point progress lines on stderr",
     )
+    add_shard_options(sweep)
     add_execution_options(sweep)
+
+    worker = subparsers.add_parser(
+        "worker", help="claim and execute a sweep's pending points from a shared store"
+    )
+    worker.add_argument("name", help="experiment name (see `list`)")
+    add_sweep_axes(worker)
+    worker.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="shared result-store directory (same for every cooperating worker)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="lease identity (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl", default="300s", metavar="AGE",
+        help="claim lease duration, e.g. 60s, 10m (must exceed the slowest point)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="sleep between passes while other workers hold all remaining leases",
+    )
+    worker.add_argument(
+        "--no-wait", action="store_true",
+        help="exit when nothing is claimable instead of waiting for other workers",
+    )
+    worker.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-point progress lines on stderr",
+    )
+    add_shard_options(worker)
+
+    merge = subparsers.add_parser(
+        "merge", help="reassemble partial sweep exports into the full ResultSet"
+    )
+    merge.add_argument(
+        "paths", nargs="+", metavar="PART.json",
+        help="partial ResultSet JSON exports (shard or worker runs)",
+    )
+    merge.add_argument(
+        "--allow-missing", action="store_true",
+        help="merge even when some sweep points have no records yet",
+    )
+    merge.add_argument("--csv", default=None, metavar="PATH", help="write records as CSV")
+    merge.add_argument("--json", default=None, metavar="PATH", help="write the ResultSet as JSON")
+    merge.add_argument("--limit", type=int, default=40, help="table rows to print (0: all)")
 
     cache = subparsers.add_parser("cache", help="inspect or evict the result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -139,6 +220,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_prune.add_argument(
         "--dry-run", action="store_true", help="report matches without deleting"
+    )
+
+    perf = subparsers.add_parser(
+        "perf-report", help="render the committed perf trajectory (BENCH_*.json)"
+    )
+    perf.add_argument(
+        "--dir", default=None, metavar="PATH", dest="perf_dir",
+        help="trajectory directory (default: benchmarks/perf)",
+    )
+    perf.add_argument("--case", default=None, help="only this benchmark case")
+    perf.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="relative speedup drop flagged as regression (default: 0.15)",
+    )
+    perf.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the trajectory contains regressions (CI gate)",
     )
 
     docs = subparsers.add_parser(
@@ -275,21 +373,42 @@ def _progress_printer(total: int):
     return on_result
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _parsed_spec(args: argparse.Namespace) -> SweepSpec:
     assignments = args.grid if args.grid is not None else args.zip_axes
     axes = _coerced_axes(args.name, assignments)
-    spec = SweepSpec(mode="grid" if args.grid is not None else "zip", axes=axes)
+    return SweepSpec(mode="grid" if args.grid is not None else "zip", axes=axes)
+
+
+def _shard_plan(args: argparse.Namespace):
+    """Build the ShardPlan of --shards/--shard-index (or None)."""
+    if args.shards is None and args.shard_index is None:
+        return None
+    if args.shards is None or args.shard_index is None:
+        raise ValueError("--shards and --shard-index must be given together")
+    from repro.dist import ShardPlan
+
+    return ShardPlan(n_shards=args.shards, shard_index=args.shard_index)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _parsed_spec(args)
+    shard = _shard_plan(args)
     engine = Engine(
         cache_dir=args.cache_dir, executor=args.executor, max_workers=args.workers
     )
-    print(f"sweep: {spec.mode} over {spec.axis_names}, {len(spec)} points")
+    n_points = len(spec) if shard is None else len(shard.indices(spec.points()))
+    shard_note = (
+        "" if shard is None else f" (shard {shard.shard_index}/{shard.n_shards})"
+    )
+    print(f"sweep: {spec.mode} over {spec.axis_names}, {n_points} points{shard_note}")
     try:
         result = engine.sweep(
             args.name,
             spec,
             base_params=_coerced_overrides(args.name, args.param),
             use_cache=not args.no_cache,
-            on_result=None if args.no_progress else _progress_printer(len(spec)),
+            on_result=None if args.no_progress else _progress_printer(n_points),
+            shard=shard,
         )
     except SweepError as error:
         # Completed points survive the failure: print and export them so the
@@ -298,6 +417,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _print_result(error.partial, args)
         return 1
     _print_result(result, args)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.api.cache import parse_age
+    from repro.dist import SharedStore, default_worker_id, run_worker
+
+    spec = _parsed_spec(args)
+    shard = _shard_plan(args)
+    store = SharedStore(args.store)
+    worker_id = args.worker_id or default_worker_id()
+    n_points = len(spec) if shard is None else len(shard.indices(spec.points()))
+    print(
+        f"worker {worker_id}: {spec.mode} over {spec.axis_names}, "
+        f"{n_points} points, store {store.directory}",
+        file=sys.stderr,
+    )
+    report = run_worker(
+        args.name,
+        spec,
+        store,
+        base_params=_coerced_overrides(args.name, args.param),
+        worker_id=worker_id,
+        lease_ttl=parse_age(args.lease_ttl),
+        shard=shard,
+        on_result=None if args.no_progress else _progress_printer(n_points),
+        wait=not args.no_wait,
+        poll_interval=args.poll,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.dist import merge_results
+
+    parts = []
+    for path in args.paths:
+        try:
+            parts.append(ResultSet.from_json(path))
+        except OSError as error:
+            raise ValueError(
+                f"cannot read part {path!r}: {error.strerror or error}"
+            ) from None
+        except KeyError:
+            raise ValueError(
+                f"part {path!r} is not a ResultSet JSON export"
+            ) from None
+    merged = merge_results(parts, allow_missing=args.allow_missing)
+    _print_result(merged, args)
+    return 0
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.api.perfreport import DEFAULT_PERF_DIR, DEFAULT_THRESHOLD, report_text
+
+    text, findings = report_text(
+        directory=args.perf_dir if args.perf_dir is not None else DEFAULT_PERF_DIR,
+        case=args.case,
+        threshold=args.threshold if args.threshold is not None else DEFAULT_THRESHOLD,
+    )
+    print(text)
+    if args.check and findings:
+        print(f"error: {len(findings)} perf regression(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -389,7 +573,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "describe": _cmd_describe,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "worker": _cmd_worker,
+        "merge": _cmd_merge,
         "cache": _cmd_cache,
+        "perf-report": _cmd_perf_report,
         "docs": _cmd_docs,
     }
     try:

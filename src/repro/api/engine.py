@@ -21,10 +21,19 @@ partial :class:`ResultSet`.
 
 Caching is content-addressed: the key is a SHA-256 over (experiment name,
 experiment version, canonicalised parameters), so identical invocations are
-served from disk regardless of execution mode.  All cache I/O happens in the
-coordinating process -- pool workers only compute -- which keeps the cache
-free of write races.  Cache inspection and eviction live in
+served from disk regardless of execution mode.  Result I/O goes through a
+pluggable :class:`~repro.dist.store.ResultStore` -- ``cache_dir=`` is
+shorthand for a :class:`~repro.dist.store.LocalStore`, and a
+:class:`~repro.dist.store.SharedStore` makes the same directory safe to
+share between machines (see :mod:`repro.dist`).  All cache I/O happens in
+the coordinating process -- pool workers only compute -- which keeps even
+the local store free of write races.  Cache inspection and eviction live in
 :mod:`repro.api.cache` (``python -m repro cache`` on the shell).
+
+Sweeps can additionally be statically partitioned across machines with a
+:class:`~repro.dist.shards.ShardPlan` (``sweep(..., shard=plan)`` runs only
+the plan's slice); :func:`repro.dist.shards.merge_results` reassembles the
+partial ResultSets.
 """
 
 from __future__ import annotations
@@ -32,15 +41,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
 from repro.api.experiment import Experiment, ensure_registered, get_experiment
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.dist.shards import ShardPlan
+    from repro.dist.store import ResultStore
 
 EXECUTORS = ("serial", "thread", "process")
 
@@ -155,7 +167,14 @@ class Engine:
     ----------
     cache_dir:
         Directory for the on-disk result cache; ``None`` disables caching.
-        Created on first write.
+        Created on first write.  Shorthand for
+        ``store=LocalStore(cache_dir)``.
+    store:
+        A :class:`~repro.dist.store.ResultStore` to memoise through instead
+        of ``cache_dir`` (pass one or the other, not both).  A
+        :class:`~repro.dist.store.SharedStore` here makes the engine safe to
+        point at a directory that distributed workers are writing into
+        concurrently.
     executor:
         ``"serial"`` (default), ``"thread"`` or ``"process"`` -- how sweep
         points are fanned out.  Single ``run`` calls always execute inline.
@@ -176,6 +195,7 @@ class Engine:
         executor: str = "serial",
         max_workers: int | None = None,
         chunk_size: int | None = None,
+        store: "ResultStore | None" = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; use one of {EXECUTORS}")
@@ -183,7 +203,14 @@ class Engine:
             raise ValueError("max_workers must be positive")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
-        self.cache_dir = cache_dir
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either cache_dir or store, not both")
+        if store is None and cache_dir is not None:
+            from repro.dist.store import LocalStore
+
+            store = LocalStore(cache_dir)
+        self.store = store
+        self.cache_dir = None if store is None else store.directory
         self.executor = executor
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
@@ -193,43 +220,28 @@ class Engine:
     # --- cache ------------------------------------------------------------
 
     def _cache_path(self, experiment: Experiment, params: Mapping[str, Any]) -> str | None:
-        if self.cache_dir is None:
+        if self.store is None:
             return None
         key = cache_key(experiment.name, experiment.version, params)
-        return os.path.join(self.cache_dir, f"{experiment.name}-{key[:16]}.json")
+        return self.store.entry_path(experiment.name, key)
 
     def _cache_load(self, path: str | None) -> ResultSet | None:
-        if path is None or not os.path.exists(path):
+        if path is None:
             return None
-        try:
-            result = ResultSet.from_json(path)
-        except (ValueError, KeyError, json.JSONDecodeError):
-            return None  # corrupt entry: recompute and overwrite
+        result = self.store.load(path)
+        if result is None:
+            return None  # missing or corrupt entry: recompute and overwrite
         result.meta["cache_hit"] = True
         return result
 
     def _cache_store(self, path: str | None, result: ResultSet) -> None:
         if path is None:
             return
-        os.makedirs(self.cache_dir, exist_ok=True)
-        # Atomic write (tmp file in the same directory + os.replace) so a
-        # crashed run never leaves a truncated or corrupt entry behind: the
-        # final name only ever points at a fully written file, and the fsync
-        # makes sure the data hit the disk before the rename publishes it.
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=self.cache_dir, suffix=".tmp", delete=False
-        )
-        try:
-            handle.write(result.to_json())
-            handle.flush()
-            os.fsync(handle.fileno())
-            handle.close()
-            os.replace(handle.name, path)
-        except BaseException:
-            handle.close()
-            if os.path.exists(handle.name):
-                os.unlink(handle.name)
-            raise
+        # The store publishes atomically (tmp file + fsync + os.replace), so
+        # a crashed run never leaves a truncated or corrupt entry behind; a
+        # SharedStore additionally takes the store lock and clears any claim
+        # lease on the entry.
+        self.store.publish(path, result)
 
     def clear_cache(self) -> int:
         """Delete all cache entries; returns the number of files removed.
@@ -286,6 +298,7 @@ class Engine:
         base_params: Mapping[str, Any] | None = None,
         use_cache: bool = True,
         on_result: Callable[[SweepPoint], None] | None = None,
+        shard: "ShardPlan | None" = None,
     ) -> ResultSet:
         """Fan an experiment out over every point of a sweep.
 
@@ -303,23 +316,32 @@ class Engine:
         execute and :class:`SweepError` is raised at the end; its ``partial``
         attribute holds the ResultSet of the completed points, which are also
         already cached, so a re-run pays only for the failures.
+
+        ``shard`` restricts the run to one deterministic slice of the sweep
+        (see :class:`repro.dist.shards.ShardPlan`); the partial ResultSet
+        then records the slice under ``meta["shard"]`` and
+        :func:`repro.dist.shards.merge_results` reassembles all slices into
+        the full-sweep ResultSet.
         """
         experiment = name if isinstance(name, Experiment) else get_experiment(name)
         points = spec.points()
         start = time.perf_counter()
-        completed: list[SweepPoint | None] = [None] * len(points)
+        completed: dict[int, SweepPoint] = {}
         for sweep_point in self.iter_sweep(
-            experiment, spec, base_params=base_params, use_cache=use_cache
+            experiment, spec, base_params=base_params, use_cache=use_cache, shard=shard
         ):
             completed[sweep_point.index] = sweep_point
             if on_result is not None:
                 on_result(sweep_point)
         elapsed = time.perf_counter() - start
+        # iter_sweep yields exactly the selected slice, so the slice (in
+        # sweep order) is the sorted key set -- no second hashing pass.
+        selected = sorted(completed)
 
         tagged: list[dict[str, Any]] = []
         failures: list[SweepPoint] = []
-        for sweep_point in completed:
-            assert sweep_point is not None  # iter_sweep yields every point
+        for index in selected:
+            sweep_point = completed[index]  # iter_sweep yields every selected point
             if not sweep_point.ok:
                 failures.append(sweep_point)
                 continue
@@ -332,10 +354,17 @@ class Engine:
             "axes": {name: list(values) for name, values in spec.axes.items()},
             "n_points": len(points),
         }
+        if shard is not None:
+            meta["shard"] = {
+                "n_shards": shard.n_shards,
+                "shard_index": shard.shard_index,
+                "n_points": len(selected),
+                "point_indices": selected,
+            }
         result = ResultSet.from_records(tagged, meta=meta)
         if failures:
             raise SweepError(
-                f"{len(failures)} of {len(points)} sweep points failed; "
+                f"{len(failures)} of {len(selected)} sweep points failed; "
                 f"first failure at point {failures[0].index} "
                 f"({failures[0].point}): {failures[0].error}",
                 partial=result,
@@ -349,6 +378,7 @@ class Engine:
         spec: SweepSpec,
         base_params: Mapping[str, Any] | None = None,
         use_cache: bool = True,
+        shard: "ShardPlan | None" = None,
     ) -> Iterator[SweepPoint]:
         """Stream a sweep: yield one :class:`SweepPoint` per point as it lands.
 
@@ -358,6 +388,8 @@ class Engine:
         running.  A failed point is yielded with ``error`` set instead of
         aborting the generator, so consumers always see every point exactly
         once; ``SweepPoint.index`` maps it back to ``spec.points()`` order.
+        With ``shard`` set, only the shard's slice of the sweep is streamed
+        (indices still refer to the full ``spec.points()`` order).
 
         Unlike :meth:`sweep`, nothing is raised for failed points: streaming
         consumers decide themselves how to react.  Parameter errors (unknown
@@ -367,26 +399,31 @@ class Engine:
         """
         experiment = name if isinstance(name, Experiment) else get_experiment(name)
         points = spec.points()
-        resolved_points = [
-            experiment.resolve_params({**(base_params or {}), **point})
-            for point in points
-        ]
-        paths: list[str | None] = [
-            self._cache_path(experiment, resolved) if use_cache else None
-            for resolved in resolved_points
-        ]
-        return self._iter_resolved(experiment, points, resolved_points, paths)
+        selected = list(range(len(points))) if shard is None else shard.indices(points)
+        # Resolve (and cache-key) only the selected slice: a 1-of-N shard of
+        # a large sweep must not pay parameter resolution for all N slices.
+        resolved_points = {
+            index: experiment.resolve_params({**(base_params or {}), **points[index]})
+            for index in selected
+        }
+        paths = {
+            index: self._cache_path(experiment, resolved) if use_cache else None
+            for index, resolved in resolved_points.items()
+        }
+        return self._iter_resolved(experiment, points, resolved_points, paths, selected)
 
     def _iter_resolved(
         self,
         experiment: Experiment,
         points: list[dict[str, Any]],
-        resolved_points: list[dict[str, Any]],
-        paths: list[str | None],
+        resolved_points: dict[int, dict[str, Any]],
+        paths: dict[int, str | None],
+        selected: list[int],
     ) -> Iterator[SweepPoint]:
         """The generator body of :meth:`iter_sweep` (post parameter resolution)."""
         pending: list[int] = []
-        for index, path in enumerate(paths):
+        for index in selected:
+            path = paths[index]
             cached = self._cache_load(path)
             if cached is None:
                 pending.append(index)
@@ -445,7 +482,7 @@ class Engine:
     def _execute_pending(
         self,
         experiment: Experiment,
-        resolved_points: list[dict[str, Any]],
+        resolved_points: dict[int, dict[str, Any]],
         pending: list[int],
     ) -> Iterator[tuple[int, _Outcome]]:
         """Yield ``(point_index, outcome)`` for every uncached sweep point.

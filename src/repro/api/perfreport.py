@@ -1,0 +1,204 @@
+"""Report over the committed perf trajectory (``benchmarks/perf/BENCH_*.json``).
+
+Each PR that touches a hot path commits one ``BENCH_<pr>.json`` written by
+``benchmarks/perf/run.py`` (see docs/PERFORMANCE.md).  This module renders
+that trajectory so regressions are visible at a glance:
+
+* :func:`load_trajectory` -- parse and order every ``BENCH_*.json`` of a
+  directory (numeric labels sort by PR; ad-hoc labels like ``smoke`` or
+  ``local`` sort after them by name),
+* :func:`report_rows` -- one table row per (case, trajectory point) with the
+  speedup delta against the previous *comparable* (same-mode) point,
+* :func:`find_regressions` -- the speedup drops beyond a threshold plus any
+  case that fell below its committed acceptance floor,
+* :func:`report_text` -- the rendered report the CLI prints
+  (``python -m repro perf-report``; ``--check`` turns regressions into a
+  non-zero exit for CI).
+
+Only same-mode points are compared: smoke-mode numbers come from reduced
+problem sizes (and usually shared CI runners), so a smoke point never
+counts as a regression against a full-mode baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any
+
+_BENCH_PATTERN = re.compile(r"BENCH_(?P<label>[A-Za-z0-9_.-]+)\.json$")
+
+DEFAULT_PERF_DIR = os.path.join("benchmarks", "perf")
+DEFAULT_THRESHOLD = 0.15
+"""Relative speedup drop between consecutive same-mode points that counts
+as a regression (0.15 = 15 %); wall clocks jitter, order-of-magnitude wins
+do not."""
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One parsed ``BENCH_<label>.json`` trajectory point."""
+
+    path: str
+    label: str
+    mode: str
+    host: dict[str, Any]
+    speedup_floors: dict[str, float]
+    cases: dict[str, dict[str, Any]]
+
+    @property
+    def pr(self) -> int | None:
+        """Numeric PR number when the label is one, else ``None``."""
+        return int(self.label) if self.label.isdigit() else None
+
+    def sort_key(self) -> tuple:
+        # Numeric (committed) points first in PR order, ad-hoc labels after.
+        return (self.pr is None, self.pr if self.pr is not None else 0, self.label)
+
+
+def load_trajectory(directory: str) -> list[BenchRecord]:
+    """Parse every ``BENCH_*.json`` of a directory, in trajectory order.
+
+    A missing directory is an empty trajectory; an unreadable file raises
+    (a corrupt committed benchmark is worth failing loudly over).
+    """
+    if not os.path.isdir(directory):
+        return []
+    records = []
+    for filename in sorted(os.listdir(directory)):
+        match = _BENCH_PATTERN.fullmatch(filename)
+        if match is None:
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            payload = json.load(handle)
+        records.append(
+            BenchRecord(
+                path=path,
+                label=match.group("label"),
+                mode=str(payload.get("mode", "full")),
+                host=dict(payload.get("host", {})),
+                speedup_floors={
+                    str(k): float(v)
+                    for k, v in (payload.get("speedup_floors") or {}).items()
+                },
+                cases={
+                    str(case.get("name")): dict(case)
+                    for case in payload.get("cases", [])
+                },
+            )
+        )
+    return sorted(records, key=BenchRecord.sort_key)
+
+
+def _previous_same_mode(
+    records: list[BenchRecord], index: int, case: str
+) -> dict[str, Any] | None:
+    current = records[index]
+    for earlier in reversed(records[:index]):
+        if earlier.mode == current.mode and case in earlier.cases:
+            return earlier.cases[case]
+    return None
+
+
+def report_rows(
+    records: list[BenchRecord], case: str | None = None
+) -> list[dict[str, Any]]:
+    """Flatten a trajectory into printable rows (one per case and point)."""
+    case_names: list[str] = []
+    for record in records:
+        for name in record.cases:
+            if name not in case_names:
+                case_names.append(name)
+    if case is not None:
+        if case not in case_names:
+            raise ValueError(f"no case {case!r} in trajectory; have {case_names}")
+        case_names = [case]
+
+    rows = []
+    for name in case_names:
+        for index, record in enumerate(records):
+            data = record.cases.get(name)
+            if data is None:
+                continue
+            previous = _previous_same_mode(records, index, name)
+            delta = ""
+            if previous and previous.get("speedup") and data.get("speedup"):
+                change = data["speedup"] / previous["speedup"] - 1.0
+                delta = f"{change:+.1%}"
+            rows.append(
+                {
+                    "case": name,
+                    "bench": record.label,
+                    "mode": record.mode,
+                    "legacy_ms": round(1e3 * data.get("legacy_s", 0.0), 1),
+                    "fast_ms": round(1e3 * data.get("fast_s", 0.0), 1),
+                    "speedup": data.get("speedup", ""),
+                    "vs_prev": delta,
+                    "floor": record.speedup_floors.get(name, ""),
+                }
+            )
+    return rows
+
+
+def find_regressions(
+    records: list[BenchRecord], threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Human-readable regression findings over a trajectory.
+
+    Two kinds: a case's speedup dropping more than ``threshold`` relative to
+    the previous same-mode point, and a full-mode case sitting below its own
+    committed acceptance floor.
+    """
+    findings = []
+    for index, record in enumerate(records):
+        for name, data in record.cases.items():
+            speedup = data.get("speedup")
+            if not speedup:
+                continue
+            previous = _previous_same_mode(records, index, name)
+            if previous and previous.get("speedup"):
+                change = speedup / previous["speedup"] - 1.0
+                if change < -threshold:
+                    findings.append(
+                        f"{name}: speedup {previous['speedup']}x -> {speedup}x "
+                        f"({change:+.1%}) between BENCH_{record.label} and its "
+                        f"previous {record.mode}-mode point"
+                    )
+            floor = record.speedup_floors.get(name)
+            if record.mode == "full" and floor is not None and speedup < floor:
+                findings.append(
+                    f"{name}: speedup {speedup}x below the {floor}x floor "
+                    f"in BENCH_{record.label}"
+                )
+    return findings
+
+
+def report_text(
+    directory: str = DEFAULT_PERF_DIR,
+    case: str | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[str, list[str]]:
+    """Render the trajectory report; returns ``(text, regression findings)``."""
+    from repro.analysis.report import format_table
+
+    records = load_trajectory(directory)
+    if not records:
+        return (f"no BENCH_*.json trajectory under {directory}", [])
+    rows = report_rows(records, case=case)
+    title = (
+        f"perf trajectory {directory}: {len(records)} points "
+        f"({', '.join('BENCH_' + r.label for r in records)})"
+    )
+    lines = [format_table(rows, title=title)]
+    findings = find_regressions(records, threshold=threshold)
+    if findings:
+        lines.append("")
+        lines.append(f"{len(findings)} regression(s) (threshold {threshold:.0%}):")
+        lines.extend(f"  - {finding}" for finding in findings)
+    else:
+        lines.append("")
+        lines.append(f"no regressions (threshold {threshold:.0%})")
+    return ("\n".join(lines), findings)

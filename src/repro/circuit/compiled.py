@@ -121,6 +121,18 @@ class ArrayState:
     inductor_voltages: np.ndarray
 
     @classmethod
+    def zeros(cls, circuit: Circuit) -> "ArrayState":
+        """All-zero state (DC solves and cold transient starts)."""
+        n_cap = len(circuit.capacitors)
+        n_ind = len(circuit.inductors)
+        return cls(
+            capacitor_voltages=np.zeros(n_cap),
+            capacitor_currents=np.zeros(n_cap),
+            inductor_currents=np.zeros(n_ind),
+            inductor_voltages=np.zeros(n_ind),
+        )
+
+    @classmethod
     def from_companion(cls, state: CompanionState, circuit: Circuit) -> "ArrayState":
         """Pack a dict-based :class:`CompanionState` into aligned arrays."""
         return cls(
@@ -166,7 +178,7 @@ class CompiledMNA:
     dt:
         Fixed transient time-step size in second (companion conductances are
         baked into the static value buffer, which is what makes the per-step
-        update cheap).
+        update cheap).  ``None`` is allowed only with ``capacitors_open``.
     method:
         ``"trapezoidal"`` or ``"backward_euler"``, matching
         :meth:`MNAAssembler.assemble`.
@@ -174,24 +186,33 @@ class CompiledMNA:
         An existing :class:`MNAAssembler` of the same circuit to reuse for
         index bookkeeping (avoids walking the netlist twice); one is built
         when omitted.
+    capacitors_open:
+        DC mode, mirroring ``MNAAssembler.assemble(capacitors_open=True)``:
+        capacitors are removed, inductors become shorts (large
+        conductances), no companion models are stamped.  The compiled
+        system then solves the operating point
+        (:func:`repro.circuit.dc.dc_operating_point` routes large circuits
+        through it); :meth:`update_state` is transient-only and raises.
     """
 
     def __init__(
         self,
         circuit: Circuit,
-        dt: float,
+        dt: float | None,
         method: str = "trapezoidal",
         assembler: MNAAssembler | None = None,
+        capacitors_open: bool = False,
     ):
         if method not in ("trapezoidal", "backward_euler"):
             raise ValueError(f"unknown integration method {method!r}")
-        if dt <= 0:
+        if not capacitors_open and (dt is None or dt <= 0):
             raise ValueError("compiled transient assembly needs a positive dt")
         self.circuit = circuit
         self.base = assembler if assembler is not None else MNAAssembler(circuit)
         self.size = self.base.size
         self.dt = dt
         self.method = method
+        self.capacitors_open = capacitors_open
         self._trapezoidal = method == "trapezoidal"
         self.nonlinear = bool(circuit.mosfets)
         self._lu = None  # cached numeric factorization (linear circuits only)
@@ -227,7 +248,7 @@ class CompiledMNA:
         for position, capacitor in enumerate(circuit.capacitors):
             cap_a.append(-1 if index(capacitor.a) is None else index(capacitor.a))
             cap_b.append(-1 if index(capacitor.b) is None else index(capacitor.b))
-            if capacitor.capacitance == 0.0:
+            if capacitors_open or capacitor.capacitance == 0.0:
                 continue
             geq = (
                 2.0 * capacitor.capacitance / dt
@@ -247,6 +268,11 @@ class CompiledMNA:
         ind_b: list[int] = []
         ind_geq: list[float] = []
         for inductor in circuit.inductors:
+            if capacitors_open:
+                # DC: an inductor is a short, modelled as a large conductance
+                # exactly like the dense assembler; no companion state.
+                stamp_conductance(index(inductor.a), index(inductor.b), 1.0e9)
+                continue
             geq = (
                 dt / (2.0 * inductor.inductance)
                 if self._trapezoidal
@@ -457,6 +483,11 @@ class CompiledMNA:
 
     def update_state(self, solution: np.ndarray, state: ArrayState) -> ArrayState:
         """Vectorised twin of :meth:`MNAAssembler.update_state`."""
+        if self.capacitors_open:
+            raise RuntimeError(
+                "update_state needs companion models; a DC-compiled system "
+                "(capacitors_open=True) has none"
+            )
         v_now_cap = _gather(solution, self._cap_a) - _gather(solution, self._cap_b)
         if self._trapezoidal:
             i_now_cap = (

@@ -4,6 +4,12 @@ Capacitors are opened, inductors are shorted, sources are evaluated at a
 given time (default 0) and the nonlinear system is solved by Newton
 iteration.  The result seeds transient analyses so that simulations start
 from a consistent bias point.
+
+Like the transient front end, the solve is backend-routed (see
+:func:`repro.circuit.compiled.resolve_backend`): circuits below the sparse
+threshold keep the dense one-shot assembly, large ladders compile the
+topology once and solve through sparse LU -- same Newton damping, same
+convergence test, identical operating points to solver precision.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.compiled import ArrayState, CompiledMNA, resolve_backend
 from repro.circuit.mna import MNAAssembler, newton_solve
 from repro.circuit.netlist import Circuit
 
@@ -51,6 +58,7 @@ def dc_operating_point(
     time: float = 0.0,
     max_iterations: int = 200,
     tolerance: float = 1.0e-9,
+    backend: str | None = None,
 ) -> DCResult:
     """Solve the DC operating point of a circuit.
 
@@ -65,6 +73,10 @@ def dc_operating_point(
         Newton iteration cap.
     tolerance:
         Convergence threshold in volt.
+    backend:
+        ``"dense"``, ``"sparse"`` or ``None`` (default) for automatic
+        size-based selection -- see
+        :func:`repro.circuit.compiled.resolve_backend`.
 
     Returns
     -------
@@ -81,14 +93,26 @@ def dc_operating_point(
     if supply_levels:
         guess[: assembler.n_nodes] = 0.5 * max(supply_levels)
 
-    solution = newton_solve(
-        assembler,
-        time,
-        guess,
-        capacitors_open=True,
-        max_iterations=max_iterations,
-        tolerance=tolerance,
-    )
+    if resolve_backend(assembler.size, backend) == "sparse":
+        compiled = CompiledMNA(
+            circuit, dt=None, assembler=assembler, capacitors_open=True
+        )
+        solution = compiled.solve_step(
+            time,
+            guess,
+            ArrayState.zeros(circuit),
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+    else:
+        solution = newton_solve(
+            assembler,
+            time,
+            guess,
+            capacitors_open=True,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
 
     node_voltages = {
         name: float(solution[assembler.node_index(name)]) for name in assembler.node_names

@@ -117,7 +117,9 @@ def transient_analysis(
     state = CompanionState.initial(circuit)
 
     if use_dc_start and assembler.size > 0:
-        dc = dc_operating_point(circuit, time=0.0)
+        # Forward the backend so a parity run (dense vs sparse) exercises one
+        # consistent solver stack end to end, DC start included.
+        dc = dc_operating_point(circuit, time=0.0, backend=backend)
         for name, voltage in dc.node_voltages.items():
             solution[assembler.node_index(name)] = voltage
         for position, source in enumerate(circuit.voltage_sources):

@@ -1,0 +1,74 @@
+"""Distributed sweep execution over a shared, lock-safe result store.
+
+The engine's cache key ``(experiment, version, params)`` is fully
+content-addressed, so distributing a sweep across processes or machines
+only needs the three pieces this subpackage provides:
+
+* :mod:`repro.dist.store` -- the :class:`ResultStore` abstraction:
+  :class:`LocalStore` (the classic single-machine cache directory) and
+  :class:`SharedStore` (advisory locking + lease-based claims with
+  stale-lease recovery + atomic publish, safe for N concurrent workers).
+* :mod:`repro.dist.shards` -- :class:`ShardPlan`, a deterministic,
+  coordination-free partition of any sweep by stable param-hash, and
+  :func:`merge_results`, which reassembles partial results bit-identically
+  to a serial run.
+* :mod:`repro.dist.worker` -- :func:`run_worker`, the claim/execute/publish
+  loop behind ``python -m repro worker``.
+
+Quick start (two cooperating workers, one shared directory)::
+
+    import tempfile
+
+    from repro.api import Engine, SweepSpec
+    from repro.dist import SharedStore, run_worker
+
+    store = SharedStore(tempfile.mkdtemp())
+    spec = SweepSpec.grid(length_um=[1.0, 10.0, 100.0])
+
+    report = run_worker("table_density", spec, store, worker_id="w1")
+    print(report.summary())
+
+    # Any engine pointed at the store reassembles the full sweep from cache.
+    merged = Engine(store=store).sweep("table_density", spec)
+    print(len(merged), merged.content_hash[:16])
+
+See ``docs/DISTRIBUTED.md`` for the multi-terminal walkthrough, lease/TTL
+semantics and failure recovery.
+"""
+
+from repro.dist.shards import ShardPlan, merge_results, point_hash, point_key, shard_of
+from repro.dist.store import (
+    CLAIM_ACQUIRED,
+    CLAIM_BUSY,
+    CLAIM_DONE,
+    DEFAULT_LEASE_TTL,
+    Lease,
+    LocalStore,
+    ResultStore,
+    SharedStore,
+    StoreLockTimeout,
+    default_worker_id,
+    store_lock,
+)
+from repro.dist.worker import WorkerReport, run_worker
+
+__all__ = [
+    "CLAIM_ACQUIRED",
+    "CLAIM_BUSY",
+    "CLAIM_DONE",
+    "DEFAULT_LEASE_TTL",
+    "Lease",
+    "LocalStore",
+    "ResultStore",
+    "ShardPlan",
+    "SharedStore",
+    "StoreLockTimeout",
+    "WorkerReport",
+    "default_worker_id",
+    "merge_results",
+    "point_hash",
+    "point_key",
+    "run_worker",
+    "shard_of",
+    "store_lock",
+]

@@ -1,0 +1,267 @@
+"""Deterministic sharding of sweeps and merging of partial results.
+
+A :class:`ShardPlan` statically partitions any
+:class:`~repro.api.sweep.SweepSpec` into ``n_shards`` disjoint slices so
+that independent machines can each run ``--shards N --shard-index i``
+without any coordination at all.  Assignment is by *stable param-hash*: a
+point belongs to ``sha256(canonical(point)) % n_shards``, which makes the
+partition
+
+* **order-independent** -- the hash canonicalises key order, so the same
+  point dict built in any order (or replayed from a JSON/CSV round-trip)
+  lands on the same shard, on every Python version;
+* **refine-safe** -- :meth:`SweepSpec.refine` densifies an axis and coerces
+  its values to ``float``; numeric values are hashed as floats, so the
+  points of the coarse sweep keep their shard (and therefore their cached
+  results stay on the machine that computed them) when the sweep is
+  refined.
+
+Hash-based assignment trades perfect balance for stability: shards of a
+small sweep can be uneven (or even empty).  That is the right trade for
+cache-affine distribution; for dynamic balance use the lease-claiming
+worker (:mod:`repro.dist.worker`) instead.
+
+:func:`merge_results` is the inverse of sharding: it reassembles the
+partial per-shard :class:`~repro.api.results.ResultSet`\\ s into the exact
+ResultSet a single serial run would have produced -- records in sweep
+order, provenance metadata intact, duplicates and unexpected records
+rejected -- so the merged ``content_hash`` is bit-identical to the serial
+run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.api.results import ResultSet, _normalize_cell
+from repro.api.sweep import SweepSpec
+
+
+def _hash_value(value: Any) -> Any:
+    """Canonicalise one axis value for hashing/matching.
+
+    Numeric values collapse to ``float`` (``refine`` floats integer axes, and
+    CSV round-trips may re-type cells); numpy scalars and tuples normalise
+    exactly like :class:`ResultSet` ingestion, so a point read back from an
+    exported result matches the point that produced it.
+    """
+    value = _normalize_cell(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    if isinstance(value, list):
+        return [_hash_value(v) for v in value]
+    return value
+
+
+def point_key(point: Mapping[str, Any]) -> str:
+    """Canonical JSON identity of one sweep point (order-independent)."""
+    canonical = {str(name): _hash_value(value) for name, value in point.items()}
+    return json.dumps(canonical, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def point_hash(point: Mapping[str, Any]) -> str:
+    """Stable SHA-256 hex digest of one sweep point."""
+    return hashlib.sha256(point_key(point).encode("utf-8")).hexdigest()
+
+
+def shard_of(point: Mapping[str, Any], n_shards: int) -> int:
+    """The shard index (``0 .. n_shards-1``) that owns a sweep point."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be positive")
+    return int(point_hash(point)[:16], 16) % n_shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One slice of a statically partitioned sweep.
+
+    ``ShardPlan(n_shards=4, shard_index=1)`` owns every sweep point whose
+    stable param-hash maps to shard 1.  The engine accepts a plan through
+    ``Engine.sweep(..., shard=plan)`` (and the CLI as ``sweep --shards 4
+    --shard-index 1``); :func:`merge_results` reassembles the partial
+    results of all shards.
+    """
+
+    n_shards: int
+    shard_index: int
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if not 0 <= self.shard_index < self.n_shards:
+            raise ValueError(
+                f"shard_index must be in [0, {self.n_shards}), got {self.shard_index}"
+            )
+
+    def owns(self, point: Mapping[str, Any]) -> bool:
+        """Whether this shard executes the given sweep point."""
+        return shard_of(point, self.n_shards) == self.shard_index
+
+    def indices(self, points: Sequence[Mapping[str, Any]]) -> list[int]:
+        """Positions of this shard's points within ``points`` (sweep order)."""
+        return [i for i, point in enumerate(points) if self.owns(point)]
+
+    def points(self, spec: SweepSpec) -> list[dict[str, Any]]:
+        """This shard's slice of a spec's points, in sweep order."""
+        return [point for point in spec.points() if self.owns(point)]
+
+    @classmethod
+    def partition(cls, n_shards: int) -> list["ShardPlan"]:
+        """All ``n_shards`` plans of one partition, by shard index."""
+        return [cls(n_shards, index) for index in range(n_shards)]
+
+
+def _record_point_key(record: Mapping[str, Any], axis_names: Sequence[str]) -> str:
+    """Recover a record's sweep-point identity from its tag columns.
+
+    Sweep tagging stores an axis under ``param_<axis>`` when the name
+    collides with an experiment output column, so that spelling wins here.
+    """
+    values: dict[str, Any] = {}
+    for name in axis_names:
+        prefixed = f"param_{name}"
+        if prefixed in record:
+            values[name] = record[prefixed]
+        elif name in record:
+            values[name] = record[name]
+        else:
+            raise ValueError(
+                f"record is missing sweep axis column {name!r}; "
+                "was it produced by a sweep over these axes?"
+            )
+    return point_key(values)
+
+
+def _spec_from_meta(meta: Mapping[str, Any]) -> SweepSpec:
+    sweep = meta.get("sweep")
+    if not isinstance(sweep, Mapping) or "axes" not in sweep:
+        raise ValueError(
+            "partial result carries no sweep metadata; pass spec= explicitly"
+        )
+    return SweepSpec(mode=sweep.get("mode", "grid"), axes=dict(sweep["axes"]))
+
+
+def merge_results(
+    parts: Sequence[ResultSet],
+    spec: SweepSpec | None = None,
+    allow_missing: bool = False,
+) -> ResultSet:
+    """Reassemble partial sweep ResultSets into the full sweep ResultSet.
+
+    Parameters
+    ----------
+    parts:
+        The per-shard (or per-worker) partial ResultSets, in any order.
+        Each must carry the sweep tag columns; provenance metadata
+        (experiment, version, sweep axes) is validated for consistency when
+        present.
+    spec:
+        The sweep the parts belong to.  Defaults to the spec recorded in the
+        parts' metadata (``meta["sweep"]``) -- required explicitly when the
+        parts went through a metadata-less round-trip such as CSV.
+    allow_missing:
+        Permit sweep points no part has records for (e.g. a shard that has
+        not finished yet).  Missing point indices are recorded in
+        ``meta["merged"]["missing_points"]``.
+
+    Returns the merged ResultSet with records in sweep order, so its
+    ``content_hash`` is bit-identical to a single serial run of the full
+    sweep.  A point contributed by more than one part (overlapping shards)
+    or a record matching no sweep point is an error -- silent duplication
+    is exactly what sharding is meant to rule out.
+    """
+    if not parts:
+        raise ValueError("merge_results needs at least one partial ResultSet")
+
+    identities = {
+        (part.meta.get("experiment"), str(part.meta.get("version")))
+        for part in parts
+        if part.meta.get("experiment") is not None
+    }
+    if len(identities) > 1:
+        raise ValueError(
+            f"cannot merge results of different experiments/versions: {sorted(identities)}"
+        )
+    # Base parameters are part of the sweep's identity too: shard runs with
+    # different -p overrides compute different physics for the same axis
+    # values, and the axis tags alone cannot tell them apart.
+    base_params = {
+        point_key(part.meta["params"])
+        for part in parts
+        if isinstance(part.meta.get("params"), Mapping)
+    }
+    if len(base_params) > 1:
+        raise ValueError(
+            "cannot merge results with different base parameters: "
+            f"{sorted(base_params)}"
+        )
+
+    if spec is None:
+        spec = _spec_from_meta(parts[0].meta)
+    for part in parts:
+        part_sweep = part.meta.get("sweep")
+        if isinstance(part_sweep, Mapping) and "axes" in part_sweep:
+            if {k: list(v) for k, v in part_sweep["axes"].items()} != {
+                k: list(v) for k, v in spec.axes.items()
+            }:
+                raise ValueError("partial results belong to different sweeps")
+
+    points = spec.points()
+    axis_names = spec.axis_names
+
+    # Bucket every record under its point identity, remembering which part
+    # contributed it -- a point fed by two parts means overlapping shards.
+    buckets: dict[str, dict[int, list[dict[str, Any]]]] = {}
+    for part_index, part in enumerate(parts):
+        for record in part.to_records():
+            key = _record_point_key(record, axis_names)
+            buckets.setdefault(key, {}).setdefault(part_index, []).append(record)
+
+    merged: list[dict[str, Any]] = []
+    missing: list[int] = []
+    for index, point in enumerate(points):
+        bucket = buckets.pop(point_key(point), None)
+        if bucket is None:
+            missing.append(index)
+            continue
+        if len(bucket) > 1:
+            raise ValueError(
+                f"sweep point {point} was executed by {len(bucket)} parts; "
+                "shards must be disjoint"
+            )
+        merged.extend(next(iter(bucket.values())))
+    if buckets:
+        stray = next(iter(buckets))
+        raise ValueError(
+            f"{len(buckets)} record groups match no point of the sweep "
+            f"(first: {stray}); wrong spec or foreign results?"
+        )
+    if missing and not allow_missing:
+        raise ValueError(
+            f"{len(missing)} sweep points have no records "
+            f"(first missing index: {missing[0]}); pass allow_missing=True "
+            "to merge an incomplete sweep"
+        )
+
+    base = parts[0].meta
+    meta: dict[str, Any] = {
+        key: base[key] for key in ("experiment", "version", "params") if key in base
+    }
+    meta["executor"] = "merged"
+    wall_times = [part.meta.get("wall_time_s") for part in parts]
+    if all(isinstance(t, (int, float)) for t in wall_times):
+        meta["wall_time_s"] = float(sum(wall_times))
+    meta["sweep"] = {
+        "mode": spec.mode,
+        "axes": {name: list(values) for name, values in spec.axes.items()},
+        "n_points": len(points),
+    }
+    meta["merged"] = {"n_parts": len(parts)}
+    if missing:
+        meta["merged"]["missing_points"] = missing
+    return ResultSet.from_records(merged, meta=meta)

@@ -1,0 +1,401 @@
+"""Pluggable result stores: one cache layout, local or shared between machines.
+
+The engine memoises experiment results as ``<experiment>-<key16>.json``
+files (see :mod:`repro.api.cache`).  This module turns that directory into a
+*store* abstraction the execution layer is pointed at:
+
+* :class:`LocalStore` -- the exact single-machine behaviour the engine always
+  had: atomic publish (tmp file + fsync + ``os.replace``), tolerant loads,
+  no coordination.  ``Engine(cache_dir=...)`` is shorthand for
+  ``Engine(store=LocalStore(...))``.
+* :class:`SharedStore` -- the same on-disk format plus the coordination that
+  makes one directory safe to share between independent worker processes or
+  machines (through a shared filesystem): an advisory store lock and
+  lease-based point claims (:meth:`~SharedStore.claim`) with stale-lease
+  recovery, so N workers partition a sweep dynamically without duplicating
+  or clobbering each other's work.
+
+Claims are leases, not hard locks: ``claim(path, worker_id, ttl)`` grants the
+point to one worker for ``ttl`` seconds.  A worker that dies mid-point simply
+stops existing -- once its lease expires, any other worker's ``claim`` takes
+the point over.  Publishing a result is atomic and removes the lease, and
+``claim`` reports ``"done"`` once a result exists, so late workers skip
+straight past completed points.  The ``ttl`` must exceed the longest single
+point's wall time; a slower-than-ttl (but alive) worker can be
+double-executed -- results are content-addressed, so that race wastes work
+but never corrupts the store.
+
+Locking is advisory (``flock`` where available, a lock-directory spin
+otherwise), scoped to one lock file per store (:data:`LOCK_FILENAME`), and
+granular: reads never lock (publishes are atomic renames); only the
+claim/publish/release bookkeeping and store maintenance serialise on it.
+:func:`store_lock` is the maintenance entry point ``cache clear`` / ``cache
+prune`` use so that evicting entries from a live shared store cannot
+interleave with a worker's publish.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+from typing import ContextManager, Iterator
+
+from repro.api.results import ResultSet
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+LOCK_FILENAME = ".repro-store.lock"
+"""Name of the advisory lock file inside a store directory."""
+
+LEASE_SUFFIX = ".lease"
+"""Appended to an entry path to form its claim-lease file."""
+
+DEFAULT_LEASE_TTL = 300.0
+"""Default claim lease in seconds; must exceed the slowest single point."""
+
+# Claim outcomes (see ResultStore.claim).
+CLAIM_ACQUIRED = "acquired"
+CLAIM_DONE = "done"
+CLAIM_BUSY = "busy"
+
+
+class StoreLockTimeout(TimeoutError):
+    """The store lock could not be acquired within the requested timeout."""
+
+
+def default_worker_id() -> str:
+    """A worker identity unique per process: ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _flock_acquire(handle, path: str, timeout: float | None, poll: float) -> None:
+    if timeout is None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        return
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise StoreLockTimeout(
+                    f"store lock {path} not acquired within {timeout:.3f} s"
+                ) from None
+            time.sleep(poll)
+
+
+STALE_LOCKDIR_SECONDS = 300.0
+"""Age after which the mkdir-fallback lock of a crashed holder is broken.
+
+``flock`` locks die with their process; a lock *directory* does not, so the
+fallback needs explicit stale-lock recovery or one crashed holder would
+deadlock every worker and all cache maintenance forever.  Must comfortably
+exceed the longest critical section (they are all O(one file write))."""
+
+
+def _lockdir_acquire(path: str, timeout: float | None, poll: float) -> None:
+    # Portable fallback: mkdir is atomic on every filesystem worth using.
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        try:
+            os.mkdir(path)
+            return
+        except FileExistsError:
+            try:
+                if time.time() - os.stat(path).st_mtime > STALE_LOCKDIR_SECONDS:
+                    # Crashed holder: break the lock.  A racing breaker just
+                    # sees the rmdir fail / mkdir race and keeps looping.
+                    os.rmdir(path)
+                    continue
+            except OSError:
+                pass  # removed concurrently: loop and try mkdir again
+            if deadline is not None and time.monotonic() >= deadline:
+                raise StoreLockTimeout(
+                    f"store lock {path} not acquired within {timeout:.3f} s"
+                ) from None
+            time.sleep(poll)
+
+
+@contextmanager
+def store_lock(
+    directory: str, timeout: float | None = None, poll_interval: float = 0.05
+) -> Iterator[None]:
+    """Exclusive advisory lock over a store directory.
+
+    Serialises claim/publish bookkeeping and maintenance (``cache clear`` /
+    ``cache prune``) across processes and machines sharing the directory.
+    ``timeout=None`` blocks until acquired; otherwise
+    :class:`StoreLockTimeout` is raised after ``timeout`` seconds.  The lock
+    is *not* reentrant -- do not nest.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, LOCK_FILENAME)
+    if fcntl is not None:
+        handle = open(path, "a+")
+        try:
+            _flock_acquire(handle, path, timeout, poll_interval)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+    else:  # pragma: no cover - exercised only on platforms without fcntl
+        lockdir = path + ".d"
+        _lockdir_acquire(lockdir, timeout, poll_interval)
+        try:
+            yield
+        finally:
+            try:
+                os.rmdir(lockdir)
+            except OSError:
+                pass
+
+
+def _atomic_write(directory: str, path: str, text: str, fsync: bool = False) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The final name only ever points at a fully written file; ``fsync``
+    additionally forces the data to disk before the rename publishes it.
+    A failed write cleans its temp file up and re-raises.
+    """
+    handle = tempfile.NamedTemporaryFile("w", dir=directory, suffix=".tmp", delete=False)
+    try:
+        handle.write(text)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+        handle.close()
+        os.replace(handle.name, path)
+    except BaseException:
+        handle.close()
+        if os.path.exists(handle.name):
+            os.unlink(handle.name)
+        raise
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's temporary claim on a pending store entry."""
+
+    path: str
+    worker: str
+    claimed_at: float
+    expires_at: float
+    pid: int | None = None
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the lease has lapsed (its point is claimable again)."""
+        return (time.time() if now is None else now) >= self.expires_at
+
+    @property
+    def entry_path(self) -> str:
+        """Path of the result entry this lease guards."""
+        return self.path[: -len(LEASE_SUFFIX)]
+
+
+class ResultStore:
+    """A directory of memoised experiment results in the engine's layout.
+
+    The base class is the single-process contract: tolerant ``load``, atomic
+    ``publish``, and trivial claim semantics (``claim`` only reports whether
+    the entry already exists -- no coordination, no locking).
+    :class:`SharedStore` overrides the coordination methods; execution code
+    (the engine, :func:`repro.dist.worker.run_worker`) talks to the base
+    interface only, which is what lets serial, pooled and distributed runs
+    share one dispatch path.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.directory!r})"
+
+    # --- layout -----------------------------------------------------------
+
+    def entry_path(self, experiment: str, key: str) -> str:
+        """Path of the entry for one content-addressed cache key."""
+        return os.path.join(self.directory, f"{experiment}-{key[:16]}.json")
+
+    # --- result I/O -------------------------------------------------------
+
+    def load(self, path: str) -> ResultSet | None:
+        """Read one entry; ``None`` for missing or corrupt files.
+
+        Reads never lock: publishes are atomic renames, so a reader only
+        ever sees a complete entry or none at all.
+        """
+        if not os.path.exists(path):
+            return None
+        try:
+            return ResultSet.from_json(path)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            return None  # corrupt entry: callers recompute and overwrite
+
+    def publish(self, path: str, result: ResultSet) -> None:
+        """Atomically write one entry (tmp file + fsync + ``os.replace``).
+
+        A crashed publish never leaves a truncated or corrupt entry behind:
+        the final name only ever points at a fully written, synced file.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        _atomic_write(self.directory, path, result.to_json(), fsync=True)
+
+    # --- coordination (trivial locally) ------------------------------------
+
+    def claim(self, path: str, worker_id: str, ttl: float = DEFAULT_LEASE_TTL) -> str:
+        """Try to claim one pending entry for execution.
+
+        Returns :data:`CLAIM_DONE` when a *loadable* result already exists
+        (a corrupt entry counts as absent, so it gets recomputed instead of
+        being skipped forever), :data:`CLAIM_ACQUIRED` when the caller
+        should execute the point, or :data:`CLAIM_BUSY` when another live
+        worker holds the lease (shared stores only -- a local store has no
+        one to race).
+        """
+        return CLAIM_DONE if self.load(path) is not None else CLAIM_ACQUIRED
+
+    def release(self, path: str, worker_id: str) -> None:
+        """Give up a claim without publishing (failed or abandoned point)."""
+
+    def lock(self, timeout: float | None = None) -> ContextManager[None]:
+        """Maintenance lock over the whole store (no-op locally)."""
+        return nullcontext()
+
+
+class LocalStore(ResultStore):
+    """The engine's classic single-machine cache directory, unchanged.
+
+    Exists as a named type so ``Engine(store=...)`` reads explicitly; the
+    behaviour is exactly the :class:`ResultStore` base contract (and exactly
+    what ``Engine(cache_dir=...)`` always did).
+    """
+
+
+class SharedStore(ResultStore):
+    """A store directory shared by many workers, made race-safe.
+
+    Adds to :class:`LocalStore`:
+
+    * an advisory store lock (:meth:`lock`) serialising all bookkeeping,
+    * lease-based claims: :meth:`claim` grants a point to one worker for
+      ``ttl`` seconds, recorded in an ``<entry>.json.lease`` file written
+      atomically under the lock.  Expired leases (dead workers) are taken
+      over transparently; re-claiming one's own lease renews it.
+    * locked publish: the atomic result write and the lease removal happen
+      under the store lock, so maintenance (``cache prune``) never observes
+      half-updated bookkeeping.
+
+    ``poll_interval`` tunes how often blocked lock acquisitions retry.
+    """
+
+    def __init__(self, directory: str, poll_interval: float = 0.05) -> None:
+        super().__init__(directory)
+        self.poll_interval = poll_interval
+
+    def lock(self, timeout: float | None = None) -> ContextManager[None]:
+        return store_lock(self.directory, timeout=timeout, poll_interval=self.poll_interval)
+
+    # --- leases -----------------------------------------------------------
+
+    def _lease_path(self, path: str) -> str:
+        return path + LEASE_SUFFIX
+
+    def read_lease(self, path: str) -> Lease | None:
+        """The current lease of an entry, or ``None`` (corrupt counts as none)."""
+        lease_path = self._lease_path(path)
+        try:
+            with open(lease_path) as handle:
+                payload = json.load(handle)
+            return Lease(
+                path=lease_path,
+                worker=str(payload["worker"]),
+                claimed_at=float(payload["claimed_at"]),
+                expires_at=float(payload["expires_at"]),
+                pid=payload.get("pid"),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # missing or corrupt lease: the point is claimable
+
+    def _write_lease(self, path: str, worker_id: str, now: float, ttl: float) -> None:
+        payload = {
+            "worker": worker_id,
+            "claimed_at": now,
+            "expires_at": now + ttl,
+            "pid": os.getpid(),
+        }
+        _atomic_write(self.directory, self._lease_path(path), json.dumps(payload))
+
+    def _unlink_lease(self, path: str) -> None:
+        try:
+            os.unlink(self._lease_path(path))
+        except FileNotFoundError:
+            pass
+
+    def leases(self, now: float | None = None) -> list[Lease]:
+        """All current lease files, sorted by path (expired ones included)."""
+        if not os.path.isdir(self.directory):
+            return []
+        found = []
+        for filename in sorted(os.listdir(self.directory)):
+            if not filename.endswith(".json" + LEASE_SUFFIX):
+                continue
+            lease = self.read_lease(
+                os.path.join(self.directory, filename[: -len(LEASE_SUFFIX)])
+            )
+            if lease is not None:
+                found.append(lease)
+        return found
+
+    # --- coordination -----------------------------------------------------
+
+    def claim(self, path: str, worker_id: str, ttl: float = DEFAULT_LEASE_TTL) -> str:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        while True:
+            with self.lock():
+                if not os.path.exists(path):
+                    lease = self.read_lease(path)
+                    now = time.time()
+                    if (
+                        lease is not None
+                        and lease.worker != worker_id
+                        and not lease.expired(now)
+                    ):
+                        return CLAIM_BUSY
+                    # Fresh point, our own lease (renewal), or a stale lease
+                    # left by a dead worker: take (over) the point.
+                    self._write_lease(path, worker_id, now, ttl)
+                    return CLAIM_ACQUIRED
+            # An entry exists.  Validate it *outside* the lock -- published
+            # entries are immutable, so a successful parse at any time means
+            # done, and N workers must not serialise on JSON parsing.
+            if self.load(path) is not None:
+                return CLAIM_DONE
+            # Corrupt entry: dispose of it and loop back to take the lease.
+            # Re-validate under the lock so a concurrent publish that just
+            # replaced the torn file with a good one is never deleted.
+            with self.lock():
+                if os.path.exists(path) and self.load(path) is None:
+                    os.unlink(path)
+
+    def publish(self, path: str, result: ResultSet) -> None:
+        with self.lock():
+            super().publish(path, result)
+            self._unlink_lease(path)
+
+    def release(self, path: str, worker_id: str) -> None:
+        with self.lock():
+            lease = self.read_lease(path)
+            if lease is not None and lease.worker == worker_id:
+                self._unlink_lease(path)

@@ -1,0 +1,237 @@
+"""Sweep worker: claim pending points from a shared store, publish results.
+
+:func:`run_worker` is the execution loop behind ``python -m repro worker``.
+N workers pointed at the same :class:`~repro.dist.store.SharedStore` and
+the same sweep cooperate through the store alone:
+
+* each pending point is executed by exactly one worker -- ``claim`` grants
+  a ttl-bounded lease, publish is atomic, and a point whose result already
+  exists is skipped (``claim`` reports ``"done"``);
+* a worker killed mid-point loses nothing but its lease: once the ttl
+  lapses, any surviving (or restarted) worker claims the point again and
+  re-executes it;
+* progress streams through the same ``on_result`` /
+  :class:`~repro.api.engine.SweepPoint` path the engine's ``iter_sweep``
+  uses, so the CLI progress renderer works unchanged.
+
+Workers claim in sweep order but *complete* in completion order -- a worker
+that finds every remaining point leased waits (``wait=True``) for the other
+workers to publish or for their leases to expire, so a worker that outlives
+its siblings still drives the sweep to completion.  With ``wait=False`` it
+exits as soon as nothing is claimable, leaving leased points to their
+owners.
+
+Static sharding (:class:`~repro.dist.shards.ShardPlan`) composes with the
+claiming loop: a worker given ``shard=`` only ever looks at its own slice,
+which removes all lock contention between machines at the price of static
+balance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.api.engine import SweepPoint, cache_key
+from repro.api.experiment import Experiment, get_experiment
+from repro.api.results import ResultSet
+from repro.api.sweep import SweepSpec
+from repro.dist.shards import ShardPlan
+from repro.dist.store import (
+    CLAIM_ACQUIRED,
+    CLAIM_BUSY,
+    CLAIM_DONE,
+    DEFAULT_LEASE_TTL,
+    ResultStore,
+    default_worker_id,
+)
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """What one worker did with its slice of a sweep.
+
+    All point lists hold indices into ``spec.points()`` order.  ``executed``
+    are the points this worker claimed, ran and published; ``already_done``
+    were found published (by anyone, including earlier runs);
+    ``failed`` raised in this worker (their leases were released so other
+    workers may retry); ``abandoned`` were left leased to other workers when
+    the worker gave up waiting (only non-empty with ``wait=False`` or an
+    exhausted ``max_wait``).
+    """
+
+    worker_id: str
+    n_points: int
+    executed: list[int] = field(default_factory=list)
+    already_done: list[int] = field(default_factory=list)
+    failed: list[int] = field(default_factory=list)
+    abandoned: list[int] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every point this worker *attempted* succeeded.
+
+        Abandoned points were never attempted -- they stay leased to their
+        (live) owners, which is the normal hand-off of ``wait=False`` -- so
+        only actual failures count.
+        """
+        return not self.failed
+
+    def summary(self) -> str:
+        """One-line human summary (what the CLI prints at exit)."""
+        return (
+            f"worker {self.worker_id}: {self.n_points} points -- "
+            f"{len(self.executed)} executed, {len(self.already_done)} already done, "
+            f"{len(self.failed)} failed, {len(self.abandoned)} abandoned "
+            f"({self.wall_time_s:.3f} s)"
+        )
+
+
+def run_worker(
+    name: str | Experiment,
+    spec: SweepSpec,
+    store: ResultStore,
+    base_params: Mapping[str, Any] | None = None,
+    worker_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    shard: ShardPlan | None = None,
+    on_result: Callable[[SweepPoint], None] | None = None,
+    wait: bool = True,
+    poll_interval: float = 0.2,
+    max_wait: float | None = None,
+) -> WorkerReport:
+    """Attach to a store and drive a sweep's pending points to completion.
+
+    Parameters
+    ----------
+    name:
+        Registered experiment name (or an :class:`Experiment` instance).
+    spec:
+        The sweep every cooperating worker must agree on (the store carries
+        results, not the work list).
+    store:
+        Where results live; a :class:`~repro.dist.store.SharedStore` for
+        multi-worker runs, any :class:`~repro.dist.store.ResultStore` when
+        a single worker just wants the streaming loop.
+    base_params:
+        Fixed parameters under the sweep overrides (as in ``Engine.sweep``).
+    worker_id:
+        Identity used for leases; defaults to ``<hostname>-<pid>``.
+    lease_ttl:
+        Seconds a claimed point stays reserved; must exceed the slowest
+        single point or another worker will re-execute it after expiry.
+    shard:
+        Optional static slice; the worker then ignores points owned by other
+        shards entirely.
+    on_result:
+        Per-point callback, same contract as ``Engine.sweep(on_result=...)``
+        (already-done points arrive with ``cache_hit=True``).
+    wait:
+        Keep polling while other workers hold leases (default).  ``False``
+        exits once nothing is claimable.
+    poll_interval:
+        Sleep between passes when no point was claimable.
+    max_wait:
+        Upper bound in seconds on waiting for other workers (``None``:
+        unbounded).  On expiry the still-leased points are ``abandoned``.
+    """
+    experiment = name if isinstance(name, Experiment) else get_experiment(name)
+    worker = worker_id if worker_id is not None else default_worker_id()
+    points = spec.points()
+    indices = list(range(len(points))) if shard is None else shard.indices(points)
+    resolved = {
+        index: experiment.resolve_params({**(base_params or {}), **points[index]})
+        for index in indices
+    }
+    paths = {
+        index: store.entry_path(
+            experiment.name,
+            cache_key(experiment.name, experiment.version, resolved[index]),
+        )
+        for index in indices
+    }
+
+    executed: list[int] = []
+    already_done: list[int] = []
+    failed: list[int] = []
+    remaining = list(indices)
+    start = time.perf_counter()
+    deadline = None if max_wait is None else time.monotonic() + max_wait
+
+    def emit(point_index: int, **kwargs: Any) -> None:
+        if on_result is not None:
+            on_result(
+                SweepPoint(
+                    index=point_index,
+                    point=points[point_index],
+                    params=resolved[point_index],
+                    **kwargs,
+                )
+            )
+
+    while remaining:
+        progressed = False
+        busy: list[int] = []
+        for index in remaining:
+            status = store.claim(paths[index], worker, lease_ttl)
+            if status == CLAIM_BUSY:
+                busy.append(index)
+                continue
+            if status == CLAIM_DONE:
+                result = store.load(paths[index])
+                if result is None:
+                    # The entry vanished between claim and load (concurrent
+                    # `cache clear`/`prune` on the live store): the point is
+                    # pending again, so retry it on a later pass instead of
+                    # mis-counting it done.
+                    busy.append(index)
+                    continue
+                progressed = True
+                already_done.append(index)
+                result.meta["cache_hit"] = True
+                emit(index, result=result, cache_hit=True)
+                continue
+            progressed = True
+            assert status == CLAIM_ACQUIRED
+            point_start = time.perf_counter()
+            try:
+                records = experiment.run(**resolved[index])
+            except Exception as error:
+                # Release so siblings may retry; this worker will not.
+                store.release(paths[index], worker)
+                failed.append(index)
+                emit(index, result=None, error=f"{type(error).__name__}: {error}")
+                continue
+            result = ResultSet.from_records(
+                records,
+                meta={
+                    "experiment": experiment.name,
+                    "version": experiment.version,
+                    "params": dict(resolved[index]),
+                    "executor": "worker",
+                    "worker_id": worker,
+                    "wall_time_s": time.perf_counter() - point_start,
+                },
+            )
+            store.publish(paths[index], result)
+            executed.append(index)
+            emit(index, result=result)
+        remaining = busy
+        if not remaining:
+            break
+        if not wait or (deadline is not None and time.monotonic() >= deadline):
+            break
+        if not progressed:
+            time.sleep(poll_interval)
+
+    return WorkerReport(
+        worker_id=worker,
+        n_points=len(indices),
+        executed=executed,
+        already_done=already_done,
+        failed=failed,
+        abandoned=remaining,
+        wall_time_s=time.perf_counter() - start,
+    )

@@ -2,9 +2,9 @@
 
 Guards against docstring drift: every indented code block following a ``::``
 marker is extracted and executed -- for the top-level package and for every
-module of the public API surface (``repro.api``, ``repro.analysis`` and the
-newer :mod:`repro.api.cache`, :mod:`repro.api.catalog`,
-:mod:`repro.analysis.studies`).
+module of the public API surface (``repro.api``, ``repro.analysis``,
+``repro.dist`` and the newer :mod:`repro.api.cache`,
+:mod:`repro.api.catalog`, :mod:`repro.analysis.studies`).
 """
 
 import textwrap
@@ -17,6 +17,7 @@ import repro.analysis.studies
 import repro.api
 import repro.api.cache
 import repro.api.catalog
+import repro.dist
 
 
 def _code_blocks(doc: str) -> list[str]:
@@ -61,6 +62,7 @@ DOCUMENTED_MODULES = [
     repro.analysis.studies,
     repro.api.cache,
     repro.api.catalog,
+    repro.dist,
 ]
 
 

@@ -1,0 +1,136 @@
+"""Perf-trajectory report (repro.api.perfreport, `python -m repro perf-report`)."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.api.perfreport import (
+    find_regressions,
+    load_trajectory,
+    report_rows,
+    report_text,
+)
+
+
+def _bench(pr, cases, mode="full", floors=None):
+    return {
+        "schema": 1,
+        "pr": pr,
+        "mode": mode,
+        "speedup_floors": floors or {},
+        "host": {"cpus": 4},
+        "cases": cases,
+    }
+
+
+def _case(name, legacy_s, fast_s):
+    return {
+        "name": name,
+        "legacy_s": legacy_s,
+        "fast_s": fast_s,
+        "speedup": round(legacy_s / fast_s, 2),
+        "parity_max_rel": 0.0,
+    }
+
+
+@pytest.fixture
+def trajectory(tmp_path):
+    """Three points: PR 3 and PR 4 (full) plus an ad-hoc smoke point."""
+    (tmp_path / "BENCH_3.json").write_text(
+        json.dumps(
+            _bench(3, [_case("transient", 1.0, 0.025), _case("mc", 0.5, 0.05)],
+                   floors={"transient": 5.0})
+        )
+    )
+    (tmp_path / "BENCH_4.json").write_text(
+        json.dumps(
+            _bench(4, [_case("transient", 1.0, 0.02), _case("mc", 0.5, 0.1)],
+                   floors={"transient": 5.0})
+        )
+    )
+    (tmp_path / "BENCH_smoke.json").write_text(
+        json.dumps(_bench(None, [_case("transient", 0.1, 0.05)], mode="smoke"))
+    )
+    (tmp_path / "not_a_bench.json").write_text("{}")
+    return str(tmp_path)
+
+
+class TestLoadTrajectory:
+    def test_orders_numeric_then_adhoc(self, trajectory):
+        records = load_trajectory(trajectory)
+        assert [record.label for record in records] == ["3", "4", "smoke"]
+        assert [record.pr for record in records] == [3, 4, None]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_trajectory(str(tmp_path / "nope")) == []
+
+
+class TestRowsAndRegressions:
+    def test_rows_carry_speedup_deltas(self, trajectory):
+        rows = report_rows(load_trajectory(trajectory))
+        transient = [row for row in rows if row["case"] == "transient"]
+        assert [row["bench"] for row in transient] == ["3", "4", "smoke"]
+        # 40x -> 50x between PR 3 and PR 4: +25%.
+        assert transient[1]["vs_prev"] == "+25.0%"
+        # The smoke point has no same-mode predecessor: no delta.
+        assert transient[2]["vs_prev"] == ""
+
+    def test_case_filter(self, trajectory):
+        rows = report_rows(load_trajectory(trajectory), case="mc")
+        assert {row["case"] for row in rows} == {"mc"}
+        with pytest.raises(ValueError, match="no case"):
+            report_rows(load_trajectory(trajectory), case="nope")
+
+    def test_speedup_drop_is_flagged(self, trajectory):
+        findings = find_regressions(load_trajectory(trajectory), threshold=0.15)
+        # mc fell 10x -> 5x (-50%); transient improved.
+        assert len(findings) == 1
+        assert "mc" in findings[0] and "-50" in findings[0]
+
+    def test_threshold_tolerates_jitter(self, trajectory):
+        assert find_regressions(load_trajectory(trajectory), threshold=0.6) == []
+
+    def test_floor_violation_is_flagged(self, tmp_path):
+        (tmp_path / "BENCH_5.json").write_text(
+            json.dumps(
+                _bench(5, [_case("transient", 1.0, 0.5)], floors={"transient": 5.0})
+            )
+        )
+        findings = find_regressions(load_trajectory(str(tmp_path)))
+        assert len(findings) == 1 and "below the 5.0x floor" in findings[0]
+
+
+class TestReportCLI:
+    def test_report_text_renders(self, trajectory):
+        text, findings = report_text(trajectory)
+        assert "BENCH_3" in text and "BENCH_4" in text
+        assert len(findings) == 1
+
+    def test_cli_prints_report(self, trajectory, capsys):
+        assert main(["perf-report", "--dir", trajectory]) == 0
+        out = capsys.readouterr().out
+        assert "perf trajectory" in out and "transient" in out
+
+    def test_cli_check_fails_on_regression(self, trajectory, capsys):
+        assert main(["perf-report", "--dir", trajectory, "--check"]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_cli_check_passes_on_clean_trajectory(self, trajectory):
+        assert (
+            main(["perf-report", "--dir", trajectory, "--check", "--threshold", "0.6"])
+            == 0
+        )
+
+    def test_cli_empty_directory(self, tmp_path, capsys):
+        assert main(["perf-report", "--dir", str(tmp_path)]) == 0
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_committed_trajectory_is_clean(self, capsys):
+        """The repo's own committed BENCH_*.json must pass the check gate.
+
+        The lenient threshold tolerates the host-dependent parallel-scaling
+        cases (pool/worker speedups jitter between machines); catastrophic
+        hot-path regressions still trip it, and the floor checks are exact.
+        """
+        assert main(["perf-report", "--check", "--threshold", "0.5"]) == 0

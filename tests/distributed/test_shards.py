@@ -1,0 +1,222 @@
+"""Shard determinism and partial-result merging (repro.dist.shards)."""
+
+import pytest
+
+from repro.api import Engine, ResultSet, SweepSpec
+from repro.api.experiment import Experiment, ParamSpec
+from repro.dist import ShardPlan, merge_results, point_hash, point_key, shard_of
+
+
+def _experiment() -> Experiment:
+    return Experiment(
+        name="dist_shard_exp",
+        fn=lambda x=1.0, label="a": [
+            {"x": x, "label": label, "y": 2.0 * x},
+            {"x": x, "label": label, "y": 3.0 * x},
+        ],
+        params=(
+            ParamSpec("x", "float", 1.0, "input"),
+            ParamSpec("label", "str", "a", "tag"),
+        ),
+        description="shard test experiment",
+    )
+
+
+class TestPointHash:
+    def test_order_independent(self):
+        assert point_hash({"x": 1.0, "y": 2.0}) == point_hash({"y": 2.0, "x": 1.0})
+
+    def test_int_float_equivalent(self):
+        """refine() coerces axes to float; int points must keep their shard."""
+        assert point_hash({"x": 1}) == point_hash({"x": 1.0})
+        assert point_key({"x": 1}) == point_key({"x": 1.0})
+
+    def test_pinned_values_are_stable(self):
+        """Hard-coded digests guard against drift across Python versions,
+        dict-ordering behaviour and serialisation changes."""
+        assert point_key({"length_um": 1.0}) == '{"length_um":1.0}'
+        assert point_hash({"length_um": 1.0}).startswith("e21b3ec1b23ac42f")
+        assert point_hash({"x": 1.0, "y": 2.0}).startswith("92e761962560e3e1")
+        assert shard_of({"length_um": 1.0}, 4) == 3
+        assert shard_of({"x": 1.0, "y": 2.0}, 4) == 1
+
+    def test_tuple_values_normalise_like_results(self):
+        assert point_hash({"t": (1.0, 2.0)}) == point_hash({"t": [1.0, 2.0]})
+
+
+class TestShardPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(0, 0)
+        with pytest.raises(ValueError):
+            ShardPlan(2, 2)
+        with pytest.raises(ValueError):
+            ShardPlan(2, -1)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+    def test_every_point_exactly_once(self, n_shards):
+        spec = SweepSpec.grid(
+            x=[float(i) for i in range(7)], label=["a", "b", "c"]
+        )
+        points = spec.points()
+        owners = [
+            [plan.owns(point) for plan in ShardPlan.partition(n_shards)]
+            for point in points
+        ]
+        assert all(sum(row) == 1 for row in owners), "each point owned exactly once"
+        covered = [i for plan in ShardPlan.partition(n_shards) for i in plan.indices(points)]
+        assert sorted(covered) == list(range(len(points)))
+
+    def test_refine_keeps_original_points_on_their_shard(self):
+        spec = SweepSpec.grid(x=[1, 4, 16])
+        refined = spec.refine("x", factor=2, scale="log")
+        plan = ShardPlan(3, shard_of({"x": 4.0}, 3))
+        assert plan.owns({"x": 4})  # pre-refine spelling (int)
+        assert {"x": 4.0} in [p for p in refined.points() if plan.owns(p)]
+
+    def test_points_slices_spec_in_order(self):
+        spec = SweepSpec.grid(x=[float(i) for i in range(10)])
+        plans = ShardPlan.partition(4)
+        sliced = [plan.points(spec) for plan in plans]
+        flat = sorted(
+            (point["x"] for shard in sliced for point in shard)
+        )
+        assert flat == [float(i) for i in range(10)]
+        for shard in sliced:
+            values = [point["x"] for point in shard]
+            assert values == sorted(values), "slices preserve sweep order"
+
+
+class TestEngineShardedSweep:
+    def test_sharded_union_matches_serial(self):
+        experiment = _experiment()
+        spec = SweepSpec.grid(x=[float(i) for i in range(6)], label=["a", "b"])
+        serial = Engine().sweep(experiment, spec)
+        parts = [
+            Engine().sweep(experiment, spec, shard=plan)
+            for plan in ShardPlan.partition(3)
+        ]
+        sizes = [part.meta["shard"]["n_points"] for part in parts]
+        assert sum(sizes) == len(spec)
+        merged = merge_results(parts)
+        assert merged == serial
+        assert merged.content_hash == serial.content_hash
+
+    def test_shard_meta_records_the_slice(self):
+        experiment = _experiment()
+        spec = SweepSpec.grid(x=[1.0, 2.0, 3.0])
+        plan = ShardPlan(2, 0)
+        part = Engine().sweep(experiment, spec, shard=plan)
+        shard_meta = part.meta["shard"]
+        assert shard_meta["n_shards"] == 2 and shard_meta["shard_index"] == 0
+        assert shard_meta["point_indices"] == plan.indices(spec.points())
+
+    def test_iter_sweep_shard_streams_global_indices(self):
+        experiment = _experiment()
+        spec = SweepSpec.grid(x=[float(i) for i in range(8)])
+        plan = ShardPlan(2, 1)
+        streamed = list(Engine().iter_sweep(experiment, spec, shard=plan))
+        assert sorted(p.index for p in streamed) == plan.indices(spec.points())
+
+
+class TestMergeResults:
+    def _parts_and_serial(self, n_shards=3):
+        experiment = _experiment()
+        spec = SweepSpec.grid(x=[float(i) for i in range(6)], label=["a", "b"])
+        serial = Engine().sweep(experiment, spec)
+        parts = [
+            Engine().sweep(experiment, spec, shard=plan)
+            for plan in ShardPlan.partition(n_shards)
+        ]
+        return spec, serial, parts
+
+    def test_json_round_trip_preserves_merge(self, tmp_path):
+        spec, serial, parts = self._parts_and_serial()
+        reloaded = []
+        for index, part in enumerate(parts):
+            path = str(tmp_path / f"part{index}.json")
+            part.to_json(path)
+            reloaded.append(ResultSet.from_json(path))
+        merged = merge_results(reloaded)
+        assert merged == serial
+        assert merged.content_hash == serial.content_hash
+        assert merged.meta["sweep"]["n_points"] == len(spec)
+        assert merged.meta["merged"]["n_parts"] == len(parts)
+
+    def test_csv_round_trip_with_explicit_spec(self, tmp_path):
+        """CSV drops metadata, so the spec must be passed explicitly."""
+        spec, serial, parts = self._parts_and_serial()
+        reloaded = [ResultSet.from_csv(part.to_csv()) for part in parts]
+        with pytest.raises(ValueError, match="no sweep metadata"):
+            merge_results(reloaded)
+        merged = merge_results(reloaded, spec=spec)
+        assert merged.content_hash == serial.content_hash
+
+    def test_merged_export_round_trips(self, tmp_path):
+        _, serial, parts = self._parts_and_serial()
+        merged = merge_results(parts)
+        json_rt = ResultSet.from_json(merged.to_json())
+        assert json_rt == serial and json_rt.meta == merged.meta
+        csv_rt = ResultSet.from_csv(merged.to_csv())
+        assert csv_rt.content_hash == serial.content_hash
+
+    def test_overlapping_parts_rejected(self):
+        spec, _, parts = self._parts_and_serial(2)
+        full = Engine().sweep(_experiment(), spec)
+        with pytest.raises(ValueError, match="disjoint"):
+            merge_results([parts[0], full])
+
+    def test_missing_points_need_opt_in(self):
+        spec, serial, parts = self._parts_and_serial()
+        # Drop a shard that actually owns points (a tiny sweep can leave a
+        # hash shard empty, which would make the merge trivially complete).
+        kept = sorted(parts, key=lambda p: p.meta["shard"]["n_points"])[:-1]
+        with pytest.raises(ValueError, match="allow_missing"):
+            merge_results(kept)
+        merged = merge_results(kept, allow_missing=True)
+        assert merged.meta["merged"]["missing_points"]
+        assert len(merged) < len(serial)
+
+    def test_foreign_records_rejected(self):
+        spec, _, parts = self._parts_and_serial()
+        stranger = Engine().sweep(_experiment(), SweepSpec.grid(x=[99.0]))
+        with pytest.raises(ValueError, match="different sweeps"):
+            merge_results(parts + [stranger])
+        # Meta-less parts against a narrower spec -> records that match no
+        # sweep point must be rejected, not silently dropped.
+        bare = [ResultSet.from_csv(part.to_csv()) for part in parts if len(part)]
+        narrow = SweepSpec.grid(x=[0.0, 1.0], label=["a", "b"])
+        with pytest.raises(ValueError, match="match no point"):
+            merge_results(bare, spec=narrow)
+
+    def test_mixed_base_params_rejected(self):
+        """Shards run with different -p overrides compute different physics
+        for the same axis values; merging them must fail loudly."""
+        experiment = _experiment()
+        spec = SweepSpec.grid(x=[float(i) for i in range(6)])
+        plans = ShardPlan.partition(2)
+        part_a = Engine().sweep(experiment, spec, shard=plans[0], base_params={"label": "a"})
+        part_b = Engine().sweep(experiment, spec, shard=plans[1], base_params={"label": "b"})
+        with pytest.raises(ValueError, match="different base parameters"):
+            merge_results([part_a, part_b])
+        # Identical base params merge fine.
+        part_b_same = Engine().sweep(
+            experiment, spec, shard=plans[1], base_params={"label": "a"}
+        )
+        merged = merge_results([part_a, part_b_same])
+        assert len(merged) == 2 * len(spec)
+
+    def test_mixed_experiments_rejected(self):
+        _, _, parts = self._parts_and_serial()
+        other = Experiment(
+            name="dist_shard_other",
+            fn=lambda x=1.0: [{"x": x}],
+            params=(ParamSpec("x", "float", 1.0, "input"),),
+        )
+        foreign = Engine().sweep(other, SweepSpec.grid(x=[1.0]))
+        with pytest.raises(ValueError, match="different experiments"):
+            merge_results(parts + [foreign])
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_results([])
