@@ -10,7 +10,11 @@ is the management surface over that store:
 * :func:`clear_cache` -- delete every entry,
 * :func:`prune_cache` -- delete entries matching an experiment name, an
   experiment version and/or a minimum age (useful after bumping an
-  experiment's ``version``, which orphans the old entries forever).
+  experiment's ``version``, which orphans the old entries forever),
+* :func:`gc_store` -- garbage-collect the *bookkeeping residue* of
+  distributed runs: failure tombstones (``<entry>.failed``) and the expired
+  or orphaned claim leases (``<entry>.lease``) crashed workers leave behind
+  (``python -m repro cache prune --gc`` on the shell).
 
 Everything here only ever touches files matching the engine's own naming
 pattern, so a cache directory that also holds exported results is safe.
@@ -240,6 +244,67 @@ def prune_cache(
     return matched
 
 
+def gc_store(
+    cache_dir: str | None,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> list[str]:
+    """Garbage-collect crashed-worker residue from a (shared) store directory.
+
+    Removes, and returns the paths of:
+
+    * **failure tombstones** (``<entry>.failed``): a worker's record that a
+      point raised.  Collecting one makes the failure invisible to future
+      inspection, so run GC once the failures have been looked at (a later
+      *successful* publish of the point removes its tombstone by itself);
+    * **orphaned leases** (``<entry>.lease``): claim leases that are expired
+      (their worker died mid-point -- a live worker renews via heartbeat),
+      corrupt, or attached to an already-published entry.  Live, unexpired
+      leases of pending entries are never touched, so GC is safe against
+      running workers.
+
+    Entries themselves are never removed -- that is :func:`prune_cache` /
+    :func:`clear_cache`.  Unless ``dry_run``, the scan and removal happen
+    under the store lock.
+    """
+    if cache_dir is None or not os.path.isdir(cache_dir):
+        return []
+    from repro.dist.store import FAILED_SUFFIX, LEASE_SUFFIX, SharedStore, store_lock
+
+    store = SharedStore(cache_dir)
+    timestamp = time.time() if now is None else now
+
+    def collect() -> list[str]:
+        stale: list[str] = []
+        for filename in sorted(os.listdir(cache_dir)):
+            path = os.path.join(cache_dir, filename)
+            if filename.endswith(".json" + FAILED_SUFFIX):
+                stale.append(path)
+                continue
+            if not filename.endswith(".json" + LEASE_SUFFIX):
+                continue
+            entry_path = path[: -len(LEASE_SUFFIX)]
+            lease = store.read_lease(entry_path)
+            if (
+                lease is None  # corrupt lease: the point is claimable anyway
+                or lease.expired(timestamp)
+                or os.path.exists(entry_path)  # published: lease is vestigial
+            ):
+                stale.append(path)
+        return stale
+
+    if dry_run:
+        return collect()
+    with store_lock(cache_dir):
+        stale = collect()
+        for path in stale:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass  # removed concurrently: already gone is fine
+    return stale
+
+
 def parse_age(text: str) -> float:
     """Parse a human age spec (``"45s"``, ``"30m"``, ``"12h"``, ``"7d"``,
     ``"2w"``, or a plain number of seconds) into seconds."""
@@ -262,7 +327,7 @@ def parse_age(text: str) -> float:
 
 
 def _remove(entries: list[CacheEntry]) -> int:
-    from repro.dist.store import LEASE_SUFFIX
+    from repro.dist.store import FAILED_SUFFIX, LEASE_SUFFIX
 
     removed = 0
     for entry in entries:
@@ -271,10 +336,13 @@ def _remove(entries: list[CacheEntry]) -> int:
             removed += 1
         except FileNotFoundError:
             pass  # deleted concurrently: already gone is fine
-        # An entry's claim lease (shared stores) dies with the entry --
-        # leaving it behind would make the point look claimed after eviction.
-        try:
-            os.unlink(entry.path + LEASE_SUFFIX)
-        except FileNotFoundError:
-            pass
+        # An entry's claim lease and failure tombstone (shared stores) die
+        # with the entry -- a leftover lease would make the point look
+        # claimed after eviction, a leftover tombstone would report a
+        # failure for a point that no longer exists.
+        for suffix in (LEASE_SUFFIX, FAILED_SUFFIX):
+            try:
+                os.unlink(entry.path + suffix)
+            except FileNotFoundError:
+                pass
     return removed

@@ -26,13 +26,26 @@ Subcommands
 ``merge PART.json ...``
     Reassemble partial sweep exports (shard or worker runs) into the full
     sweep ResultSet, bit-identical to a serial run.
+``study {list,describe,run}``
+    Composite studies: registered experiment pipelines (``consumes=``
+    dependency DAGs) with per-stage parameters and a default sweep.
+    ``run`` executes the whole DAG stage by stage -- upstream results are
+    injected and cached with chained content-hash keys, so re-runs only pay
+    for the stages a parameter change actually invalidates.  ``-p`` accepts
+    ``stage.key=value`` to override an upstream stage's parameter
+    (unqualified keys target the final stage); ``--shards N --shard-index
+    i`` runs one slice of the study's sweep, mergeable with ``merge``.
 ``cache {stats,clear,prune}``
     Inspect or evict the on-disk memoisation cache (prune by
     ``--experiment``, ``--version`` and/or ``--older-than 7d``); eviction
-    takes the store lock, so it is safe against live workers.
+    takes the store lock, so it is safe against live workers.  ``prune
+    --gc`` additionally garbage-collects failure tombstones and the
+    expired/orphaned claim leases crashed workers leave behind.
 ``perf-report``
     Render the committed perf trajectory (``benchmarks/perf/BENCH_*.json``)
-    with per-case speedup deltas; ``--check`` fails on regressions.
+    with per-case speedup deltas; ``--check`` fails on regressions;
+    ``--plot out.svg`` writes a speedup-trajectory chart (skipped
+    gracefully when matplotlib is not installed).
 ``docs``
     Print the generated experiment catalog; ``--write``/``--check`` keep
     ``docs/EXPERIMENTS.md`` in sync with the registry.
@@ -49,9 +62,15 @@ Examples::
     python -m repro worker fig12 --grid contact_resistance=100e3,250e3 \\
         --store /shared/fig12-store
     python -m repro merge part0.json part1.json --json merged.json
+    python -m repro study list
+    python -m repro study describe variability_to_delay
+    python -m repro study run growth_to_wafer -p growth_window.duration_s=500
+    python -m repro study run growth_to_wafer --shards 2 --shard-index 0 \\
+        --store /shared/study-store --json part0.json
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro cache prune --experiment fig12 --older-than 7d
-    python -m repro perf-report --check
+    python -m repro cache prune --gc
+    python -m repro perf-report --check --plot trajectory.svg
     python -m repro docs --check docs/EXPERIMENTS.md
 """
 
@@ -162,7 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument(
         "--lease-ttl", default="300s", metavar="AGE",
-        help="claim lease duration, e.g. 60s, 10m (must exceed the slowest point)",
+        help="claim lease duration, e.g. 60s, 10m; renewed automatically "
+        "while a point runs, so it only bounds how long a crashed worker's "
+        "point stays blocked",
     )
     worker.add_argument(
         "--poll", type=float, default=0.2, metavar="SECONDS",
@@ -177,6 +198,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-point progress lines on stderr",
     )
     add_shard_options(worker)
+
+    study = subparsers.add_parser(
+        "study", help="list, inspect and run composite study pipelines"
+    )
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+
+    study_list = study_sub.add_parser("list", help="enumerate registered studies")
+    study_list.add_argument("--tag", default=None, help="only studies with this tag")
+
+    study_describe = study_sub.add_parser(
+        "describe", help="show a study's pipeline, stages and sweep"
+    )
+    study_describe.add_argument("name", help="study name (see `study list`)")
+
+    study_run = study_sub.add_parser(
+        "run", help="execute a study's whole pipeline (optionally sharded)"
+    )
+    study_run.add_argument("name", help="study name (see `study list`)")
+    study_run.add_argument(
+        "-p", "--param", action="append", default=[], type=_parse_assignment,
+        metavar="[STAGE.]KEY=VALUE",
+        help="override a stage parameter; unqualified keys target the final stage",
+    )
+    study_mode = study_run.add_mutually_exclusive_group()
+    study_mode.add_argument(
+        "--grid", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
+        help="override the study's sweep with a Cartesian-product sweep",
+    )
+    study_mode.add_argument(
+        "--zip", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
+        dest="zip_axes", help="override the study's sweep with a lock-step sweep",
+    )
+    study_run.add_argument("--executor", choices=EXECUTORS, default="serial")
+    study_run.add_argument(
+        "--workers", type=int, default=None, help="pool size for parallel executors"
+    )
+    study_run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shared result-store directory (lock-safe; instead of --cache-dir)",
+    )
+    study_run.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-point progress lines on stderr",
+    )
+    add_shard_options(study_run)
+    add_execution_options(study_run)
 
     merge = subparsers.add_parser(
         "merge", help="reassemble partial sweep exports into the full ResultSet"
@@ -219,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="only entries at least this old (e.g. 45s, 30m, 12h, 7d)",
     )
     cache_prune.add_argument(
+        "--gc", action="store_true",
+        help="also collect failure tombstones and expired/orphaned claim leases",
+    )
+    cache_prune.add_argument(
         "--dry-run", action="store_true", help="report matches without deleting"
     )
 
@@ -237,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--check", action="store_true",
         help="exit 1 when the trajectory contains regressions (CI gate)",
+    )
+    perf.add_argument(
+        "--plot", default=None, metavar="PATH",
+        help="write a speedup-trajectory chart (SVG/PNG by extension; "
+        "skipped gracefully when matplotlib is not installed)",
     )
 
     docs = subparsers.add_parser(
@@ -450,6 +526,126 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _coerced_stage_overrides(
+    study, assignments: Sequence[tuple[str, str]]
+) -> dict[str, dict[str, Any]]:
+    """Parse ``[stage.]key=value`` overrides, coercing per the stage's specs.
+
+    Unqualified keys target the study's final (target) stage; qualified keys
+    name any experiment of the pipeline.  Stage membership is validated by
+    ``Engine.run_study``, so a typo in the stage name fails loudly there.
+    """
+    stage_params: dict[str, dict[str, Any]] = {}
+    for key, value in assignments:
+        stage_name, _, param = key.rpartition(".")
+        stage_name = stage_name or study.target
+        experiment = get_experiment(stage_name)
+        stage_params.setdefault(stage_name, {})[param] = (
+            experiment.spec(param).coerce(value)
+        )
+    return stage_params
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.api.study import get_study, list_studies
+
+    if args.study_command == "list":
+        rows = [
+            {
+                "study": study.name,
+                "target": study.target,
+                "stages": len(study.resolve()),
+                "sweep": len(study.sweep) if study.sweep is not None else "-",
+                "tags": ",".join(study.tags),
+                "description": study.description,
+            }
+            for study in list_studies(tag=args.tag)
+        ]
+        print(format_table(rows, title=f"{len(rows)} registered studies"))
+        return 0
+
+    if args.study_command == "describe":
+        study = get_study(args.name)
+        pipeline = study.resolve()
+        print(f"{study.name}: {study.description}")
+        if study.tags:
+            print(f"tags: {', '.join(study.tags)}")
+        print(f"\npipeline ({len(pipeline)} stages, * = target):")
+        print(pipeline.describe())
+        if study.sweep is not None:
+            axes = {name: values for name, values in study.sweep.axes.items()}
+            print(
+                f"\ndefault sweep: {study.sweep.mode} over {axes} "
+                f"({len(study.sweep)} points)"
+            )
+        for stage in pipeline:
+            if stage.experiment.outputs:
+                rows = [
+                    {"output": spec.name, "kind": spec.kind, "description": spec.help}
+                    for spec in stage.experiment.outputs
+                ]
+                print()
+                print(format_table(rows, title=f"{stage.name} outputs"))
+        return 0
+
+    # run
+    study = get_study(args.name)
+    stage_params = _coerced_stage_overrides(study, args.param)
+    spec = None
+    if args.grid is not None or args.zip_axes is not None:
+        assignments = args.grid if args.grid is not None else args.zip_axes
+        spec = SweepSpec(
+            mode="grid" if args.grid is not None else "zip",
+            axes=_coerced_axes(study.target, assignments),
+        )
+    shard = _shard_plan(args)
+    store = None
+    if args.store is not None:
+        if args.cache_dir is not None:
+            raise ValueError("pass either --store or --cache-dir, not both")
+        from repro.dist import SharedStore
+
+        store = SharedStore(args.store)
+    engine = Engine(
+        cache_dir=args.cache_dir,
+        store=store,
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+    effective = spec if spec is not None else study.sweep
+    on_result = None
+    if effective is not None and not args.no_progress:
+        n_points = (
+            len(effective) if shard is None else len(shard.indices(effective.points()))
+        )
+        shard_note = (
+            "" if shard is None else f" (shard {shard.shard_index}/{shard.n_shards})"
+        )
+        stages = " -> ".join(study.resolve().stage_names)
+        print(
+            f"study {study.name}: {stages}; sweep {effective.mode} over "
+            f"{effective.axis_names}, {n_points} points{shard_note}",
+            file=sys.stderr,
+        )
+        on_result = _progress_printer(n_points)
+    try:
+        result = engine.run_study(
+            study,
+            stage_params=stage_params,
+            sweep=spec,
+            shard=shard,
+            use_cache=not args.no_cache,
+            on_result=on_result,
+        )
+    except SweepError as error:
+        print(f"error: {error}", file=sys.stderr)
+        _print_result(error.partial, args)
+        return 1
+    _print_result(result, args)
+    return 0
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.dist import merge_results
 
@@ -471,14 +667,31 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf_report(args: argparse.Namespace) -> int:
-    from repro.api.perfreport import DEFAULT_PERF_DIR, DEFAULT_THRESHOLD, report_text
+    from repro.api.perfreport import (
+        DEFAULT_PERF_DIR,
+        DEFAULT_THRESHOLD,
+        load_trajectory,
+        plot_trajectory,
+        report_text,
+    )
 
+    directory = args.perf_dir if args.perf_dir is not None else DEFAULT_PERF_DIR
     text, findings = report_text(
-        directory=args.perf_dir if args.perf_dir is not None else DEFAULT_PERF_DIR,
+        directory=directory,
         case=args.case,
         threshold=args.threshold if args.threshold is not None else DEFAULT_THRESHOLD,
     )
     print(text)
+    if args.plot is not None:
+        if plot_trajectory(load_trajectory(directory), args.plot, case=args.case):
+            print(f"wrote {args.plot}")
+        else:
+            # Optional dependency: a missing matplotlib must not fail CI or
+            # scripts that run with --plot unconditionally.
+            print(
+                f"matplotlib not installed; skipping plot {args.plot}",
+                file=sys.stderr,
+            )
     if args.check and findings:
         print(f"error: {len(findings)} perf regression(s)", file=sys.stderr)
         return 1
@@ -526,19 +739,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
 
     # prune
-    matched = prune_cache(
-        args.cache_dir,
-        experiment=args.experiment,
-        version=args.version,
-        older_than=None if args.older_than is None else parse_age(args.older_than),
-        dry_run=args.dry_run,
-    )
+    from repro.api.cache import gc_store
+
     verb = "would remove" if args.dry_run else "removed"
-    print(f"{verb} {len(matched)} cache entries from {args.cache_dir}")
-    for entry in matched:
-        # Metadata is only read when pruning by version; omit it otherwise.
-        version = "" if entry.version is None else f" (version {entry.version})"
-        print(f"  {entry.experiment}{version} {entry.path}")
+    has_criteria = (
+        args.experiment is not None
+        or args.version is not None
+        or args.older_than is not None
+    )
+    if has_criteria or not args.gc:
+        # Without criteria prune_cache raises its usual guidance error; --gc
+        # alone is a pure bookkeeping collection with no entry eviction.
+        matched = prune_cache(
+            args.cache_dir,
+            experiment=args.experiment,
+            version=args.version,
+            older_than=None if args.older_than is None else parse_age(args.older_than),
+            dry_run=args.dry_run,
+        )
+        print(f"{verb} {len(matched)} cache entries from {args.cache_dir}")
+        for entry in matched:
+            # Metadata is only read when pruning by version; omit it otherwise.
+            version = "" if entry.version is None else f" (version {entry.version})"
+            print(f"  {entry.experiment}{version} {entry.path}")
+    if args.gc:
+        collected = gc_store(args.cache_dir, dry_run=args.dry_run)
+        print(
+            f"{verb} {len(collected)} tombstone/lease files from {args.cache_dir}"
+        )
+        for path in collected:
+            print(f"  {path}")
     return 0
 
 
@@ -574,6 +804,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "worker": _cmd_worker,
+        "study": _cmd_study,
         "merge": _cmd_merge,
         "cache": _cmd_cache,
         "perf-report": _cmd_perf_report,

@@ -19,9 +19,20 @@ aborts the whole fan-out: the remaining points still execute, completed
 points stay cached, and ``sweep`` raises :class:`SweepError` carrying the
 partial :class:`ResultSet`.
 
+Composite experiments (a non-empty ``consumes`` declaration, see
+:mod:`repro.api.study`) execute as *staged pipelines*: the engine first runs
+the distinct upstream invocations the sweep needs (deduplicated through the
+parameter bindings, fanned out through the same executor), then injects the
+upstream ResultSets into the downstream calls.  ``run_study`` executes a
+registered :class:`~repro.api.study.Study` the same way.
+
 Caching is content-addressed: the key is a SHA-256 over (experiment name,
 experiment version, canonicalised parameters), so identical invocations are
-served from disk regardless of execution mode.  Result I/O goes through a
+served from disk regardless of execution mode.  For composite experiments
+the key additionally chains the *content hashes* of the consumed upstream
+ResultSets, so changing an upstream parameter invalidates exactly the
+dependent downstream entries while downstream-only changes replay every
+upstream stage from cache.  Result I/O goes through a
 pluggable :class:`~repro.dist.store.ResultStore` -- ``cache_dir=`` is
 shorthand for a :class:`~repro.dist.store.LocalStore`, and a
 :class:`~repro.dist.store.SharedStore` makes the same directory safe to
@@ -46,25 +57,44 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_compl
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
-from repro.api.experiment import Experiment, ensure_registered, get_experiment
+from repro.api.experiment import (
+    Consumes,
+    Experiment,
+    ensure_registered,
+    get_experiment,
+)
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.api.study import Study
     from repro.dist.shards import ShardPlan
     from repro.dist.store import ResultStore
 
 EXECUTORS = ("serial", "thread", "process")
 
+# Per-stage parameter overrides, keyed by experiment name (a Study's params).
+StageParams = Mapping[str, Mapping[str, Any]]
 
-def cache_key(name: str, version: str, params: Mapping[str, Any]) -> str:
-    """Content-addressed key of one experiment invocation."""
-    payload = json.dumps(
-        {"experiment": name, "version": version, "params": params},
-        sort_keys=True,
-        separators=(",", ":"),
-        default=str,
-    )
+
+def cache_key(
+    name: str,
+    version: str,
+    params: Mapping[str, Any],
+    upstream: Mapping[str, str] | None = None,
+) -> str:
+    """Content-addressed key of one experiment invocation.
+
+    ``upstream`` maps each consumed artifact's inject name to the *content
+    hash* of the upstream ResultSet it was produced from; including it chains
+    invalidation through the pipeline.  An empty/absent mapping keeps the key
+    byte-identical to the historical three-field key, so caches written
+    before pipelines existed stay valid.
+    """
+    body: dict[str, Any] = {"experiment": name, "version": version, "params": params}
+    if upstream:
+        body["upstream"] = dict(upstream)
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -73,21 +103,40 @@ def cache_key(name: str, version: str, params: Mapping[str, Any]) -> str:
 # string keeps the tuple picklable across process-pool boundaries.
 _Outcome = tuple[list[dict[str, Any]] | None, str | None, float]
 
+# One executable unit: (resolved params, injected upstream artifacts).
+_Task = tuple[dict[str, Any], dict[str, Any]]
+
+
+def upstream_meta(
+    experiment: Experiment, upstream: Mapping[str, str]
+) -> dict[str, dict[str, str]]:
+    """Provenance block for consumed artifacts: inject -> (experiment, hash).
+
+    One construction shared by the engine's ``_meta`` and the distributed
+    worker's publish path -- the two must stay identical for worker-written
+    and engine-written entries to carry the same provenance shape.
+    """
+    by_inject = {dep.inject: dep.experiment for dep in experiment.consumes}
+    return {
+        inject: {"experiment": by_inject[inject], "content_hash": digest}
+        for inject, digest in upstream.items()
+    }
+
 
 def _run_outcomes(
-    run: Callable[..., list[dict[str, Any]]], points: list[dict[str, Any]]
+    run_with_inputs: Callable[..., list[dict[str, Any]]], tasks: list[_Task]
 ) -> list[_Outcome]:
-    """Run sweep points one by one, capturing per-point failures.
+    """Run sweep tasks one by one, capturing per-task failures.
 
     An exception in one point must not poison its siblings (that is the
     partial-failure guarantee of ``sweep``), so each point's error is caught
     and reported as data rather than raised.
     """
     outcomes: list[_Outcome] = []
-    for point in points:
+    for params, inputs in tasks:
         start = time.perf_counter()
         try:
-            records = run(**point)
+            records = run_with_inputs(inputs, params)
         except Exception as error:
             outcomes.append(
                 (None, f"{type(error).__name__}: {error}", time.perf_counter() - start)
@@ -97,14 +146,16 @@ def _run_outcomes(
     return outcomes
 
 
-def _execute_chunk(name: str, points: list[dict[str, Any]]) -> list[_Outcome]:
-    """Run a chunk of sweep points in one pool task (amortises dispatch cost).
+def _execute_chunk(name: str, tasks: list[_Task]) -> list[_Outcome]:
+    """Run a chunk of sweep tasks in one pool task (amortises dispatch cost).
 
     Importable (not a closure) so process pools can pickle it; the worker
-    rebuilds the registry by name via :func:`ensure_registered`.
+    rebuilds the registry by name via :func:`ensure_registered`.  Injected
+    upstream ResultSets travel inside the task tuples (they pickle as plain
+    columns + meta), so pool workers never touch the cache.
     """
     ensure_registered()
-    return _run_outcomes(get_experiment(name).run, points)
+    return _run_outcomes(get_experiment(name).run_with_inputs, tasks)
 
 
 @dataclass(frozen=True)
@@ -139,6 +190,16 @@ class SweepPoint:
     def ok(self) -> bool:
         """Whether the point completed without error."""
         return self.error is None
+
+
+class UpstreamFailure(RuntimeError):
+    """A memoised upstream-stage failure, replayed per dependent point.
+
+    When a shared upstream invocation raises, the failure is recorded in the
+    in-run memo under the invocation's key so every downstream point that
+    depends on it reports the error *without re-executing* the doomed stage.
+    The message carries the original ``ExceptionType: message`` text.
+    """
 
 
 class SweepError(RuntimeError):
@@ -219,10 +280,15 @@ class Engine:
 
     # --- cache ------------------------------------------------------------
 
-    def _cache_path(self, experiment: Experiment, params: Mapping[str, Any]) -> str | None:
+    def _cache_path(
+        self,
+        experiment: Experiment,
+        params: Mapping[str, Any],
+        upstream: Mapping[str, str] | None = None,
+    ) -> str | None:
         if self.store is None:
             return None
-        key = cache_key(experiment.name, experiment.version, params)
+        key = cache_key(experiment.name, experiment.version, params, upstream)
         return self.store.entry_path(experiment.name, key)
 
     def _cache_load(self, path: str | None) -> ResultSet | None:
@@ -263,6 +329,7 @@ class Engine:
         name: str | Experiment,
         params: Mapping[str, Any] | None = None,
         use_cache: bool = True,
+        stage_params: StageParams | None = None,
         **param_kwargs: Any,
     ) -> ResultSet:
         """Execute one experiment and return its :class:`ResultSet`.
@@ -270,25 +337,192 @@ class Engine:
         Parameters can be passed as a mapping, as keywords, or both
         (keywords win).  With a cache directory configured, a repeated
         invocation is served from disk (``meta["cache_hit"]`` is then True).
+
+        A composite experiment (non-empty ``consumes``) has its upstream
+        dependencies resolved first -- recursively, through this same method,
+        so upstream results are memoised too -- and their ResultSets injected
+        into the call.  ``stage_params`` carries per-experiment parameter
+        overrides for the upstream stages (a study's ``params``); overrides
+        for upstream parameters that are *bound* to this experiment's
+        parameters are ignored in favour of the bound values.
         """
         experiment = name if isinstance(name, Experiment) else get_experiment(name)
         resolved = experiment.resolve_params({**(params or {}), **param_kwargs})
+        return self._run_resolved(experiment, resolved, use_cache, stage_params, {})
 
-        path = self._cache_path(experiment, resolved) if use_cache else None
+    def _run_resolved(
+        self,
+        experiment: Experiment,
+        resolved: dict[str, Any],
+        use_cache: bool,
+        stage_params: StageParams | None,
+        memo: dict[str, "ResultSet | UpstreamFailure"],
+    ) -> ResultSet:
+        """Memoised single-invocation execution (the body of :meth:`run`).
+
+        ``memo`` deduplicates repeated invocations *within one engine call*
+        (several downstream points binding to the same upstream parameters),
+        which is what keeps cache-less engines from recomputing shared
+        upstream stages per point.  Failures are memoised too (as
+        :class:`UpstreamFailure`), so a doomed shared stage executes once
+        and its error replays per dependent downstream point.
+        """
+        memo_key = cache_key(experiment.name, experiment.version, resolved)
+        hit = memo.get(memo_key)
+        if isinstance(hit, UpstreamFailure):
+            raise hit
+        if hit is not None:
+            return hit
+
+        inputs, upstream = self.resolve_inputs(
+            experiment, resolved, stage_params, use_cache, memo
+        )
+        path = self._cache_path(experiment, resolved, upstream) if use_cache else None
         cached = self._cache_load(path)
         if cached is not None:
             self.cache_hits += 1
+            memo[memo_key] = cached
             return cached
         self.cache_misses += 1
 
         start = time.perf_counter()
-        records = experiment.run(**resolved)
+        try:
+            records = experiment.run_with_inputs(inputs, resolved)
+        except Exception as error:
+            memo[memo_key] = UpstreamFailure(f"{type(error).__name__}: {error}")
+            raise
         elapsed = time.perf_counter() - start
 
         result = ResultSet.from_records(
-            records, meta=self._meta(experiment, resolved, elapsed)
+            records, meta=self._meta(experiment, resolved, elapsed, upstream)
         )
         self._cache_store(path, result)
+        memo[memo_key] = result
+        return result
+
+    def resolve_inputs(
+        self,
+        experiment: Experiment,
+        resolved: Mapping[str, Any],
+        stage_params: StageParams | None = None,
+        use_cache: bool = True,
+        memo: dict[str, "ResultSet | UpstreamFailure"] | None = None,
+    ) -> tuple[dict[str, ResultSet], dict[str, str]]:
+        """Resolve a composite experiment's upstream artifacts.
+
+        Returns ``(inputs, upstream)``: the ResultSets to inject (keyed by
+        each dependency's ``inject`` name) and their content hashes (the
+        chaining component of the downstream cache key).  Self-contained
+        experiments return two empty dicts.  Upstream invocations execute
+        through :meth:`run` semantics -- memoised, cached, recursive -- with
+        each upstream's parameters assembled from its defaults, the
+        ``stage_params`` overrides for that experiment, and the values bound
+        from ``resolved`` (bound values win).
+
+        ``memo`` may be shared across calls to deduplicate upstream work for
+        many downstream points (:func:`repro.dist.worker.run_worker` does).
+        """
+        if not experiment.consumes:
+            return {}, {}
+        if memo is None:
+            memo = {}
+        inputs: dict[str, ResultSet] = {}
+        upstream_hashes: dict[str, str] = {}
+        for dep in experiment.consumes:
+            upstream = get_experiment(dep.experiment)
+            up_resolved = self._bound_upstream_params(
+                upstream, dep, resolved, stage_params
+            )
+            result = self._run_resolved(
+                upstream, up_resolved, use_cache, stage_params, memo
+            )
+            inputs[dep.inject] = result
+            upstream_hashes[dep.inject] = result.content_hash
+        return inputs, upstream_hashes
+
+    @staticmethod
+    def _bound_upstream_params(
+        upstream: Experiment,
+        dep: "Consumes",
+        resolved: Mapping[str, Any],
+        stage_params: StageParams | None,
+    ) -> dict[str, Any]:
+        """One upstream invocation's resolved parameters (overrides + binds)."""
+        overrides = dict((stage_params or {}).get(dep.experiment, {}))
+        for up_name, down_name in dep.bind.items():
+            overrides[up_name] = resolved[down_name]
+        return upstream.resolve_params(overrides)
+
+    def run_study(
+        self,
+        study: "Study | str",
+        stage_params: StageParams | None = None,
+        sweep: SweepSpec | None = None,
+        shard: "ShardPlan | None" = None,
+        use_cache: bool = True,
+        on_result: Callable[[SweepPoint], None] | None = None,
+    ) -> ResultSet:
+        """Execute a registered :class:`~repro.api.study.Study` end to end.
+
+        Resolves (and validates) the study's pipeline, then runs the target
+        experiment -- as the study's default sweep (or an explicit ``sweep``
+        override) when one is declared, as a single invocation otherwise.
+        Upstream stages execute first, stage by stage, exactly as
+        :meth:`run` / :meth:`sweep` do for any composite experiment.
+        ``stage_params`` merges over the study's own per-stage overrides.
+        ``shard`` restricts a swept study to one
+        :class:`~repro.dist.shards.ShardPlan` slice; the partial results
+        merge through :func:`repro.dist.shards.merge_results` bit-identically
+        to a serial study run.
+        """
+        from repro.api.study import get_study, resolve_pipeline
+
+        if isinstance(study, str):
+            study = get_study(study)
+
+        merged: dict[str, dict[str, Any]] = {
+            name: dict(values) for name, values in study.params.items()
+        }
+        for name, values in (stage_params or {}).items():
+            merged.setdefault(name, {}).update(values)
+        # Resolving with the *merged* overrides validates both the stage
+        # names and every override's parameter name up front, so a typo
+        # fails here instead of failing every sweep point downstream.
+        pipeline = resolve_pipeline(study.target, merged)
+        base = merged.get(study.target, {})
+
+        study_meta = {
+            "name": study.name,
+            "target": study.target,
+            "stages": pipeline.stage_names,
+            "stage_params": {k: v for k, v in merged.items() if v},
+        }
+        spec = sweep if sweep is not None else study.sweep
+        if spec is None:
+            if shard is not None:
+                raise ValueError(
+                    f"study {study.name!r} declares no sweep; sharding needs one "
+                    "(pass sweep=... or register the study with a sweep)"
+                )
+            result = self.run(
+                study.target, params=base, use_cache=use_cache, stage_params=merged
+            )
+        else:
+            try:
+                result = self.sweep(
+                    study.target,
+                    spec,
+                    base_params=base,
+                    use_cache=use_cache,
+                    on_result=on_result,
+                    shard=shard,
+                    stage_params=merged,
+                )
+            except SweepError as error:
+                # Partial study results keep their provenance too.
+                error.partial.meta["study"] = study_meta
+                raise
+        result.meta["study"] = study_meta
         return result
 
     def sweep(
@@ -299,6 +533,7 @@ class Engine:
         use_cache: bool = True,
         on_result: Callable[[SweepPoint], None] | None = None,
         shard: "ShardPlan | None" = None,
+        stage_params: StageParams | None = None,
     ) -> ResultSet:
         """Fan an experiment out over every point of a sweep.
 
@@ -328,7 +563,12 @@ class Engine:
         start = time.perf_counter()
         completed: dict[int, SweepPoint] = {}
         for sweep_point in self.iter_sweep(
-            experiment, spec, base_params=base_params, use_cache=use_cache, shard=shard
+            experiment,
+            spec,
+            base_params=base_params,
+            use_cache=use_cache,
+            shard=shard,
+            stage_params=stage_params,
         ):
             completed[sweep_point.index] = sweep_point
             if on_result is not None:
@@ -349,11 +589,7 @@ class Engine:
                 tagged.append(_tag_record(record, sweep_point.point))
 
         meta = self._meta(experiment, dict(base_params or {}), elapsed)
-        meta["sweep"] = {
-            "mode": spec.mode,
-            "axes": {name: list(values) for name, values in spec.axes.items()},
-            "n_points": len(points),
-        }
+        meta["sweep"] = spec.to_meta()
         if shard is not None:
             meta["shard"] = {
                 "n_shards": shard.n_shards,
@@ -379,6 +615,7 @@ class Engine:
         base_params: Mapping[str, Any] | None = None,
         use_cache: bool = True,
         shard: "ShardPlan | None" = None,
+        stage_params: StageParams | None = None,
     ) -> Iterator[SweepPoint]:
         """Stream a sweep: yield one :class:`SweepPoint` per point as it lands.
 
@@ -390,6 +627,13 @@ class Engine:
         once; ``SweepPoint.index`` maps it back to ``spec.points()`` order.
         With ``shard`` set, only the shard's slice of the sweep is streamed
         (indices still refer to the full ``spec.points()`` order).
+
+        A composite experiment's sweep executes stage by stage: the distinct
+        upstream invocations the selected points need (after parameter
+        binding and deduplication) run first, fanned out through the same
+        executor, then the downstream points run with their upstream
+        ResultSets injected.  An upstream failure fails exactly the dependent
+        downstream points, never the whole sweep.
 
         Unlike :meth:`sweep`, nothing is raised for failed points: streaming
         consumers decide themselves how to react.  Parameter errors (unknown
@@ -406,27 +650,68 @@ class Engine:
             index: experiment.resolve_params({**(base_params or {}), **points[index]})
             for index in selected
         }
-        paths = {
-            index: self._cache_path(experiment, resolved) if use_cache else None
-            for index, resolved in resolved_points.items()
-        }
-        return self._iter_resolved(experiment, points, resolved_points, paths, selected)
+        return self._iter_resolved(
+            experiment, points, resolved_points, selected, use_cache, stage_params
+        )
 
     def _iter_resolved(
         self,
         experiment: Experiment,
         points: list[dict[str, Any]],
         resolved_points: dict[int, dict[str, Any]],
-        paths: dict[int, str | None],
         selected: list[int],
+        use_cache: bool,
+        stage_params: StageParams | None,
     ) -> Iterator[SweepPoint]:
         """The generator body of :meth:`iter_sweep` (post parameter resolution)."""
+        memo: dict[str, "ResultSet | UpstreamFailure"] = {}
+        if experiment.consumes and selected:
+            # Stage the DAG: run the distinct upstream invocations first so
+            # the per-point injection below is a memo lookup, not a compute.
+            self._prefetch_upstreams(
+                experiment,
+                [resolved_points[index] for index in selected],
+                use_cache,
+                stage_params,
+                memo,
+            )
+
         pending: list[int] = []
+        paths: dict[int, str | None] = {}
+        tasks: dict[int, _Task] = {}
         for index in selected:
-            path = paths[index]
+            try:
+                inputs, upstream = self.resolve_inputs(
+                    experiment, resolved_points[index], stage_params, use_cache, memo
+                )
+            except Exception as error:
+                # A failed upstream stage fails the dependent point only; the
+                # prefix marks where in the pipeline the failure happened.
+                # A memo-replayed UpstreamFailure already carries the original
+                # "ExceptionType: message" text.
+                message = (
+                    str(error)
+                    if isinstance(error, UpstreamFailure)
+                    else f"{type(error).__name__}: {error}"
+                )
+                yield SweepPoint(
+                    index=index,
+                    point=points[index],
+                    params=resolved_points[index],
+                    result=None,
+                    error=f"upstream: {message}",
+                )
+                continue
+            path = (
+                self._cache_path(experiment, resolved_points[index], upstream)
+                if use_cache
+                else None
+            )
             cached = self._cache_load(path)
             if cached is None:
                 pending.append(index)
+                paths[index] = path
+                tasks[index] = (resolved_points[index], inputs)
                 continue
             self.cache_hits += 1
             yield SweepPoint(
@@ -438,8 +723,15 @@ class Engine:
             )
         self.cache_misses += len(pending)
 
+        upstream_by_index = {
+            index: {
+                inject: result.content_hash
+                for inject, result in tasks[index][1].items()
+            }
+            for index in pending
+        }
         for index, (records, error, elapsed) in self._execute_pending(
-            experiment, resolved_points, pending
+            experiment, tasks, pending
         ):
             if error is not None:
                 yield SweepPoint(
@@ -451,7 +743,10 @@ class Engine:
                 )
                 continue
             result = ResultSet.from_records(
-                records, meta=self._meta(experiment, resolved_points[index], elapsed)
+                records,
+                meta=self._meta(
+                    experiment, resolved_points[index], elapsed, upstream_by_index[index]
+                ),
             )
             self._cache_store(paths[index], result)
             yield SweepPoint(
@@ -460,6 +755,96 @@ class Engine:
                 params=resolved_points[index],
                 result=result,
             )
+
+    def _prefetch_upstreams(
+        self,
+        experiment: Experiment,
+        resolved_list: list[dict[str, Any]],
+        use_cache: bool,
+        stage_params: StageParams | None,
+        memo: dict[str, "ResultSet | UpstreamFailure"],
+    ) -> None:
+        """Execute one stage's distinct upstream invocations, deepest first.
+
+        For every dependency of ``experiment``, project the downstream
+        points through the parameter bindings, deduplicate the resulting
+        upstream invocations, recurse (so transitively deeper stages run
+        first) and fan the still-unmemoised invocations out through
+        :meth:`_execute_pending` -- the exact machinery downstream points
+        use, so a thread/process engine parallelises every stage, not just
+        the last one.  Failures are *not* raised here: the per-point
+        injection pass re-resolves and attributes the error to exactly the
+        dependent downstream points.
+        """
+        for dep in experiment.consumes:
+            upstream = get_experiment(dep.experiment)
+            distinct: dict[str, dict[str, Any]] = {}
+            for resolved in resolved_list:
+                try:
+                    up_resolved = self._bound_upstream_params(
+                        upstream, dep, resolved, stage_params
+                    )
+                except Exception:
+                    continue  # surfaced per downstream point later
+                distinct.setdefault(
+                    cache_key(upstream.name, upstream.version, up_resolved),
+                    up_resolved,
+                )
+            if not distinct:
+                continue
+            invocations = list(distinct.values())
+            if upstream.consumes:
+                self._prefetch_upstreams(
+                    upstream, invocations, use_cache, stage_params, memo
+                )
+
+            pending: list[int] = []
+            stage_tasks: dict[int, _Task] = {}
+            stage_paths: dict[int, str | None] = {}
+            stage_upstream: dict[int, dict[str, str]] = {}
+            memo_keys: dict[int, str] = {}
+            for slot, (memo_key, up_resolved) in enumerate(distinct.items()):
+                if memo_key in memo:
+                    continue
+                try:
+                    inputs, upstream_hashes = self.resolve_inputs(
+                        upstream, up_resolved, stage_params, use_cache, memo
+                    )
+                except Exception:
+                    continue  # deeper-stage failure; attributed downstream
+                path = (
+                    self._cache_path(upstream, up_resolved, upstream_hashes)
+                    if use_cache
+                    else None
+                )
+                cached = self._cache_load(path)
+                if cached is not None:
+                    self.cache_hits += 1
+                    memo[memo_key] = cached
+                    continue
+                pending.append(slot)
+                memo_keys[slot] = memo_key
+                stage_tasks[slot] = (up_resolved, inputs)
+                stage_paths[slot] = path
+                stage_upstream[slot] = upstream_hashes
+            self.cache_misses += len(pending)
+
+            for slot, (records, error, elapsed) in self._execute_pending(
+                upstream, stage_tasks, pending
+            ):
+                if error is not None:
+                    # Memoise the failure: dependent downstream points report
+                    # it without re-executing the doomed invocation.
+                    memo[memo_keys[slot]] = UpstreamFailure(error)
+                    continue
+                result = ResultSet.from_records(
+                    records,
+                    meta=self._meta(
+                        upstream, stage_tasks[slot][0], elapsed, stage_upstream[slot]
+                    ),
+                )
+                self._cache_store(stage_paths[slot], result)
+                memo[memo_keys[slot]] = result
 
     # --- helpers ----------------------------------------------------------
 
@@ -482,15 +867,18 @@ class Engine:
     def _execute_pending(
         self,
         experiment: Experiment,
-        resolved_points: dict[int, dict[str, Any]],
+        tasks: dict[int, _Task],
         pending: list[int],
     ) -> Iterator[tuple[int, _Outcome]]:
         """Yield ``(point_index, outcome)`` for every uncached sweep point.
 
-        Serial execution yields in sweep order; the pooled executors submit
-        one future per point by default (see :meth:`_chunks`) and yield each
-        future's points as it completes, which is what makes
-        :meth:`iter_sweep` stream point-granularly under parallel execution.
+        ``tasks`` maps each pending index to its ``(resolved params,
+        injected inputs)`` pair -- inputs are empty for self-contained
+        experiments.  Serial execution yields in sweep order; the pooled
+        executors submit one future per point by default (see
+        :meth:`_chunks`) and yield each future's points as it completes,
+        which is what makes :meth:`iter_sweep` stream point-granularly under
+        parallel execution.
         """
         if not pending:
             return
@@ -498,7 +886,9 @@ class Engine:
             # Execute through the instance itself so ad-hoc (unregistered)
             # Experiment objects behave exactly like in run().
             for index in pending:
-                yield index, _run_outcomes(experiment.run, [resolved_points[index]])[0]
+                yield index, _run_outcomes(
+                    experiment.run_with_inputs, [tasks[index]]
+                )[0]
             return
 
         pool_kwargs: dict[str, Any] = {}
@@ -527,15 +917,17 @@ class Engine:
             if self.executor == "thread":
                 # Threads share the interpreter: execute through the instance
                 # (ad-hoc experiments included), no registry round-trip.
-                def submit(points):
-                    return pool.submit(_run_outcomes, experiment.run, points)
+                def submit(chunk_tasks):
+                    return pool.submit(
+                        _run_outcomes, experiment.run_with_inputs, chunk_tasks
+                    )
 
             else:
-                def submit(points):
-                    return pool.submit(_execute_chunk, experiment.name, points)
+                def submit(chunk_tasks):
+                    return pool.submit(_execute_chunk, experiment.name, chunk_tasks)
 
             future_to_chunk = {
-                submit([resolved_points[i] for i in chunk]): chunk for chunk in chunks
+                submit([tasks[i] for i in chunk]): chunk for chunk in chunks
             }
             for future in as_completed(future_to_chunk):
                 for index, outcome in zip(future_to_chunk[future], future.result()):
@@ -552,6 +944,7 @@ class Engine:
         experiment: Experiment,
         params: Mapping[str, Any],
         elapsed: float | None,
+        upstream: Mapping[str, str] | None = None,
     ) -> dict[str, Any]:
         meta: dict[str, Any] = {
             "experiment": experiment.name,
@@ -561,6 +954,10 @@ class Engine:
         }
         if elapsed is not None:
             meta["wall_time_s"] = elapsed
+        if upstream:
+            # Provenance of consumed artifacts: which upstream experiment fed
+            # each inject, pinned by the content hash the cache key chained.
+            meta["upstream"] = upstream_meta(experiment, upstream)
         return meta
 
 

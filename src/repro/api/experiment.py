@@ -6,6 +6,15 @@ a figure panel, a table, or an extension study -- behind a uniform contract:
 * a unique registry name (``"fig9"``, ``"table_ampacity"``, ...),
 * typed, JSON-serialisable parameters described by :class:`ParamSpec`
   (so sweeps, caching and the CLI can manipulate them generically),
+* a typed output schema described by :class:`OutputSpec` (optional but
+  recommended: declared outputs are validated on every run and documented in
+  the generated catalog),
+* optional upstream dependencies described by :class:`Consumes`: a composite
+  experiment declares *which* other experiments produce its input artifacts
+  and how its own parameters bind to theirs.  The engine resolves the
+  resulting DAG, runs upstream stages first and injects their
+  :class:`~repro.api.results.ResultSet`\\ s into the experiment function as
+  keyword arguments (see :mod:`repro.api.study`),
 * a callable returning a list of records (dicts of scalars).
 
 Experiments are registered with the :func:`register_experiment` decorator and
@@ -18,6 +27,7 @@ populated registry.
 
 from __future__ import annotations
 
+import difflib
 import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
@@ -40,6 +50,25 @@ class DuplicateExperimentError(ExperimentError, ValueError):
 
 class ParameterError(ExperimentError, ValueError):
     """Raised for unknown parameter names or un-coercible values."""
+
+
+class OutputSchemaError(ExperimentError, TypeError):
+    """Raised when an experiment's records violate its declared output schema."""
+
+
+class PipelineError(ExperimentError, RuntimeError):
+    """Raised for dependency-contract violations (missing inputs, cycles, ...)."""
+
+
+def suggest_names(name: str, known: Sequence[str], n: int = 3) -> list[str]:
+    """Closest registered names to a mistyped one (for error messages)."""
+    return difflib.get_close_matches(name, list(known), n=n, cutoff=0.5)
+
+
+def _did_you_mean(name: str, known: Sequence[str]) -> str:
+    """`` (did you mean: a, b?)`` suffix, or ``""`` when nothing is close."""
+    close = suggest_names(name, known)
+    return f" (did you mean: {', '.join(close)}?)" if close else ""
 
 
 _COERCERS: dict[str, Callable[[Any], Any]] = {
@@ -128,6 +157,96 @@ class ParamSpec:
         return result
 
 
+_OUTPUT_KINDS: dict[str, tuple[type, ...]] = {
+    "float": (float, int),
+    "int": (int,),
+    "bool": (bool,),
+    "str": (str,),
+}
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """Typed description of one output column of an experiment's records.
+
+    Declared outputs make a :class:`~repro.api.results.ResultSet` a *typed
+    artifact*: every record of every run is checked to carry the declared
+    columns with cells of the declared kind (records may carry extra,
+    undeclared columns -- the schema is a floor, not a ceiling).  Downstream
+    experiments that :class:`Consumes` the artifact can rely on the columns
+    being present.
+
+    Attributes
+    ----------
+    name:
+        Column name in the produced records.
+    kind:
+        One of ``float``, ``int``, ``bool``, ``str`` (``float`` accepts
+        integer cells; booleans are never accepted as numbers).
+    help:
+        One-line description shown by ``describe`` and the catalog.
+    """
+
+    name: str
+    kind: str = "float"
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _OUTPUT_KINDS:
+            raise ValueError(
+                f"unknown output kind {self.kind!r}; use one of {tuple(_OUTPUT_KINDS)}"
+            )
+
+    def check(self, value: Any) -> bool:
+        """Whether one cell value conforms to the declared kind."""
+        if isinstance(value, bool):
+            return self.kind == "bool"
+        return isinstance(value, _OUTPUT_KINDS[self.kind])
+
+
+@dataclass(frozen=True)
+class Consumes:
+    """One upstream dependency of a composite experiment.
+
+    ``Consumes("variability", inject="variability_result",
+    bind={"length_um": "length_um"})`` declares: before this experiment runs,
+    run the registered experiment ``"variability"`` and pass its
+    :class:`~repro.api.results.ResultSet` to this experiment's function as the
+    keyword argument ``variability_result``.  ``bind`` forwards parameter
+    values *downstream -> upstream*: the upstream parameter named by each key
+    is set to this experiment's resolved value of the parameter named by the
+    corresponding value, so sweeping the downstream parameter sweeps the
+    upstream invocation with it.  Unbound upstream parameters use their
+    defaults (overridable per stage through a
+    :class:`~repro.api.study.Study`'s ``params``).
+
+    Attributes
+    ----------
+    experiment:
+        Upstream registry name (resolved lazily, so registration order does
+        not matter).
+    inject:
+        Keyword under which the upstream ResultSet is passed to the
+        experiment function.  Must not collide with a declared parameter.
+    bind:
+        Mapping of ``upstream parameter name -> this experiment's parameter
+        name`` (both sides validated when the pipeline is resolved).
+    """
+
+    experiment: str
+    inject: str
+    bind: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ValueError("Consumes needs an upstream experiment name")
+        if not self.inject.isidentifier():
+            raise ValueError(
+                f"inject name {self.inject!r} must be a valid Python identifier"
+            )
+        object.__setattr__(self, "bind", dict(self.bind))
+
+
 @dataclass(frozen=True)
 class Experiment:
     """One registered, reproducible experiment of the paper.
@@ -140,7 +259,16 @@ class Experiment:
         Callable accepting the declared parameters as keywords and returning
         a list of record dicts (or a single dict, which is wrapped).
     params:
-        Parameter specifications; the only keywords ``fn`` will receive.
+        Parameter specifications; the only parameter keywords ``fn`` will
+        receive (injected artifacts arrive under their ``Consumes.inject``
+        names on top).
+    outputs:
+        Optional typed output schema; when declared, every run's records are
+        validated against it (see :func:`validate_records`).
+    consumes:
+        Upstream dependencies; non-empty makes this a *composite* experiment
+        that can only execute with its input artifacts injected (the engine
+        resolves them -- see :meth:`run_with_inputs`).
     description:
         One-line summary for ``python -m repro list``.
     tags:
@@ -156,11 +284,32 @@ class Experiment:
     description: str = ""
     tags: tuple[str, ...] = ()
     version: str = "1"
+    outputs: tuple[OutputSpec, ...] = ()
+    consumes: tuple[Consumes, ...] = ()
 
     def __post_init__(self) -> None:
         names = [spec.name for spec in self.params]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate parameter names in experiment {self.name!r}")
+        output_names = [spec.name for spec in self.outputs]
+        if len(set(output_names)) != len(output_names):
+            raise ValueError(f"duplicate output names in experiment {self.name!r}")
+        injects = [dep.inject for dep in self.consumes]
+        if len(set(injects)) != len(injects):
+            raise ValueError(f"duplicate inject names in experiment {self.name!r}")
+        for dep in self.consumes:
+            if dep.inject in names:
+                raise ValueError(
+                    f"experiment {self.name!r}: inject name {dep.inject!r} "
+                    "collides with a declared parameter"
+                )
+            for downstream in dep.bind.values():
+                if downstream not in names:
+                    raise ValueError(
+                        f"experiment {self.name!r} binds unknown parameter "
+                        f"{downstream!r} to upstream {dep.experiment!r}; "
+                        f"declared: {names}"
+                    )
 
     @property
     def param_names(self) -> list[str]:
@@ -190,8 +339,43 @@ class Experiment:
         return resolved
 
     def run(self, **overrides: Any) -> list[dict[str, Any]]:
-        """Execute directly (no engine, no cache) and return record dicts."""
-        return normalize_records(self.fn(**self.resolve_params(overrides)))
+        """Execute directly (no engine, no cache) and return record dicts.
+
+        Only valid for self-contained experiments: a composite experiment
+        (non-empty ``consumes``) needs its upstream artifacts resolved first,
+        which is the engine's job -- use ``Engine.run`` (or pass the
+        artifacts explicitly through :meth:`run_with_inputs`).
+        """
+        return self.run_with_inputs({}, self.resolve_params(overrides))
+
+    def run_with_inputs(
+        self,
+        inputs: Mapping[str, Any],
+        resolved: Mapping[str, Any],
+    ) -> list[dict[str, Any]]:
+        """Execute with pre-resolved parameters and injected input artifacts.
+
+        ``inputs`` maps each dependency's ``inject`` name to its upstream
+        :class:`~repro.api.results.ResultSet`; ``resolved`` is the full
+        parameter dict (as returned by :meth:`resolve_params`).  Declared
+        outputs are validated on the returned records.
+        """
+        missing = [dep.inject for dep in self.consumes if dep.inject not in inputs]
+        if missing:
+            raise PipelineError(
+                f"experiment {self.name!r} consumes upstream results "
+                f"{[d.experiment for d in self.consumes]} but inputs "
+                f"{missing} were not provided; run it through Engine.run / "
+                "Engine.run_study, which resolve the dependency pipeline"
+            )
+        unexpected = sorted(set(inputs) - {dep.inject for dep in self.consumes})
+        if unexpected:
+            raise PipelineError(
+                f"experiment {self.name!r} received undeclared inputs {unexpected}"
+            )
+        records = normalize_records(self.fn(**dict(resolved), **dict(inputs)))
+        validate_records(records, self.outputs, self.name)
+        return records
 
 
 def normalize_records(result: Any) -> list[dict[str, Any]]:
@@ -221,6 +405,35 @@ def normalize_records(result: Any) -> list[dict[str, Any]]:
     )
 
 
+def validate_records(
+    records: Sequence[Mapping[str, Any]],
+    outputs: Sequence[OutputSpec],
+    name: str,
+) -> None:
+    """Check records against a declared output schema (no-op when empty).
+
+    Every record must carry every declared output column with a cell of the
+    declared kind; extra columns are allowed.  Violations raise
+    :class:`OutputSchemaError` naming the first offending record.
+    """
+    if not outputs:
+        return
+    for index, record in enumerate(records):
+        for spec in outputs:
+            if spec.name not in record:
+                raise OutputSchemaError(
+                    f"experiment {name!r} record {index} is missing declared "
+                    f"output {spec.name!r}; got columns {sorted(record)}"
+                )
+            value = record[spec.name]
+            if not spec.check(value):
+                raise OutputSchemaError(
+                    f"experiment {name!r} record {index} output {spec.name!r} "
+                    f"expects kind {spec.kind!r}, got {value!r} "
+                    f"({type(value).__name__})"
+                )
+
+
 # --- registry ---------------------------------------------------------------
 
 _REGISTRY: dict[str, Experiment] = {}
@@ -233,6 +446,8 @@ def register_experiment(
     description: str = "",
     tags: Sequence[str] = (),
     version: str = "1",
+    outputs: Sequence[OutputSpec] = (),
+    consumes: Sequence[Consumes] = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator registering a function as a named experiment.
@@ -253,6 +468,8 @@ def register_experiment(
             description=doc,
             tags=tuple(tags),
             version=version,
+            outputs=tuple(outputs),
+            consumes=tuple(consumes),
         )
         if name in _REGISTRY and not replace:
             raise DuplicateExperimentError(
@@ -272,13 +489,19 @@ def unregister_experiment(name: str) -> None:
 
 
 def get_experiment(name: str) -> Experiment:
-    """Look up a registered experiment, with a helpful error on miss."""
+    """Look up a registered experiment, with a helpful error on miss.
+
+    A miss suggests the nearest registered names before listing everything,
+    so ``get_experiment("varibility")`` points at ``variability`` instead of
+    drowning the typo in a 20-name dump.
+    """
     ensure_registered()
     try:
         return _REGISTRY[name]
     except KeyError:
         raise ExperimentNotFoundError(
-            f"no experiment {name!r}; registered: {sorted(_REGISTRY)}"
+            f"no experiment {name!r}{_did_you_mean(name, _REGISTRY)}; "
+            f"registered: {sorted(_REGISTRY)}"
         ) from None
 
 

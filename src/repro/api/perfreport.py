@@ -13,7 +13,10 @@ that trajectory so regressions are visible at a glance:
   case that fell below its committed acceptance floor,
 * :func:`report_text` -- the rendered report the CLI prints
   (``python -m repro perf-report``; ``--check`` turns regressions into a
-  non-zero exit for CI).
+  non-zero exit for CI),
+* :func:`plot_trajectory` -- an optional speedup-trajectory chart
+  (``perf-report --plot out.svg``); matplotlib is an *optional* dependency,
+  so plotting degrades to a graceful skip when it is not installed.
 
 Only same-mode points are compared: smoke-mode numbers come from reduced
 problem sizes (and usually shared CI runners), so a smoke point never
@@ -174,6 +177,65 @@ def find_regressions(
                     f"in BENCH_{record.label}"
                 )
     return findings
+
+
+def plot_trajectory(
+    records: list[BenchRecord],
+    path: str,
+    case: str | None = None,
+) -> bool:
+    """Render the speedup trajectory as a chart file (SVG/PNG by extension).
+
+    One line per benchmark case over the trajectory points, speedup on a log
+    axis, committed full-mode points as solid markers and ad-hoc/smoke points
+    hollow.  Returns True when the chart was written; returns False -- doing
+    nothing -- when matplotlib is not installed, so callers can degrade
+    gracefully (the repo deliberately has no hard plotting dependency).
+    """
+    try:
+        import matplotlib
+    except ImportError:
+        return False
+    matplotlib.use("Agg")  # never require a display
+    import matplotlib.pyplot as plt
+
+    rows = report_rows(records, case=case)
+    by_case: dict[str, list[dict[str, Any]]] = {}
+    for row in rows:
+        if row["speedup"]:
+            by_case.setdefault(row["case"], []).append(row)
+
+    labels = [record.label for record in records]
+    positions = {label: index for index, label in enumerate(labels)}
+    modes = {record.label: record.mode for record in records}
+
+    figure, axes = plt.subplots(figsize=(7.0, 4.0))
+    for name, case_rows in sorted(by_case.items()):
+        xs = [positions[row["bench"]] for row in case_rows]
+        ys = [row["speedup"] for row in case_rows]
+        (line,) = axes.plot(xs, ys, marker="o", label=name)
+        # Hollow out non-full points (smoke runs on shared CI hardware).
+        for x, y, row in zip(xs, ys, case_rows):
+            if modes[row["bench"]] != "full":
+                axes.plot(
+                    [x], [y], marker="o", markerfacecolor="white",
+                    markeredgecolor=line.get_color(), linestyle="none",
+                )
+        floors = [row["floor"] for row in case_rows if row["floor"]]
+        if floors:
+            axes.axhline(
+                min(floors), color=line.get_color(), linestyle=":", linewidth=0.8
+            )
+    axes.set_yscale("log")
+    axes.set_xticks(range(len(labels)))
+    axes.set_xticklabels([f"BENCH_{label}" for label in labels], rotation=30)
+    axes.set_ylabel("speedup over legacy (x, log)")
+    axes.set_title("perf trajectory (dotted: committed floors)")
+    axes.legend(fontsize="small")
+    figure.tight_layout()
+    figure.savefig(path)
+    plt.close(figure)
+    return True
 
 
 def report_text(

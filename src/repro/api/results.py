@@ -22,6 +22,17 @@ import json
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 
+class MissingColumnsError(KeyError):
+    """A typed artifact lacks columns its consumer requires.
+
+    Subclasses ``KeyError`` (a column lookup failed) but renders its message
+    verbatim -- ``KeyError.__str__`` repr-quotes it, which would nest quotes
+    inside every downstream error report and tombstone.
+    """
+
+    __str__ = Exception.__str__
+
+
 def _normalize_cell(value: Any) -> Any:
     """Coerce numpy scalars/arrays and tuples into plain Python values."""
     if hasattr(value, "item") and not isinstance(value, (str, bytes)):
@@ -221,6 +232,25 @@ class ResultSet:
         for value in self.column(name):
             seen.setdefault(value, None)
         return list(seen)
+
+    def require_columns(self, *names: str) -> "ResultSet":
+        """Assert the artifact carries the given columns; returns ``self``.
+
+        The consumer-side half of the typed-artifact contract: a pipeline
+        stage that reads specific columns of an injected upstream ResultSet
+        (see ``Consumes`` in :mod:`repro.api.experiment`) calls this first,
+        so an upstream schema drift fails with *which columns are missing
+        from which experiment's output* instead of a bare ``KeyError`` deep
+        in the stage's arithmetic.
+        """
+        missing = [name for name in names if name not in self._columns]
+        if missing:
+            source = self.meta.get("experiment", "upstream result")
+            raise MissingColumnsError(
+                f"{source!r} artifact is missing required columns {missing}; "
+                f"available: {self.columns}"
+            )
+        return self
 
     # --- provenance -------------------------------------------------------
 

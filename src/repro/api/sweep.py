@@ -105,6 +105,30 @@ class SweepSpec:
         axes[axis] = refined
         return SweepSpec(mode=self.mode, axes=axes)
 
+    # --- provenance round-trip --------------------------------------------
+
+    def to_meta(self) -> dict[str, Any]:
+        """The JSON-serialisable sweep descriptor stored in ResultSet meta.
+
+        What ``Engine.sweep`` records under ``meta["sweep"]`` and
+        :func:`repro.dist.shards.merge_results` validates across partial
+        results; :meth:`from_meta` round-trips it.
+        """
+        return {
+            "mode": self.mode,
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "n_points": len(self),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: Mapping[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from a ``meta["sweep"]`` descriptor (see ``to_meta``)."""
+        if not isinstance(meta, Mapping) or "axes" not in meta:
+            raise ValueError(
+                "not a sweep descriptor: expected a mapping with an 'axes' key"
+            )
+        return cls(mode=meta.get("mode", "grid"), axes=dict(meta["axes"]))
+
     # --- expansion --------------------------------------------------------
 
     @property

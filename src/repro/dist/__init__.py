@@ -42,6 +42,8 @@ from repro.dist.store import (
     CLAIM_BUSY,
     CLAIM_DONE,
     DEFAULT_LEASE_TTL,
+    FAILED_SUFFIX,
+    LEASE_SUFFIX,
     Lease,
     LocalStore,
     ResultStore,
@@ -57,6 +59,8 @@ __all__ = [
     "CLAIM_BUSY",
     "CLAIM_DONE",
     "DEFAULT_LEASE_TTL",
+    "FAILED_SUFFIX",
+    "LEASE_SUFFIX",
     "Lease",
     "LocalStore",
     "ResultStore",

@@ -138,12 +138,12 @@ def _record_point_key(record: Mapping[str, Any], axis_names: Sequence[str]) -> s
 
 
 def _spec_from_meta(meta: Mapping[str, Any]) -> SweepSpec:
-    sweep = meta.get("sweep")
-    if not isinstance(sweep, Mapping) or "axes" not in sweep:
+    try:
+        return SweepSpec.from_meta(meta.get("sweep"))
+    except ValueError:
         raise ValueError(
             "partial result carries no sweep metadata; pass spec= explicitly"
-        )
-    return SweepSpec(mode=sweep.get("mode", "grid"), axes=dict(sweep["axes"]))
+        ) from None
 
 
 def merge_results(
@@ -256,11 +256,7 @@ def merge_results(
     wall_times = [part.meta.get("wall_time_s") for part in parts]
     if all(isinstance(t, (int, float)) for t in wall_times):
         meta["wall_time_s"] = float(sum(wall_times))
-    meta["sweep"] = {
-        "mode": spec.mode,
-        "axes": {name: list(values) for name, values in spec.axes.items()},
-        "n_points": len(points),
-    }
+    meta["sweep"] = spec.to_meta()
     meta["merged"] = {"n_parts": len(parts)}
     if missing:
         meta["merged"]["missing_points"] = missing

@@ -58,6 +58,15 @@ LOCK_FILENAME = ".repro-store.lock"
 LEASE_SUFFIX = ".lease"
 """Appended to an entry path to form its claim-lease file."""
 
+FAILED_SUFFIX = ".failed"
+"""Appended to an entry path to form its failure-tombstone file.
+
+A worker whose point raises releases the lease *and* records the failure as
+a tombstone, so operators can see what failed (and why) after every worker
+has exited.  Tombstones are diagnostic residue, not state: claims ignore
+them, a later successful publish removes them, and ``python -m repro cache
+prune --gc`` (:func:`repro.api.cache.gc_store`) garbage-collects them."""
+
 DEFAULT_LEASE_TTL = 300.0
 """Default claim lease in seconds; must exceed the slowest single point."""
 
@@ -268,6 +277,19 @@ class ResultStore:
     def release(self, path: str, worker_id: str) -> None:
         """Give up a claim without publishing (failed or abandoned point)."""
 
+    def renew(self, path: str, worker_id: str, ttl: float = DEFAULT_LEASE_TTL) -> bool:
+        """Extend one's own lease on a pending entry (heartbeat).
+
+        Returns True when the lease is (still) held after the call.  The
+        local store has no leases to renew, so it always reports success --
+        the heartbeat contract is only meaningful against a
+        :class:`SharedStore`.
+        """
+        return True
+
+    def record_failure(self, path: str, worker_id: str, error: str) -> None:
+        """Record a failure tombstone for a pending entry (no-op locally)."""
+
     def lock(self, timeout: float | None = None) -> ContextManager[None]:
         """Maintenance lock over the whole store (no-op locally)."""
         return nullcontext()
@@ -393,9 +415,61 @@ class SharedStore(ResultStore):
         with self.lock():
             super().publish(path, result)
             self._unlink_lease(path)
+            # A successful result supersedes any earlier failure of the point.
+            try:
+                os.unlink(path + FAILED_SUFFIX)
+            except FileNotFoundError:
+                pass
 
     def release(self, path: str, worker_id: str) -> None:
         with self.lock():
             lease = self.read_lease(path)
             if lease is not None and lease.worker == worker_id:
                 self._unlink_lease(path)
+
+    def renew(self, path: str, worker_id: str, ttl: float = DEFAULT_LEASE_TTL) -> bool:
+        """Heartbeat: push one's own lease expiry ``ttl`` seconds out.
+
+        Returns False -- without touching anything -- when the lease is gone
+        or owned by another worker (the point was published, pruned, or taken
+        over after an expiry); the caller should treat its execution as
+        potentially duplicated but must not extend a foreign lease.
+        """
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        with self.lock():
+            lease = self.read_lease(path)
+            if lease is None or lease.worker != worker_id or os.path.exists(path):
+                return False
+            self._write_lease(path, worker_id, time.time(), ttl)
+            return True
+
+    def record_failure(self, path: str, worker_id: str, error: str) -> None:
+        """Write the failure tombstone of a pending entry (atomic, locked)."""
+        payload = {
+            "worker": worker_id,
+            "error": str(error),
+            "failed_at": time.time(),
+        }
+        with self.lock():
+            if os.path.exists(path):
+                return  # someone published a good result meanwhile
+            _atomic_write(self.directory, path + FAILED_SUFFIX, json.dumps(payload))
+
+    def failures(self) -> list[dict]:
+        """All failure tombstones (path, worker, error, failed_at), by path."""
+        if not os.path.isdir(self.directory):
+            return []
+        found = []
+        for filename in sorted(os.listdir(self.directory)):
+            if not filename.endswith(".json" + FAILED_SUFFIX):
+                continue
+            tombstone = os.path.join(self.directory, filename)
+            try:
+                with open(tombstone) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue  # torn or concurrently removed: nothing to report
+            payload["path"] = tombstone
+            found.append(payload)
+        return found

@@ -7,9 +7,19 @@ the same sweep cooperate through the store alone:
 * each pending point is executed by exactly one worker -- ``claim`` grants
   a ttl-bounded lease, publish is atomic, and a point whose result already
   exists is skipped (``claim`` reports ``"done"``);
+* while a point executes, a background heartbeat renews the lease at the
+  ttl's half-way mark, so the ttl no longer has to exceed the slowest
+  single point -- a live worker keeps its claim for as long as the point
+  takes, while a *dead* worker's lease still expires within one ttl;
 * a worker killed mid-point loses nothing but its lease: once the ttl
   lapses, any surviving (or restarted) worker claims the point again and
-  re-executes it;
+  re-executes it.  A point that *raises* releases its lease for siblings to
+  retry and records a failure tombstone in the store
+  (``python -m repro cache prune --gc`` collects them);
+* composite experiments (``consumes=`` declarations) resolve their upstream
+  stages through the same store before the claiming loop starts, so
+  cooperating workers share upstream results exactly like downstream ones
+  and the claim keys chain through the upstream content hashes;
 * progress streams through the same ``on_result`` /
   :class:`~repro.api.engine.SweepPoint` path the engine's ``iter_sweep``
   uses, so the CLI progress renderer works unchanged.
@@ -29,11 +39,12 @@ balance.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
-from repro.api.engine import SweepPoint, cache_key
+from repro.api.engine import Engine, StageParams, SweepPoint, cache_key, upstream_meta
 from repro.api.experiment import Experiment, get_experiment
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
@@ -46,6 +57,41 @@ from repro.dist.store import (
     ResultStore,
     default_worker_id,
 )
+
+
+class _LeaseHeartbeat:
+    """Background renewal of a claim lease while its point executes.
+
+    Entered around one point's execution: a daemon thread calls
+    ``store.renew`` every ``ttl / 2`` seconds, so the lease never expires
+    under a live worker no matter how slow the point is, while a killed
+    worker's lease still lapses within one ttl.  If a renewal reports the
+    lease lost (published, pruned, or taken over), the heartbeat stops --
+    the eventual publish is atomic and content-addressed, so the worst case
+    is duplicated work, never a corrupt store.
+    """
+
+    def __init__(self, store: ResultStore, path: str, worker_id: str, ttl: float):
+        self.store = store
+        self.path = path
+        self.worker_id = worker_id
+        self.ttl = ttl
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self.ttl / 2.0):
+            if not self.store.renew(self.path, self.worker_id, self.ttl):
+                return
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join()
 
 
 @dataclass(frozen=True)
@@ -101,6 +147,7 @@ def run_worker(
     wait: bool = True,
     poll_interval: float = 0.2,
     max_wait: float | None = None,
+    stage_params: StageParams | None = None,
 ) -> WorkerReport:
     """Attach to a store and drive a sweep's pending points to completion.
 
@@ -120,8 +167,10 @@ def run_worker(
     worker_id:
         Identity used for leases; defaults to ``<hostname>-<pid>``.
     lease_ttl:
-        Seconds a claimed point stays reserved; must exceed the slowest
-        single point or another worker will re-execute it after expiry.
+        Seconds a claimed point stays reserved between heartbeats.  A live
+        worker renews its lease at the ttl's half-way mark, so the ttl only
+        bounds how long a *crashed* worker's point stays blocked -- it does
+        not have to exceed the slowest single point.
     shard:
         Optional static slice; the worker then ignores points owned by other
         shards entirely.
@@ -136,6 +185,10 @@ def run_worker(
     max_wait:
         Upper bound in seconds on waiting for other workers (``None``:
         unbounded).  On expiry the still-leased points are ``abandoned``.
+    stage_params:
+        Per-experiment parameter overrides for upstream pipeline stages of a
+        composite experiment (a study's ``params``); every cooperating
+        worker must agree on them, like on ``spec``.
     """
     experiment = name if isinstance(name, Experiment) else get_experiment(name)
     worker = worker_id if worker_id is not None else default_worker_id()
@@ -145,20 +198,11 @@ def run_worker(
         index: experiment.resolve_params({**(base_params or {}), **points[index]})
         for index in indices
     }
-    paths = {
-        index: store.entry_path(
-            experiment.name,
-            cache_key(experiment.name, experiment.version, resolved[index]),
-        )
-        for index in indices
-    }
 
     executed: list[int] = []
     already_done: list[int] = []
     failed: list[int] = []
-    remaining = list(indices)
     start = time.perf_counter()
-    deadline = None if max_wait is None else time.monotonic() + max_wait
 
     def emit(point_index: int, **kwargs: Any) -> None:
         if on_result is not None:
@@ -170,6 +214,40 @@ def run_worker(
                     **kwargs,
                 )
             )
+
+    # Upstream pipeline stages resolve through the same store, so N workers
+    # share upstream results exactly like downstream ones (first publisher
+    # wins; a concurrent compute wastes work but cannot corrupt anything),
+    # and the entry keys chain through the upstream content hashes -- the
+    # same stage-aware keys a serial Engine run would use, which is what
+    # makes a worker-merged pipeline run bit-identical to a serial one.
+    upstream_engine = Engine(store=store)
+    memo: dict[str, Any] = {}
+    inputs_by_index: dict[int, dict[str, ResultSet]] = {}
+    paths: dict[int, str] = {}
+    for index in indices:
+        try:
+            inputs, upstream_hashes = upstream_engine.resolve_inputs(
+                experiment, resolved[index], stage_params, memo=memo
+            )
+        except Exception as error:
+            failed.append(index)
+            emit(
+                index,
+                result=None,
+                error=f"upstream: {type(error).__name__}: {error}",
+            )
+            continue
+        inputs_by_index[index] = inputs
+        paths[index] = store.entry_path(
+            experiment.name,
+            cache_key(
+                experiment.name, experiment.version, resolved[index], upstream_hashes
+            ),
+        )
+
+    remaining = [index for index in indices if index in paths]
+    deadline = None if max_wait is None else time.monotonic() + max_wait
 
     while remaining:
         progressed = False
@@ -197,24 +275,39 @@ def run_worker(
             assert status == CLAIM_ACQUIRED
             point_start = time.perf_counter()
             try:
-                records = experiment.run(**resolved[index])
+                # The heartbeat renews the lease while the point runs, so a
+                # slower-than-ttl point is not re-claimed by a sibling.
+                with _LeaseHeartbeat(store, paths[index], worker, lease_ttl):
+                    records = experiment.run_with_inputs(
+                        inputs_by_index[index], resolved[index]
+                    )
             except Exception as error:
-                # Release so siblings may retry; this worker will not.
+                # Release so siblings may retry; this worker will not.  The
+                # tombstone keeps the failure inspectable after every worker
+                # exited (`cache prune --gc` collects it).
+                message = f"{type(error).__name__}: {error}"
                 store.release(paths[index], worker)
+                store.record_failure(paths[index], worker, message)
                 failed.append(index)
-                emit(index, result=None, error=f"{type(error).__name__}: {error}")
+                emit(index, result=None, error=message)
                 continue
-            result = ResultSet.from_records(
-                records,
-                meta={
-                    "experiment": experiment.name,
-                    "version": experiment.version,
-                    "params": dict(resolved[index]),
-                    "executor": "worker",
-                    "worker_id": worker,
-                    "wall_time_s": time.perf_counter() - point_start,
-                },
-            )
+            meta = {
+                "experiment": experiment.name,
+                "version": experiment.version,
+                "params": dict(resolved[index]),
+                "executor": "worker",
+                "worker_id": worker,
+                "wall_time_s": time.perf_counter() - point_start,
+            }
+            if inputs_by_index[index]:
+                meta["upstream"] = upstream_meta(
+                    experiment,
+                    {
+                        inject: upstream_result.content_hash
+                        for inject, upstream_result in inputs_by_index[index].items()
+                    },
+                )
+            result = ResultSet.from_records(records, meta=meta)
             store.publish(paths[index], result)
             executed.append(index)
             emit(index, result=result)

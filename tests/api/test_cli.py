@@ -257,6 +257,129 @@ class TestCacheCommand:
         assert code == 2
         assert "banana" in err
 
+    def test_prune_gc_collects_tombstones_and_stale_leases(self, capsys, tmp_path):
+        import os
+        import time as time_module
+
+        from repro.dist import SharedStore
+
+        cache = str(tmp_path / "cache")
+        self._populate(capsys, cache)
+        store = SharedStore(cache)
+        pending = os.path.join(cache, "exp-aaaaaaaaaaaaaaaa.json")
+        store.claim(pending, "dead-worker", ttl=0.01)
+        store.record_failure(
+            os.path.join(cache, "exp-bbbbbbbbbbbbbbbb.json"), "dead-worker", "boom"
+        )
+        time_module.sleep(0.05)
+
+        # --gc alone is valid (no entry criteria needed) and touches no entries.
+        code, out, _ = run_cli(capsys, "cache", "prune", "--cache-dir", cache, "--gc")
+        assert code == 0
+        assert "removed 2 tombstone/lease files" in out
+        _, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", cache)
+        assert "2 entries" in out
+
+    def test_prune_gc_dry_run(self, capsys, tmp_path):
+        import os
+
+        from repro.dist import SharedStore
+
+        cache = str(tmp_path / "cache")
+        SharedStore(cache).record_failure(
+            os.path.join(cache, "exp-cccccccccccccccc.json"), "w", "boom"
+        )
+        code, out, _ = run_cli(
+            capsys, "cache", "prune", "--cache-dir", cache, "--gc", "--dry-run"
+        )
+        assert code == 0
+        assert "would remove 1 tombstone/lease files" in out
+        code, out, _ = run_cli(capsys, "cache", "prune", "--cache-dir", cache, "--gc")
+        assert "removed 1 tombstone/lease files" in out
+
+
+class TestStudyCommand:
+    def test_list_shows_registered_studies(self, capsys):
+        code, out, _ = run_cli(capsys, "study", "list")
+        assert code == 0
+        assert "variability_to_delay" in out
+        assert "growth_to_wafer" in out
+        assert "composite_tradeoff_fom" in out
+
+    def test_describe_shows_pipeline_and_outputs(self, capsys):
+        code, out, _ = run_cli(capsys, "study", "describe", "growth_to_wafer")
+        assert code == 0
+        assert "growth_window (depth 1)" in out
+        assert "* wafer_window (depth 0)" in out
+        assert "catalyst<-catalyst" in out
+        assert "default sweep" in out
+        assert "uniformity" in out  # output schema table
+
+    def test_describe_unknown_study_suggests(self, capsys):
+        code, _, err = run_cli(capsys, "study", "describe", "growth_to_wafr")
+        assert code == 2
+        assert "did you mean: growth_to_wafer" in err
+
+    def test_run_executes_pipeline_with_stage_override(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, out, err = run_cli(
+            capsys, "study", "run", "growth_to_wafer",
+            "--grid", "seed=0,1", "-p", "catalyst=Fe",
+            "-p", "growth_window.duration_s=500",
+            "--cache-dir", cache, "--limit", "0",
+        )
+        assert code == 0
+        assert "wafer_window: 2 records" in out
+        assert "[2/2]" in err  # per-point progress streamed
+        # Re-run: everything (including the upstream stage) is cached.
+        code, out, _ = run_cli(
+            capsys, "study", "run", "growth_to_wafer",
+            "--grid", "seed=0,1", "-p", "catalyst=Fe",
+            "-p", "growth_window.duration_s=500",
+            "--cache-dir", cache, "--limit", "0", "--no-progress",
+        )
+        assert code == 0
+
+    def test_run_bad_stage_param_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "study", "run", "growth_to_wafer", "-p", "nope.x=1",
+        )
+        assert code == 2
+        assert "nope" in err
+
+    def test_run_sharded_exports_merge_to_serial(self, capsys, tmp_path):
+        parts = []
+        for index in (0, 1):
+            path = str(tmp_path / f"part{index}.json")
+            code, _, _ = run_cli(
+                capsys, "study", "run", "growth_to_wafer",
+                "--grid", "seed=0,1,2", "--shards", "2", "--shard-index", str(index),
+                "--json", path, "--limit", "0", "--no-progress",
+            )
+            assert code == 0
+            parts.append(path)
+        serial_path = str(tmp_path / "serial.json")
+        run_cli(
+            capsys, "study", "run", "growth_to_wafer", "--grid", "seed=0,1,2",
+            "--json", serial_path, "--limit", "0", "--no-progress",
+        )
+        code, out, _ = run_cli(
+            capsys, "merge", *parts, "--json", str(tmp_path / "merged.json"),
+            "--limit", "0",
+        )
+        assert code == 0
+        merged = ResultSet.from_json(str(tmp_path / "merged.json"))
+        serial = ResultSet.from_json(serial_path)
+        assert merged.content_hash == serial.content_hash
+
+    def test_run_with_store_and_cache_dir_rejected(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "study", "run", "growth_to_wafer",
+            "--store", str(tmp_path / "a"), "--cache-dir", str(tmp_path / "b"),
+        )
+        assert code == 2
+        assert "not both" in err
+
 
 class TestDocsCommand:
     def test_prints_catalog(self, capsys):

@@ -17,6 +17,7 @@ import repro.analysis.studies
 import repro.api
 import repro.api.cache
 import repro.api.catalog
+import repro.api.study
 import repro.dist
 
 
@@ -62,6 +63,7 @@ DOCUMENTED_MODULES = [
     repro.analysis.studies,
     repro.api.cache,
     repro.api.catalog,
+    repro.api.study,
     repro.dist,
 ]
 

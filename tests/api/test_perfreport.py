@@ -134,3 +134,42 @@ class TestReportCLI:
         hot-path regressions still trip it, and the floor checks are exact.
         """
         assert main(["perf-report", "--check", "--threshold", "0.5"]) == 0
+
+
+def _matplotlib_available() -> bool:
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TestPlot:
+    def test_plot_writes_chart_or_degrades(self, trajectory, tmp_path):
+        """plot_trajectory writes the file iff matplotlib is installed --
+        and reports which, instead of raising, either way."""
+        from repro.api.perfreport import load_trajectory, plot_trajectory
+
+        out = str(tmp_path / "trajectory.svg")
+        wrote = plot_trajectory(load_trajectory(trajectory), out)
+        assert wrote is _matplotlib_available()
+        assert wrote is (
+            __import__("os").path.exists(out)
+        )
+
+    def test_cli_plot_never_fails_without_matplotlib(self, trajectory, tmp_path, capsys):
+        """`perf-report --plot` must exit 0 whether or not matplotlib exists:
+        CI and scripts pass --plot unconditionally."""
+        out = str(tmp_path / "chart.svg")
+        assert main(["perf-report", "--dir", trajectory, "--plot", out]) == 0
+        captured = capsys.readouterr()
+        if _matplotlib_available():
+            assert f"wrote {out}" in captured.out
+        else:
+            assert "matplotlib not installed" in captured.err
+            assert not __import__("os").path.exists(out)
+
+    def test_cli_plot_composes_with_check(self, trajectory, tmp_path, capsys):
+        out = str(tmp_path / "chart.svg")
+        # The regression in the fixture trajectory still gates the exit code.
+        assert main(["perf-report", "--dir", trajectory, "--plot", out, "--check"]) == 1

@@ -99,6 +99,15 @@ class TestRegistry:
         with pytest.raises(ExperimentNotFoundError, match="registered:"):
             get_experiment("fig99")
 
+    def test_lookup_typo_suggests_nearest_names(self):
+        with pytest.raises(ExperimentNotFoundError, match="did you mean: variability"):
+            get_experiment("varibility")
+
+    def test_lookup_far_off_name_has_no_suggestion(self):
+        with pytest.raises(ExperimentNotFoundError) as excinfo:
+            get_experiment("zzzzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
     def test_tag_filtering(self):
         tables = {e.name for e in list_experiments(tag="table")}
         assert "table_ampacity" in tables

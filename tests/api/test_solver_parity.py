@@ -37,6 +37,14 @@ FAST_PARAMS = {
     "energy": {
         "lengths_um": (100.0, 500.0),
     },
+    # Composite experiment: the engine resolves the upstream `variability`
+    # stage (pure Monte Carlo, no MNA) and injects it; only the downstream
+    # delay corners exercise the solver backends.
+    "variability_delay": {
+        "length_um": 5.0,
+        "n_segments": 4,
+        "n_time_steps": 120,
+    },
 }
 
 

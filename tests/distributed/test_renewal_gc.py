@@ -1,0 +1,260 @@
+"""Lease heartbeat renewal and store garbage collection (tombstones, leases)."""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import Engine, ParamSpec, SweepSpec, gc_store, register_experiment, unregister_experiment
+from repro.api.engine import cache_key
+from repro.dist import (
+    CLAIM_ACQUIRED,
+    CLAIM_BUSY,
+    CLAIM_DONE,
+    FAILED_SUFFIX,
+    LEASE_SUFFIX,
+    SharedStore,
+    run_worker,
+)
+
+CALLS = {"slow": 0}
+
+
+@pytest.fixture
+def slow_experiment():
+    CALLS["slow"] = 0
+
+    @register_experiment(
+        "dist_slow_point",
+        params=(ParamSpec("x", "float", 1.0), ParamSpec("sleep_s", "float", 1.2)),
+        replace=True,
+    )
+    def slow(x, sleep_s):
+        CALLS["slow"] += 1
+        time.sleep(sleep_s)
+        return [{"x": x}]
+
+    yield "dist_slow_point"
+    unregister_experiment("dist_slow_point")
+
+
+@pytest.fixture
+def failing_experiment():
+    @register_experiment(
+        "dist_failing_point", params=(ParamSpec("x", "float", 1.0),), replace=True
+    )
+    def failing(x):
+        raise RuntimeError(f"boom at {x}")
+
+    yield "dist_failing_point"
+    unregister_experiment("dist_failing_point")
+
+
+def _entry_path(store, name, **params):
+    from repro.api import get_experiment
+
+    experiment = get_experiment(name)
+    resolved = experiment.resolve_params(params)
+    return store.entry_path(
+        experiment.name, cache_key(experiment.name, experiment.version, resolved)
+    )
+
+
+class TestRenew:
+    def test_renew_extends_own_lease(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "exp-0000000000000000.json")
+        assert store.claim(path, "w1", ttl=0.2) == CLAIM_ACQUIRED
+        before = store.read_lease(path)
+        assert store.renew(path, "w1", ttl=60.0) is True
+        after = store.read_lease(path)
+        assert after.expires_at > before.expires_at
+        assert after.worker == "w1"
+
+    def test_renew_refuses_foreign_or_missing_lease(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "exp-0000000000000000.json")
+        assert store.renew(path, "w1", ttl=1.0) is False  # nothing leased
+        store.claim(path, "w2", ttl=60.0)
+        assert store.renew(path, "w1", ttl=60.0) is False
+        assert store.read_lease(path).worker == "w2"
+
+    def test_renew_rejects_nonpositive_ttl(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.renew("whatever.json", "w1", ttl=0.0)
+
+
+class TestHeartbeatUnderShortTtl:
+    def test_slow_point_is_not_stolen_despite_short_ttl(
+        self, slow_experiment, tmp_path
+    ):
+        """Regression for the PR-4 footgun: ttl < point wall time used to let
+        a sibling re-claim (and re-execute) a point a live worker was still
+        computing.  The heartbeat renews at ttl/2, so the sibling stays
+        locked out for the whole execution."""
+        store = SharedStore(str(tmp_path))
+        spec = SweepSpec.grid(x=[1.0])
+        path = _entry_path(store, slow_experiment, x=1.0, sleep_s=1.2)
+        ttl = 0.4  # one third of the point's wall time
+
+        reports = {}
+
+        def run():
+            reports["w1"] = run_worker(
+                slow_experiment,
+                spec,
+                store,
+                base_params={"sleep_s": 1.2},
+                worker_id="w1",
+                lease_ttl=ttl,
+                wait=False,
+            )
+
+        worker_thread = threading.Thread(target=run)
+        worker_thread.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while store.read_lease(path) is None:
+                assert time.monotonic() < deadline, "worker never claimed the point"
+                time.sleep(0.01)
+            # Well past the original ttl, mid-execution: a sibling must
+            # still see the point as busy, not claimable.
+            time.sleep(2.0 * ttl)
+            assert store.claim(path, "w2", ttl=ttl) == CLAIM_BUSY
+        finally:
+            worker_thread.join()
+        assert store.claim(path, "w2", ttl=ttl) == CLAIM_DONE
+        assert reports["w1"].executed == [0]
+        assert CALLS["slow"] == 1  # executed exactly once, by w1
+
+
+class TestFailureTombstones:
+    def test_failed_point_leaves_tombstone_and_releases_lease(
+        self, failing_experiment, tmp_path
+    ):
+        store = SharedStore(str(tmp_path))
+        report = run_worker(
+            failing_experiment,
+            SweepSpec.grid(x=[1.0]),
+            store,
+            worker_id="w1",
+            wait=False,
+        )
+        assert report.failed == [0]
+        path = _entry_path(store, failing_experiment, x=1.0)
+        assert store.read_lease(path) is None  # siblings may retry
+        failures = store.failures()
+        assert len(failures) == 1
+        assert "boom at 1.0" in failures[0]["error"]
+        assert failures[0]["worker"] == "w1"
+
+    def test_successful_publish_supersedes_tombstone(self, tmp_path):
+        from repro.api.results import ResultSet
+
+        store = SharedStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "exp-0000000000000000.json")
+        store.record_failure(path, "w1", "boom")
+        assert store.failures()
+        store.publish(path, ResultSet({"a": [1]}))
+        assert store.failures() == []
+
+    def test_record_failure_noop_when_entry_exists(self, tmp_path):
+        from repro.api.results import ResultSet
+
+        store = SharedStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "exp-0000000000000000.json")
+        store.publish(path, ResultSet({"a": [1]}))
+        store.record_failure(path, "w1", "late failure report")
+        assert store.failures() == []
+
+
+class TestGcStore:
+    def test_collects_tombstones_and_expired_leases_only(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        directory = str(tmp_path)
+
+        expired = os.path.join(directory, "exp-aaaaaaaaaaaaaaaa.json")
+        store.claim(expired, "dead-worker", ttl=0.05)
+        live = os.path.join(directory, "exp-bbbbbbbbbbbbbbbb.json")
+        store.claim(live, "live-worker", ttl=120.0)
+        failed = os.path.join(directory, "exp-cccccccccccccccc.json")
+        store.record_failure(failed, "dead-worker", "boom")
+        time.sleep(0.1)  # let the short lease lapse
+
+        preview = gc_store(directory, dry_run=True)
+        assert expired + LEASE_SUFFIX in preview
+        assert failed + FAILED_SUFFIX in preview
+        assert live + LEASE_SUFFIX not in preview
+
+        collected = gc_store(directory)
+        assert sorted(collected) == sorted(preview)
+        assert not os.path.exists(expired + LEASE_SUFFIX)
+        assert not os.path.exists(failed + FAILED_SUFFIX)
+        assert os.path.exists(live + LEASE_SUFFIX)  # live worker untouched
+
+    def test_collects_lease_orphaned_by_published_entry(self, tmp_path):
+        from repro.dist import LocalStore
+
+        shared = SharedStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "exp-dddddddddddddddd.json")
+        shared.claim(path, "w1", ttl=120.0)
+        # A LocalStore publish does not clear leases -- exactly the orphan a
+        # crashed SharedStore publish (between rename and unlink) leaves.
+        from repro.api.results import ResultSet
+
+        LocalStore(str(tmp_path)).publish(path, ResultSet({"a": [1]}))
+        assert os.path.exists(path + LEASE_SUFFIX)
+        collected = gc_store(str(tmp_path))
+        assert path + LEASE_SUFFIX in collected
+        assert os.path.exists(path)  # entries are never GC'd
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert gc_store(str(tmp_path / "nope")) == []
+        assert gc_store(None) == []
+
+    def test_prune_after_kill(self, tmp_path):
+        """A worker killed mid-point leaves only its lease; once the ttl
+        lapses, `gc_store` (== `cache prune --gc`) clears it."""
+        store_dir = str(tmp_path / "store")
+        code = (
+            "import sys, time\n"
+            "from repro.api import ParamSpec, SweepSpec, register_experiment\n"
+            "from repro.dist import SharedStore, run_worker\n"
+            "@register_experiment('kill_sleep', params=(ParamSpec('x', 'float', 1.0),))\n"
+            "def kill_sleep(x):\n"
+            "    time.sleep(60)\n"
+            "    return [{'x': x}]\n"
+            "run_worker('kill_sleep', SweepSpec.grid(x=[1.0]), "
+            "SharedStore(sys.argv[1]), worker_id='doomed', lease_ttl=2.0)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen([sys.executable, "-c", code, store_dir], env=env)
+        try:
+            deadline = time.monotonic() + 30.0
+            lease_files = []
+            while not lease_files:
+                assert time.monotonic() < deadline, "worker never wrote its lease"
+                if os.path.isdir(store_dir):
+                    lease_files = [
+                        name
+                        for name in os.listdir(store_dir)
+                        if name.endswith(LEASE_SUFFIX)
+                    ]
+                time.sleep(0.05)
+        finally:
+            proc.kill()
+            proc.wait()
+
+        lease_path = os.path.join(store_dir, lease_files[0])
+        assert os.path.exists(lease_path)  # the kill left the lease behind
+        assert gc_store(store_dir) == []  # still within ttl: not collectable
+        time.sleep(2.1)  # ttl (2 s) lapses with the worker dead
+        collected = gc_store(store_dir)
+        assert lease_path in collected
+        assert not os.path.exists(lease_path)
