@@ -23,6 +23,13 @@ Subcommands
     one by one (lease-based, ttl-bounded) -- run the same command in N
     terminals or on N machines sharing the directory and each point is
     executed exactly once.  See docs/DISTRIBUTED.md.
+``worker --watch QUEUE_DIR [--store DIR] [--drain]``
+    Daemon mode: serve a spec queue instead of one fixed sweep -- claim
+    submitted jobs as they arrive (exactly once across N daemons), execute
+    them through the same claim/execute/publish loop, record per-job
+    status/progress back into the queue, and keep serving until SIGTERM
+    (the in-flight job completes and publishes) or, with ``--drain``, until
+    the queue is empty.  See docs/SERVICE.md.
 ``merge PART.json ...``
     Reassemble partial sweep exports (shard or worker runs) into the full
     sweep ResultSet, bit-identical to a serial run.
@@ -35,6 +42,19 @@ Subcommands
     ``stage.key=value`` to override an upstream stage's parameter
     (unqualified keys target the final stage); ``--shards N --shard-index
     i`` runs one slice of the study's sweep, mergeable with ``merge``.
+``serve QUEUE_DIR [--host H] [--port P]``
+    HTTP front end over a spec queue (submit/status/fetch/list/health
+    endpoints, JSON in and out); daemons watching the same directory do the
+    actual work.  See docs/SERVICE.md for the endpoint contract.
+``submit NAME (--grid | --zip) ... [--url URL] [--wait]``
+    Submit a sweep (or, with ``--study``, a study) to a running service and
+    print the job id; ``--wait`` polls until the job settles.
+``status [JOB_ID] [--url URL]``
+    One job's status, or -- without an id -- the service health line plus a
+    table of every job.
+``fetch JOB_ID [--url URL]``
+    Download a completed job's merged ResultSet (bit-identical to a serial
+    run) and print/export it like ``run`` does.
 ``cache {stats,clear,prune}``
     Inspect or evict the on-disk memoisation cache (prune by
     ``--experiment``, ``--version`` and/or ``--older-than 7d``); eviction
@@ -61,6 +81,11 @@ Examples::
         --shards 4 --shard-index 0 --json part0.json
     python -m repro worker fig12 --grid contact_resistance=100e3,250e3 \\
         --store /shared/fig12-store
+    python -m repro worker --watch /shared/queue --drain
+    python -m repro serve /shared/queue --port 8765
+    python -m repro submit fig12 --grid contact_resistance=100e3,250e3 --wait
+    python -m repro status
+    python -m repro fetch j-0123abcd4567 --json fig12.json
     python -m repro merge part0.json part1.json --json merged.json
     python -m repro study list
     python -m repro study describe variability_to_delay
@@ -80,6 +105,7 @@ import argparse
 import sys
 from typing import Any, Sequence
 
+from repro import __version__
 from repro.api.engine import EXECUTORS, Engine, SweepError, SweepPoint
 from repro.api.experiment import (
     ExperimentError,
@@ -88,6 +114,7 @@ from repro.api.experiment import (
 )
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
+from repro.service.client import ServiceError
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -105,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the paper's figures and tables from the shell.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -129,8 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_execution_options(run)
 
-    def add_sweep_axes(sub: argparse.ArgumentParser) -> None:
-        mode = sub.add_mutually_exclusive_group(required=True)
+    def add_sweep_axes(sub: argparse.ArgumentParser, required: bool = True) -> None:
+        mode = sub.add_mutually_exclusive_group(required=required)
         mode.add_argument(
             "--grid", nargs="+", type=_parse_assignment, metavar="KEY=V1,V2",
             help="Cartesian-product sweep axes",
@@ -169,11 +199,30 @@ def build_parser() -> argparse.ArgumentParser:
     worker = subparsers.add_parser(
         "worker", help="claim and execute a sweep's pending points from a shared store"
     )
-    worker.add_argument("name", help="experiment name (see `list`)")
-    add_sweep_axes(worker)
     worker.add_argument(
-        "--store", required=True, metavar="DIR",
-        help="shared result-store directory (same for every cooperating worker)",
+        "name", nargs="?", default=None,
+        help="experiment name (see `list`); omitted in --watch mode",
+    )
+    add_sweep_axes(worker, required=False)
+    worker.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shared result-store directory (same for every cooperating "
+        "worker); required without --watch, defaults to QUEUE_DIR/store "
+        "with it",
+    )
+    worker.add_argument(
+        "--watch", default=None, metavar="QUEUE_DIR",
+        help="daemon mode: serve this spec queue instead of one fixed sweep "
+        "(jobs submitted via `python -m repro submit` or the HTTP API)",
+    )
+    worker.add_argument(
+        "--drain", action="store_true",
+        help="with --watch: exit once the queue has nothing claimable "
+        "instead of waiting for new jobs",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="with --watch: exit after executing N jobs",
     )
     worker.add_argument(
         "--worker-id", default=None,
@@ -198,6 +247,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-point progress lines on stderr",
     )
     add_shard_options(worker)
+
+    serve = subparsers.add_parser(
+        "serve", help="HTTP front end over a spec queue (see docs/SERVICE.md)"
+    )
+    serve.add_argument("queue", metavar="QUEUE_DIR", help="spec-queue directory")
+    serve.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None, help="bind port (default: 8765; 0: ephemeral)"
+    )
+    serve.add_argument(
+        "--log-requests", action="store_true",
+        help="log one stderr line per handled HTTP request",
+    )
+
+    def add_service_url(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url", default=None, metavar="URL",
+            help="service base URL (default: http://127.0.0.1:8765)",
+        )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a sweep or study job to a running service"
+    )
+    submit.add_argument("name", help="experiment name (or study name with --study)")
+    submit.add_argument(
+        "--study", action="store_true",
+        help="NAME is a registered study; -p takes [stage.]key=value overrides",
+    )
+    add_sweep_axes(submit, required=False)
+    add_service_url(submit)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job settles instead of returning after submit",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="give up --wait polling after this long (default: 300)",
+    )
+
+    status = subparsers.add_parser(
+        "status", help="one job's status, or service health plus all jobs"
+    )
+    status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id (omit for the health line and the full job table)",
+    )
+    add_service_url(status)
+
+    fetch = subparsers.add_parser(
+        "fetch", help="download a completed job's merged ResultSet"
+    )
+    fetch.add_argument("job_id", help="job id (see `submit` / `status`)")
+    add_service_url(fetch)
+    fetch.add_argument("--csv", default=None, metavar="PATH", help="write records as CSV")
+    fetch.add_argument("--json", default=None, metavar="PATH", help="write the ResultSet as JSON")
+    fetch.add_argument("--limit", type=int, default=40, help="table rows to print (0: all)")
 
     study = subparsers.add_parser(
         "study", help="list, inspect and run composite study pipelines"
@@ -496,10 +601,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker_watch(args: argparse.Namespace) -> int:
+    """Daemon mode: serve a spec queue until stopped or drained."""
+    import os
+    import signal
+    import threading
+
+    from repro.api.cache import parse_age
+    from repro.dist import SharedStore
+    from repro.service import SpecQueue, serve_queue
+
+    if args.name is not None or args.grid is not None or args.zip_axes is not None:
+        raise ValueError(
+            "worker --watch serves submitted jobs; NAME and --grid/--zip "
+            "do not apply (submit sweeps with `python -m repro submit`)"
+        )
+    if args.param or args.shards is not None or args.shard_index is not None:
+        raise ValueError("-p/--shards/--shard-index do not apply in --watch mode")
+    queue = SpecQueue(args.watch)
+    store_dir = args.store if args.store is not None else os.path.join(args.watch, "store")
+    stop = threading.Event()
+    installed: list[tuple[int, Any]] = []
+    if threading.current_thread() is threading.main_thread():
+        # SIGTERM/SIGINT request a *clean* stop: the in-flight job finishes
+        # and publishes, then the serve loop exits between jobs.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            installed.append(
+                (signum, signal.signal(signum, lambda *_: stop.set()))
+            )
+    try:
+        report = serve_queue(
+            queue,
+            SharedStore(store_dir),
+            worker_id=args.worker_id,
+            lease_ttl=parse_age(args.lease_ttl),
+            poll_interval=args.poll,
+            drain=args.drain,
+            max_jobs=args.max_jobs,
+            stop=stop,
+            on_event=None
+            if args.no_progress
+            else (lambda line: print(line, file=sys.stderr)),
+        )
+    finally:
+        for signum, previous in installed:
+            signal.signal(signum, previous)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.api.cache import parse_age
     from repro.dist import SharedStore, default_worker_id, run_worker
 
+    if args.watch is not None:
+        return _cmd_worker_watch(args)
+    if args.name is None or (args.grid is None and args.zip_axes is None):
+        raise ValueError(
+            "worker needs NAME and --grid/--zip sweep axes "
+            "(or --watch QUEUE_DIR for daemon mode)"
+        )
+    if args.store is None:
+        raise ValueError("worker --store is required (it is the shared result store)")
+    if args.drain or args.max_jobs is not None:
+        raise ValueError("--drain/--max-jobs only apply with --watch")
     spec = _parsed_spec(args)
     shard = _shard_plan(args)
     store = SharedStore(args.store)
@@ -524,6 +689,135 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, make_server
+
+    server = make_server(
+        args.queue,
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        quiet=not args.log_requests,
+    )
+    def raise_interrupt(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    if threading.current_thread() is threading.main_thread():
+        # SIGTERM stops the serve loop as cleanly as Ctrl+C does.
+        signal.signal(signal.SIGTERM, raise_interrupt)
+    print(
+        f"serving queue {server.queue.directory} at {server.url} "
+        "(submit work with `python -m repro submit`; Ctrl+C/SIGTERM stops)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, ServiceClient
+
+    url = args.url if args.url is not None else f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+    return ServiceClient(url)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api.study import get_study
+
+    client = _service_client(args)
+    if args.study:
+        study = get_study(args.name)
+        spec = None
+        if args.grid is not None or args.zip_axes is not None:
+            assignments = args.grid if args.grid is not None else args.zip_axes
+            spec = SweepSpec(
+                mode="grid" if args.grid is not None else "zip",
+                axes=_coerced_axes(study.target, assignments),
+            )
+        job_id = client.submit_study(
+            args.name,
+            sweep=spec,
+            params=_coerced_stage_overrides(study, args.param),
+        )
+    else:
+        if args.grid is None and args.zip_axes is None:
+            raise ValueError(
+                "submit needs --grid or --zip sweep axes (or --study NAME "
+                "to submit a registered study)"
+            )
+        job_id = client.submit_sweep(
+            args.name,
+            _parsed_spec(args),
+            params=_coerced_overrides(args.name, args.param),
+        )
+    print(job_id)
+    if args.wait:
+        sys.stdout.flush()
+        status = client.wait(job_id, timeout=args.timeout)
+        hash_note = str(status.get("content_hash") or "")[:16]
+        print(
+            f"{job_id}: {status['state']} ({status.get('n_records')} records, "
+            f"content hash {hash_note})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.service import JOB_FAILED
+
+    client = _service_client(args)
+    if args.job_id is not None:
+        status = client.status(args.job_id)
+        for key, value in status.items():
+            print(f"{key}: {value}")
+        return 1 if status["state"] == JOB_FAILED else 0
+
+    health = client.health()
+    registry = health.get("registry", {})
+    queue = health.get("queue", {})
+    depth = ", ".join(
+        f"{queue.get(state, 0)} {state}"
+        for state in ("queued", "running", "done", "failed")
+    )
+    print(
+        f"service {client.base_url}: {health.get('status')} "
+        f"(version {health.get('version')}, "
+        f"{registry.get('experiments')} experiments / "
+        f"{registry.get('studies')} studies registered)"
+    )
+    print(f"queue {queue.get('directory')}: {depth}")
+    jobs = client.list_jobs()
+    rows = [
+        {
+            "job_id": job.get("job_id"),
+            "kind": job.get("kind"),
+            "name": job.get("name"),
+            "state": job.get("state"),
+            "worker": job.get("worker_id", ""),
+            "detail": job.get("error") or job.get("progress") or "",
+        }
+        for job in jobs
+    ]
+    print(format_table(rows, title=f"{len(rows)} jobs"))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    result = client.fetch_results(args.job_id)
+    _print_result(result, args)
+    return 0
 
 
 def _coerced_stage_overrides(
@@ -804,6 +1098,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
         "study": _cmd_study,
         "merge": _cmd_merge,
         "cache": _cmd_cache,
@@ -817,6 +1115,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         # construction (bad --workers, malformed axes, ...).
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except ServiceError as error:
+        # The service rejected the request or is unreachable; the message
+        # carries the server's explanation (or the socket error).
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; that's a clean exit.
         try:

@@ -122,12 +122,59 @@ class SweepSpec:
 
     @classmethod
     def from_meta(cls, meta: Mapping[str, Any]) -> "SweepSpec":
-        """Rebuild a spec from a ``meta["sweep"]`` descriptor (see ``to_meta``)."""
-        if not isinstance(meta, Mapping) or "axes" not in meta:
+        """Rebuild a spec from a ``meta["sweep"]`` descriptor (see ``to_meta``).
+
+        Descriptors also arrive hand-written from untrusted clients (the
+        ``repro.service`` spec queue), so every field is validated here with
+        a :class:`ValueError` naming the bad field, instead of letting a
+        malformed payload surface as a ``TypeError``/``KeyError`` deep in
+        expansion.
+        """
+        if not isinstance(meta, Mapping):
             raise ValueError(
-                "not a sweep descriptor: expected a mapping with an 'axes' key"
+                "not a sweep descriptor: expected a mapping with an 'axes' "
+                f"key, got {type(meta).__name__}"
             )
-        return cls(mode=meta.get("mode", "grid"), axes=dict(meta["axes"]))
+        unknown = sorted(set(map(str, meta)) - {"mode", "axes", "n_points"})
+        if unknown:
+            raise ValueError(
+                f"sweep descriptor has unknown fields {unknown}; "
+                "allowed: 'mode', 'axes', 'n_points'"
+            )
+        if "axes" not in meta:
+            raise ValueError("sweep descriptor is missing the 'axes' field")
+        mode = meta.get("mode", "grid")
+        if mode not in ("grid", "zip"):
+            raise ValueError(
+                f"sweep descriptor field 'mode' must be 'grid' or 'zip', "
+                f"got {mode!r}"
+            )
+        axes = meta["axes"]
+        if not isinstance(axes, Mapping):
+            raise ValueError(
+                "sweep descriptor field 'axes' must be a mapping of axis "
+                f"name to value list, got {type(axes).__name__}"
+            )
+        for name, values in axes.items():
+            if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
+                raise ValueError(
+                    f"sweep descriptor axis {str(name)!r} must be a list of "
+                    f"values, got {values!r}"
+                )
+        spec = cls(mode=mode, axes=dict(axes))
+        declared = meta.get("n_points")
+        if declared is not None:
+            if not isinstance(declared, int) or isinstance(declared, bool):
+                raise ValueError(
+                    "sweep descriptor field 'n_points' must be an integer, "
+                    f"got {declared!r}"
+                )
+            if declared != len(spec):
+                raise ValueError(
+                    f"sweep descriptor field 'n_points' is {declared} but the "
+                    f"axes expand to {len(spec)} points"
+                )
+        return spec
 
     # --- expansion --------------------------------------------------------
 

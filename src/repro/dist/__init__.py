@@ -36,6 +36,7 @@ See ``docs/DISTRIBUTED.md`` for the multi-terminal walkthrough, lease/TTL
 semantics and failure recovery.
 """
 
+from repro.dist.backoff import Backoff
 from repro.dist.shards import ShardPlan, merge_results, point_hash, point_key, shard_of
 from repro.dist.store import (
     CLAIM_ACQUIRED,
@@ -52,9 +53,10 @@ from repro.dist.store import (
     default_worker_id,
     store_lock,
 )
-from repro.dist.worker import WorkerReport, run_worker
+from repro.dist.worker import LeaseHeartbeat, WorkerReport, run_worker
 
 __all__ = [
+    "Backoff",
     "CLAIM_ACQUIRED",
     "CLAIM_BUSY",
     "CLAIM_DONE",
@@ -62,6 +64,7 @@ __all__ = [
     "FAILED_SUFFIX",
     "LEASE_SUFFIX",
     "Lease",
+    "LeaseHeartbeat",
     "LocalStore",
     "ResultStore",
     "ShardPlan",

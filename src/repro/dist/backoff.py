@@ -1,0 +1,93 @@
+"""Jittered exponential backoff for store-polling loops.
+
+Every polling loop in the distributed layer -- a worker waiting for
+siblings' leases (:func:`repro.dist.worker.run_worker` with ``wait=True``),
+a queue daemon watching for new jobs (``python -m repro worker --watch``) --
+used to sleep a fixed interval between passes.  With many daemons on one
+store that synchronises the pollers: every pass of every process hits the
+store lock in the same beat, and the contention grows linearly with the
+fleet (the ``dist_workers`` perf case measured 0.80x serial in BENCH_4
+partly for this reason).
+
+:class:`Backoff` replaces the fixed sleep: delays start at ``initial``,
+grow geometrically by ``factor`` up to ``maximum``, and every delay is
+jittered by a uniform ``+-jitter`` fraction so that independent pollers
+decorrelate instead of thundering together.  Call :meth:`~Backoff.reset`
+whenever the loop makes progress, so an active store is polled eagerly and
+only an idle one backs off.
+
+Usage::
+
+    backoff = Backoff(initial=0.2, maximum=5.0)
+    while work_remains():
+        if claim_something():
+            backoff.reset()
+            continue
+        time.sleep(backoff.next_delay())
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+
+class Backoff:
+    """Stateful jittered-exponential delay sequence for one polling loop.
+
+    Parameters
+    ----------
+    initial:
+        First delay in seconds (pre-jitter).
+    maximum:
+        Cap on the un-jittered delay; clamped up to ``initial`` if smaller.
+    factor:
+        Geometric growth per consecutive idle poll (>= 1).
+    jitter:
+        Fractional uniform jitter: each returned delay is scaled by a factor
+        drawn from ``[1 - jitter, 1 + jitter]``.  ``0`` disables jitter.
+    rng:
+        Source of uniform floats (``random.uniform`` signature); injectable
+        for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.2,
+        maximum: float = 5.0,
+        factor: float = 2.0,
+        jitter: float = 0.25,
+        rng: Callable[[float, float], float] | None = None,
+    ) -> None:
+        if initial <= 0:
+            raise ValueError("backoff initial delay must be positive")
+        if factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("backoff jitter must be in [0, 1)")
+        self.initial = float(initial)
+        self.maximum = max(float(maximum), self.initial)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self._uniform = rng if rng is not None else random.uniform
+        self._delay: float | None = None
+
+    def reset(self) -> None:
+        """Drop back to the initial delay (the loop made progress)."""
+        self._delay = None
+
+    def next_delay(self) -> float:
+        """The next sleep in seconds: grown since the last reset, jittered."""
+        if self._delay is None:
+            self._delay = self.initial
+        else:
+            self._delay = min(self._delay * self.factor, self.maximum)
+        if self.jitter == 0.0:
+            return self._delay
+        return self._delay * self._uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    def __repr__(self) -> str:
+        return (
+            f"Backoff(initial={self.initial}, maximum={self.maximum}, "
+            f"factor={self.factor}, jitter={self.jitter})"
+        )

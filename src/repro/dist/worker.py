@@ -48,6 +48,7 @@ from repro.api.engine import Engine, StageParams, SweepPoint, cache_key, upstrea
 from repro.api.experiment import Experiment, get_experiment
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
+from repro.dist.backoff import Backoff
 from repro.dist.shards import ShardPlan
 from repro.dist.store import (
     CLAIM_ACQUIRED,
@@ -59,7 +60,7 @@ from repro.dist.store import (
 )
 
 
-class _LeaseHeartbeat:
+class LeaseHeartbeat:
     """Background renewal of a claim lease while its point executes.
 
     Entered around one point's execution: a daemon thread calls
@@ -84,7 +85,7 @@ class _LeaseHeartbeat:
             if not self.store.renew(self.path, self.worker_id, self.ttl):
                 return
 
-    def __enter__(self) -> "_LeaseHeartbeat":
+    def __enter__(self) -> "LeaseHeartbeat":
         self._thread = threading.Thread(target=self._beat, daemon=True)
         self._thread.start()
         return self
@@ -181,7 +182,10 @@ def run_worker(
         Keep polling while other workers hold leases (default).  ``False``
         exits once nothing is claimable.
     poll_interval:
-        Sleep between passes when no point was claimable.
+        Initial sleep between passes when no point was claimable.  Idle
+        passes back off geometrically (jittered, capped) from there and
+        snap back to ``poll_interval`` on progress, so many waiting
+        workers do not poll the store lock in lockstep.
     max_wait:
         Upper bound in seconds on waiting for other workers (``None``:
         unbounded).  On expiry the still-leased points are ``abandoned``.
@@ -248,6 +252,11 @@ def run_worker(
 
     remaining = [index for index in indices if index in paths]
     deadline = None if max_wait is None else time.monotonic() + max_wait
+    # Idle passes back off geometrically with jitter instead of sleeping a
+    # fixed beat: N waiting workers polling one store in sync serialise on
+    # the store lock, and jitter decorrelates them.  Any progress (a claim,
+    # a publish observed) snaps the delay back to poll_interval.
+    backoff = Backoff(initial=poll_interval, maximum=max(poll_interval * 16, 2.0))
 
     while remaining:
         progressed = False
@@ -277,7 +286,7 @@ def run_worker(
             try:
                 # The heartbeat renews the lease while the point runs, so a
                 # slower-than-ttl point is not re-claimed by a sibling.
-                with _LeaseHeartbeat(store, paths[index], worker, lease_ttl):
+                with LeaseHeartbeat(store, paths[index], worker, lease_ttl):
                     records = experiment.run_with_inputs(
                         inputs_by_index[index], resolved[index]
                     )
@@ -316,8 +325,10 @@ def run_worker(
             break
         if not wait or (deadline is not None and time.monotonic() >= deadline):
             break
-        if not progressed:
-            time.sleep(poll_interval)
+        if progressed:
+            backoff.reset()
+        else:
+            time.sleep(backoff.next_delay())
 
     return WorkerReport(
         worker_id=worker,

@@ -1,0 +1,213 @@
+"""Job specs: the serialized unit of work a service client submits.
+
+A *job* is one sweep or study execution request, written into a
+:class:`~repro.service.queue.SpecQueue` as a JSON document and later claimed
+by a daemon (:func:`repro.service.daemon.serve_queue`).  :class:`JobSpec` is
+the typed form of that document:
+
+* ``kind="sweep"``: fan a registered experiment out over a
+  :class:`~repro.api.sweep.SweepSpec` (``params`` are the fixed base
+  parameters under the sweep axes, ``stage_params`` optional per-stage
+  overrides for composite experiments);
+* ``kind="study"``: execute a registered :class:`~repro.api.study.Study`
+  end to end -- with its default sweep, or an explicit ``sweep`` override,
+  and ``stage_params`` merged over the study's own per-stage parameters.
+
+Job payloads arrive from *untrusted clients* (hand-written curl bodies, see
+``docs/SERVICE.md``), so deserialisation is strict: :meth:`JobSpec.
+from_payload` validates every field shape with a :class:`ValueError` naming
+the bad field, and :meth:`JobSpec.validate` additionally resolves the job
+against the experiment/study registry (unknown names, unknown sweep axes
+and malformed stage overrides all fail *at submit time*, HTTP 400, instead
+of poisoning a daemon later).
+
+The executed results are bit-identical to a local run: a job carries only
+names and parameters, and execution flows through the exact
+claim/execute/publish machinery of :mod:`repro.dist` -- so a result fetched
+through the service API content-hash-matches the same sweep run serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.experiment import get_experiment
+from repro.api.study import get_study, resolve_pipeline
+from repro.api.sweep import SweepSpec
+
+JOB_KINDS = ("sweep", "study")
+
+# Job lifecycle states, as reported by SpecQueue.status()/the HTTP API.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+
+_PAYLOAD_FIELDS = {"kind", "name", "sweep", "params", "stage_params"}
+
+
+def _checked_params(value: Any, label: str) -> dict[str, Any]:
+    """A flat ``{param: value}`` mapping, or a ValueError naming ``label``."""
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise ValueError(
+            f"job field {label!r} must be a mapping of parameter name to "
+            f"value, got {type(value).__name__}"
+        )
+    return {str(key): cell for key, cell in value.items()}
+
+
+def _checked_stage_params(value: Any) -> dict[str, dict[str, Any]]:
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise ValueError(
+            "job field 'stage_params' must be a mapping of stage name to "
+            f"parameter mapping, got {type(value).__name__}"
+        )
+    return {
+        str(stage): _checked_params(overrides, f"stage_params[{str(stage)!r}]")
+        for stage, overrides in value.items()
+    }
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted unit of service work: a sweep or a study execution.
+
+    Attributes
+    ----------
+    kind:
+        ``"sweep"`` or ``"study"``.
+    name:
+        Registered experiment name (sweep jobs) or study name (study jobs).
+    sweep:
+        The sweep to expand.  Required for sweep jobs; optional for study
+        jobs (``None`` falls back to the study's default sweep, or a single
+        invocation when the study declares none).
+    params:
+        Fixed base parameters under the sweep axes (sweep jobs only --
+        study-stage overrides belong in ``stage_params``).
+    stage_params:
+        Per-experiment parameter overrides for pipeline stages, keyed by
+        experiment name (the :class:`~repro.api.study.Study` ``params``
+        shape).
+    """
+
+    kind: str
+    name: str
+    sweep: SweepSpec | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    stage_params: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"job field 'kind' must be one of {JOB_KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(
+                f"job field 'name' must be a non-empty string, got {self.name!r}"
+            )
+        if self.sweep is not None and not isinstance(self.sweep, SweepSpec):
+            raise ValueError(
+                f"job field 'sweep' must be a SweepSpec or None, got {self.sweep!r}"
+            )
+        if self.kind == "sweep" and self.sweep is None:
+            raise ValueError(
+                "a sweep job needs a 'sweep' descriptor (a single invocation "
+                "is a one-point sweep)"
+            )
+        object.__setattr__(self, "params", _checked_params(self.params, "params"))
+        object.__setattr__(self, "stage_params", _checked_stage_params(self.stage_params))
+        if self.kind == "study" and self.params:
+            raise ValueError(
+                "study jobs take per-stage overrides in 'stage_params' "
+                "(keyed by experiment name), not flat 'params'"
+            )
+
+    # --- registry validation ----------------------------------------------
+
+    def validate(self) -> "JobSpec":
+        """Resolve the job against the registry; raises on anything unknown.
+
+        The submit-time gate: an unregistered experiment/study, a sweep axis
+        or base parameter the experiment does not declare, or stage
+        overrides naming stages outside the pipeline all raise here
+        (:class:`~repro.api.experiment.ExperimentError` subclasses or
+        :class:`ValueError`), so the HTTP server can reject the job with a
+        clear 400 instead of leaving a daemon to fail it later.  Returns
+        ``self`` for chaining.
+        """
+        if self.kind == "sweep":
+            experiment = get_experiment(self.name)
+            for axis in self.sweep.axis_names:
+                experiment.spec(axis)  # raises ParameterError on unknown axes
+            for key in self.params:
+                experiment.spec(key)
+            if self.stage_params:
+                resolve_pipeline(experiment, self.stage_params)
+        else:
+            study = get_study(self.name)
+            if self.sweep is not None:
+                target = get_experiment(study.target)
+                for axis in self.sweep.axis_names:
+                    target.spec(axis)
+            merged = {name: dict(values) for name, values in study.params.items()}
+            for name, values in self.stage_params.items():
+                merged.setdefault(name, {}).update(values)
+            resolve_pipeline(study.target, merged)
+        return self
+
+    # --- serialisation ----------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON document written into the queue (see :meth:`from_payload`)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "sweep": None if self.sweep is None else self.sweep.to_meta(),
+            "params": dict(self.params),
+            "stage_params": {
+                name: dict(values) for name, values in self.stage_params.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Rebuild a spec from a queue document, strictly validated.
+
+        Every malformed shape raises a :class:`ValueError` naming the bad
+        field; the sweep descriptor goes through the hardened
+        :meth:`SweepSpec.from_meta`.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"job spec must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(map(str, payload)) - _PAYLOAD_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"job spec has unknown fields {unknown}; "
+                f"allowed: {sorted(_PAYLOAD_FIELDS)}"
+            )
+        missing = sorted({"kind", "name"} - set(payload))
+        if missing:
+            raise ValueError(f"job spec is missing required fields {missing}")
+        raw_sweep = payload.get("sweep")
+        sweep = None if raw_sweep is None else SweepSpec.from_meta(raw_sweep)
+        return cls(
+            kind=payload["kind"],
+            name=payload["name"],
+            sweep=sweep,
+            params=payload.get("params"),
+            stage_params=payload.get("stage_params"),
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (daemon logs and ``repro status``)."""
+        sweep = "-" if self.sweep is None else f"{self.sweep.mode}[{len(self.sweep)}]"
+        return f"{self.kind} {self.name} sweep={sweep}"

@@ -1,0 +1,249 @@
+"""HTTP front end over a spec queue: submit work, poll status, fetch results.
+
+Built on the stdlib :mod:`http.server` (no new dependencies); one
+:class:`ServiceServer` fronts one :class:`~repro.service.queue.SpecQueue`.
+The server never executes anything -- it writes jobs into the queue and
+reads status/result files back -- so it stays responsive no matter what the
+daemons are doing, and N servers on one queue directory are as safe as N
+daemons.
+
+Endpoint contract (all JSON; see ``docs/SERVICE.md`` for curl sessions):
+
+``POST /submit_sweep``
+    Body ``{"experiment", "sweep": {"mode", "axes"}, "params"?,
+    "stage_params"?}``.  Validated against the registry at submit time
+    (unknown experiment/axis/parameter -> 400 naming the field).  Returns
+    ``{"job_id"}``.
+``POST /submit_study``
+    Body ``{"study", "sweep"?, "params"?}`` where ``params`` are per-stage
+    overrides keyed by experiment name.  Returns ``{"job_id"}``.
+``GET /status/<job_id>``
+    The job's merged status view (state queued/running/done/failed,
+    progress, worker, error).  404 for unknown ids.
+``GET /fetch_results/<job_id>``
+    The completed job's merged ResultSet as its canonical JSON export
+    (load with ``ResultSet.from_json``).  409 while the job is not done.
+``GET /list_jobs``
+    ``{"jobs": [status, ...]}`` oldest first.
+``GET /health``
+    Liveness + capacity: package version, registry size (experiments and
+    studies), queue depth by state.
+
+Errors are ``{"error": message}`` with conventional status codes (400
+malformed/invalid submission, 404 unknown job or route, 405 wrong method,
+409 results not ready).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlparse
+
+from repro import __version__
+from repro.api.experiment import ExperimentError, list_experiments
+from repro.api.study import list_studies
+from repro.service.jobs import JobSpec
+from repro.service.queue import SpecQueue, UnknownJobError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+MAX_BODY_BYTES = 1 << 20
+"""Submission bodies above 1 MiB are rejected (413) -- a spec is small."""
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """One HTTP server bound to one spec queue directory."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        queue: SpecQueue,
+        quiet: bool = True,
+    ) -> None:
+        self.queue = queue
+        self.quiet = quiet
+        super().__init__(address, ServiceHandler)
+
+    @property
+    def url(self) -> str:
+        """The server's reachable base URL (port resolved after bind)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    queue_dir: str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer` over ``queue_dir`` (``port=0``: ephemeral).
+
+    The caller owns the serve loop: ``server.serve_forever()`` blocks (the
+    CLI's ``python -m repro serve``), or run it in a thread and
+    ``server.shutdown()`` to stop (the tests do).
+    """
+    return ServiceServer((host, port), SpecQueue(queue_dir), quiet=quiet)
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the endpoint contract; all responses are JSON."""
+
+    server_version = f"repro-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+    server: ServiceServer  # narrowed for type checkers
+
+    # --- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = (
+            payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HttpFault(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _HttpFault(400, "empty request body; expected a JSON object")
+        try:
+            payload = json.loads(raw)
+        except ValueError as error:
+            raise _HttpFault(400, f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise _HttpFault(400, "request body must be a JSON object")
+        return payload
+
+    # --- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path = urlparse(self.path).path.rstrip("/")
+        try:
+            if path == "/health":
+                self._send_json(self._health())
+            elif path == "/list_jobs":
+                self._send_json({"jobs": self.server.queue.statuses()})
+            elif path.startswith("/status/"):
+                job_id = path[len("/status/"):]
+                self._send_json(self.server.queue.status(job_id))
+            elif path.startswith("/fetch_results/"):
+                job_id = path[len("/fetch_results/"):]
+                self._fetch_results(job_id)
+            else:
+                self._send_error_json(404, f"unknown endpoint {path!r}")
+        except _HttpFault as fault:
+            self._send_error_json(fault.status, fault.message)
+        except UnknownJobError as error:
+            self._send_error_json(404, str(error))
+        except Exception as error:  # never let a handler kill the server
+            self._send_error_json(500, f"{type(error).__name__}: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        path = urlparse(self.path).path.rstrip("/")
+        try:
+            if path == "/submit_sweep":
+                self._submit(self._sweep_payload(self._read_body()))
+            elif path == "/submit_study":
+                self._submit(self._study_payload(self._read_body()))
+            elif path in ("/health", "/list_jobs") or path.startswith(
+                ("/status/", "/fetch_results/")
+            ):
+                self._send_error_json(405, f"{path!r} is read-only; use GET")
+            else:
+                self._send_error_json(404, f"unknown endpoint {path!r}")
+        except _HttpFault as fault:
+            self._send_error_json(fault.status, fault.message)
+        except Exception as error:
+            self._send_error_json(500, f"{type(error).__name__}: {error}")
+
+    # --- endpoint bodies --------------------------------------------------
+
+    @staticmethod
+    def _sweep_payload(body: dict[str, Any]) -> dict[str, Any]:
+        if "experiment" not in body:
+            raise _HttpFault(400, "submit_sweep body is missing field 'experiment'")
+        return {
+            "kind": "sweep",
+            "name": body["experiment"],
+            "sweep": body.get("sweep"),
+            "params": body.get("params"),
+            "stage_params": body.get("stage_params"),
+        }
+
+    @staticmethod
+    def _study_payload(body: dict[str, Any]) -> dict[str, Any]:
+        if "study" not in body:
+            raise _HttpFault(400, "submit_study body is missing field 'study'")
+        return {
+            "kind": "study",
+            "name": body["study"],
+            "sweep": body.get("sweep"),
+            "stage_params": body.get("params"),
+        }
+
+    def _submit(self, payload: dict[str, Any]) -> None:
+        try:
+            job = JobSpec.from_payload(payload).validate()
+        except (ValueError, ExperimentError) as error:
+            # Untrusted spec rejected at the door, naming the bad field.
+            raise _HttpFault(400, str(error))
+        job_id = self.server.queue.submit(job)
+        self._send_json({"job_id": job_id, "state": "queued"})
+
+    def _fetch_results(self, job_id: str) -> None:
+        queue = self.server.queue
+        status = queue.status(job_id)  # raises UnknownJobError -> 404
+        try:
+            result = queue.load_result(job_id)
+        except ValueError:
+            raise _HttpFault(
+                409,
+                f"job {job_id!r} has no results yet: state is "
+                f"{status['state']!r}"
+                + (f" ({status.get('error')})" if status.get("error") else ""),
+            )
+        # Re-serialise through the canonical exporter so the body is exactly
+        # what ResultSet.from_json round-trips (content hash included).
+        self._send_json(result.to_json().encode())
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "registry": {
+                "experiments": len(list_experiments()),
+                "studies": len(list_studies()),
+            },
+            "queue": {
+                "directory": self.server.queue.directory,
+                **self.server.queue.depth(),
+            },
+        }
+
+
+class _HttpFault(Exception):
+    """Internal control flow: an error response with a status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message

@@ -3,7 +3,7 @@
 Guards against docstring drift: every indented code block following a ``::``
 marker is extracted and executed -- for the top-level package and for every
 module of the public API surface (``repro.api``, ``repro.analysis``,
-``repro.dist`` and the newer :mod:`repro.api.cache`,
+``repro.dist``, ``repro.service`` and the newer :mod:`repro.api.cache`,
 :mod:`repro.api.catalog`, :mod:`repro.analysis.studies`).
 """
 
@@ -19,6 +19,8 @@ import repro.api.cache
 import repro.api.catalog
 import repro.api.study
 import repro.dist
+import repro.service
+import repro.service.daemon
 
 
 def _code_blocks(doc: str) -> list[str]:
@@ -65,6 +67,8 @@ DOCUMENTED_MODULES = [
     repro.api.catalog,
     repro.api.study,
     repro.dist,
+    repro.service,
+    repro.service.daemon,
 ]
 
 

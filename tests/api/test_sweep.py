@@ -89,3 +89,55 @@ class TestRefine:
             spec.refine("a", 1)
         with pytest.raises(ValueError, match="scale"):
             spec.refine("a", 2, scale="cubic")
+
+
+class TestFromMeta:
+    """The hardened descriptor parser: untrusted payloads fail naming the field."""
+
+    def test_round_trip(self):
+        spec = SweepSpec.zip(a=[1, 2], b=[3, 4])
+        assert SweepSpec.from_meta(spec.to_meta()) == spec
+
+    def test_mode_defaults_to_grid(self):
+        spec = SweepSpec.from_meta({"axes": {"a": [1, 2]}})
+        assert spec.mode == "grid"
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="expected a mapping"):
+            SweepSpec.from_meta(["a", 1])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match=r"unknown fields \['axis'\]"):
+            SweepSpec.from_meta({"axis": {"a": [1]}, "axes": {"a": [1]}})
+
+    def test_missing_axes_rejected(self):
+        with pytest.raises(ValueError, match="missing the 'axes' field"):
+            SweepSpec.from_meta({"mode": "grid"})
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="'mode' must be 'grid' or 'zip'"):
+            SweepSpec.from_meta({"mode": "cartesian", "axes": {"a": [1]}})
+
+    def test_non_mapping_axes_rejected(self):
+        with pytest.raises(ValueError, match="'axes' must be a mapping"):
+            SweepSpec.from_meta({"axes": [["a", [1]]]})
+
+    def test_string_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="axis 'a' must be a list"):
+            SweepSpec.from_meta({"axes": {"a": "1,2"}})
+
+    def test_scalar_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="axis 'a' must be a list"):
+            SweepSpec.from_meta({"axes": {"a": 7}})
+
+    def test_non_integer_n_points_rejected(self):
+        meta = {"axes": {"a": [1, 2]}, "n_points": "2"}
+        with pytest.raises(ValueError, match="'n_points' must be an integer"):
+            SweepSpec.from_meta(meta)
+        meta["n_points"] = True
+        with pytest.raises(ValueError, match="'n_points' must be an integer"):
+            SweepSpec.from_meta(meta)
+
+    def test_inconsistent_n_points_rejected(self):
+        with pytest.raises(ValueError, match="'n_points' is 3 but"):
+            SweepSpec.from_meta({"axes": {"a": [1, 2]}, "n_points": 3})

@@ -1,0 +1,89 @@
+"""Jittered exponential backoff: growth, cap, jitter bounds, reset."""
+
+import random
+
+import pytest
+
+from repro.dist import Backoff
+
+
+class _FixedRng:
+    """rng stub (random.uniform signature) returning a fixed value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+        self.calls: list[tuple[float, float]] = []
+
+    def __call__(self, low: float, high: float) -> float:
+        self.calls.append((low, high))
+        return self.value
+
+
+class TestGrowth:
+    def test_geometric_growth_without_jitter(self):
+        backoff = Backoff(initial=0.1, maximum=10.0, factor=2.0, jitter=0.0)
+        assert [backoff.next_delay() for _ in range(4)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8]
+        )
+
+    def test_capped_at_maximum(self):
+        backoff = Backoff(initial=1.0, maximum=3.0, factor=2.0, jitter=0.0)
+        assert [backoff.next_delay() for _ in range(4)] == pytest.approx(
+            [1.0, 2.0, 3.0, 3.0]
+        )
+
+    def test_reset_snaps_back_to_initial(self):
+        backoff = Backoff(initial=0.5, maximum=8.0, factor=2.0, jitter=0.0)
+        backoff.next_delay()
+        backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() == pytest.approx(0.5)
+
+
+class TestJitter:
+    def test_jitter_bounds_passed_to_rng(self):
+        rng = _FixedRng(1.0)
+        backoff = Backoff(initial=2.0, maximum=50.0, jitter=0.25, rng=rng)
+        backoff.next_delay()
+        assert rng.calls == [(0.75, 1.25)]
+
+    def test_jitter_multiplies_the_delay(self):
+        backoff = Backoff(
+            initial=2.0, maximum=50.0, jitter=0.25, rng=_FixedRng(1.25)
+        )
+        assert backoff.next_delay() == pytest.approx(2.5)
+
+    def test_delays_stay_within_jitter_band(self):
+        backoff = Backoff(
+            initial=0.2, maximum=5.0, factor=2.0, jitter=0.25,
+            rng=random.Random(42).uniform,
+        )
+        raw = 0.2
+        for _ in range(12):
+            delay = backoff.next_delay()
+            assert 0.75 * raw <= delay <= 1.25 * raw
+            raw = min(raw * 2.0, 5.0)
+
+    def test_decorrelated_sequences(self):
+        """Two daemons with different rng seeds do not poll in lockstep."""
+        first = Backoff(initial=0.2, maximum=5.0, rng=random.Random(1).uniform)
+        second = Backoff(initial=0.2, maximum=5.0, rng=random.Random(2).uniform)
+        a = [first.next_delay() for _ in range(6)]
+        b = [second.next_delay() for _ in range(6)]
+        assert a != b
+
+
+class TestValidation:
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError, match="initial"):
+            Backoff(initial=0.0)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            Backoff(factor=0.5)
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            Backoff(jitter=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            Backoff(jitter=-0.1)

@@ -1,0 +1,161 @@
+"""CLI service verbs: worker --watch, serve, submit, status, fetch, --version."""
+
+import threading
+
+import pytest
+
+from repro import __version__
+from repro.api import Engine, ResultSet, SweepSpec
+from repro.api.cli import main
+from repro.service import JobSpec, SpecQueue, make_server
+
+SPEC = SweepSpec.grid(length_um=[1.0, 10.0])
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server = make_server(str(tmp_path / "queue"), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestWorkerArgValidation:
+    def test_worker_without_name_or_watch_is_an_error(self, capsys):
+        code, _, err = run_cli(capsys, "worker")
+        assert code == 2
+        assert "--watch" in err
+
+    def test_worker_without_store_is_an_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "worker", "table_density", "--grid", "length_um=1,10"
+        )
+        assert code == 2
+        assert "--store" in err
+
+    def test_watch_rejects_sweep_arguments(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "worker", "table_density", "--grid", "length_um=1",
+            "--watch", str(tmp_path),
+        )
+        assert code == 2
+        assert "do not apply" in err
+
+    def test_drain_requires_watch(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "worker", "table_density", "--grid", "length_um=1",
+            "--store", str(tmp_path), "--drain",
+        )
+        assert code == 2
+        assert "--watch" in err
+
+
+class TestWatchDrain:
+    def test_watch_drain_executes_submitted_jobs(self, capsys, tmp_path):
+        queue = SpecQueue(str(tmp_path / "queue"))
+        job_id = queue.submit(
+            JobSpec(kind="sweep", name="table_density", sweep=SPEC)
+        )
+        code, out, err = run_cli(
+            capsys, "worker", "--watch", str(tmp_path / "queue"), "--drain"
+        )
+        assert code == 0
+        assert "1 jobs executed" in out
+        assert job_id in err  # per-job progress on stderr
+        serial = Engine().sweep("table_density", SPEC)
+        assert queue.load_result(job_id).content_hash == serial.content_hash
+
+
+class TestServiceVerbs:
+    def test_submit_status_fetch_round_trip(self, capsys, tmp_path, service):
+        code, out, _ = run_cli(
+            capsys, "submit", "table_density",
+            "--grid", "length_um=1,10", "--url", service.url,
+        )
+        assert code == 0
+        job_id = out.strip()
+        assert job_id.startswith("j-")
+
+        code, out, _ = run_cli(capsys, "status", job_id, "--url", service.url)
+        assert code == 0
+        assert "state: queued" in out
+
+        # status without a job id: health line + job table.
+        code, out, _ = run_cli(capsys, "status", "--url", service.url)
+        assert code == 0
+        assert f"version {__version__}" in out
+        assert "1 queued" in out
+        assert job_id in out
+
+        # fetch before done: the 409 surfaces as a clean CLI error.
+        code, _, err = run_cli(capsys, "fetch", job_id, "--url", service.url)
+        assert code == 1
+        assert "queued" in err
+
+        # drain the queue, then fetch for real.
+        code, _, _ = run_cli(
+            capsys, "worker", "--watch", service.queue.directory,
+            "--drain", "--no-progress",
+        )
+        assert code == 0
+        exported = tmp_path / "fetched.json"
+        code, out, _ = run_cli(
+            capsys, "fetch", job_id, "--url", service.url,
+            "--json", str(exported),
+        )
+        assert code == 0
+        serial = Engine().sweep("table_density", SPEC)
+        assert ResultSet.from_json(str(exported)).content_hash == serial.content_hash
+
+    def test_submit_study_with_stage_override(self, capsys, service):
+        code, out, _ = run_cli(
+            capsys, "submit", "growth_to_wafer", "--study",
+            "-p", "growth_window.duration_s=500", "--url", service.url,
+        )
+        assert code == 0
+        job_id = out.strip()
+        code, out, _ = run_cli(capsys, "status", job_id, "--url", service.url)
+        assert code == 0
+        assert "kind: study" in out
+
+    def test_submit_without_axes_is_an_error(self, capsys, service):
+        code, _, err = run_cli(
+            capsys, "submit", "table_density", "--url", service.url
+        )
+        assert code == 2
+        assert "--grid or --zip" in err
+
+    def test_submit_unknown_experiment_reports_the_server_error(
+        self, capsys, service
+    ):
+        code, _, err = run_cli(
+            capsys, "submit", "no_such", "--grid", "x=1", "--url", service.url
+        )
+        assert code == 2  # rejected locally by the registry during coercion
+        assert "no_such" in err
+
+    def test_unreachable_service_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "status", "--url", "http://127.0.0.1:9"
+        )
+        assert code == 1
+        assert "cannot reach" in err

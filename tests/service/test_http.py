@@ -1,0 +1,190 @@
+"""HTTP API + client: endpoint contract, error codes, end-to-end parity."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Engine, SweepSpec
+from repro.dist import SharedStore
+from repro.service import (
+    JobSpec,
+    ServiceClient,
+    ServiceError,
+    SpecQueue,
+    make_server,
+    serve_queue,
+)
+
+SPEC = SweepSpec.grid(length_um=[1.0, 10.0])
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live server + client + queue/store over a temp directory."""
+    server = make_server(str(tmp_path / "queue"), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield {
+            "server": server,
+            "client": ServiceClient(server.url),
+            "queue": server.queue,
+            "store": SharedStore(str(tmp_path / "store")),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def _get_status_code(url: str) -> int:
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status
+    except urllib.error.HTTPError as error:
+        return error.code
+
+
+class TestHealth:
+    def test_health_reports_version_registry_and_depth(self, service):
+        from repro import __version__
+        from repro.api.experiment import list_experiments
+        from repro.api.study import list_studies
+
+        health = service["client"].health()
+        assert health["status"] == "ok"
+        assert health["version"] == __version__
+        assert health["registry"]["experiments"] == len(list_experiments())
+        assert health["registry"]["studies"] == len(list_studies())
+        assert health["queue"]["queued"] == 0
+        service["queue"].submit(JobSpec(kind="sweep", name="table_density", sweep=SPEC))
+        assert service["client"].health()["queue"]["queued"] == 1
+
+
+class TestSubmit:
+    def test_submit_sweep_queues_a_job(self, service):
+        job_id = service["client"].submit_sweep("table_density", SPEC)
+        status = service["client"].status(job_id)
+        assert status["state"] == "queued"
+        assert status["kind"] == "sweep"
+        assert status["name"] == "table_density"
+
+    def test_submit_study_queues_a_job(self, service):
+        job_id = service["client"].submit_study(
+            "growth_to_wafer",
+            params={"growth_window": {"duration_s": 500.0}},
+        )
+        assert service["client"].status(job_id)["kind"] == "study"
+
+    def test_unknown_experiment_is_rejected_at_submit(self, service):
+        with pytest.raises(ServiceError, match="no_such") as excinfo:
+            service["client"].submit_sweep("no_such", SPEC)
+        assert excinfo.value.status == 400
+        assert service["client"].list_jobs() == []  # nothing queued
+
+    def test_unknown_axis_is_rejected_at_submit(self, service):
+        with pytest.raises(ServiceError, match="bogus_axis") as excinfo:
+            service["client"].submit_sweep(
+                "table_density", SweepSpec.grid(bogus_axis=[1])
+            )
+        assert excinfo.value.status == 400
+
+    def test_malformed_sweep_descriptor_names_the_field(self, service):
+        with pytest.raises(ServiceError, match="axes") as excinfo:
+            service["client"].submit_sweep("table_density", {"mode": "grid"})
+        assert excinfo.value.status == 400
+
+    def test_missing_required_field_is_400(self, service):
+        request = urllib.request.Request(
+            service["server"].url + "/submit_sweep",
+            data=json.dumps({"sweep": SPEC.to_meta()}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert "experiment" in json.loads(excinfo.value.read())["error"]
+
+    def test_non_json_body_is_400(self, service):
+        request = urllib.request.Request(
+            service["server"].url + "/submit_sweep",
+            data=b"not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+
+class TestErrorRoutes:
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service["client"].status("j-nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, service):
+        assert _get_status_code(service["server"].url + "/nope") == 404
+
+    def test_post_to_read_only_route_is_405(self, service):
+        request = urllib.request.Request(
+            service["server"].url + "/health", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 405
+
+    def test_fetch_before_done_is_409(self, service):
+        job_id = service["client"].submit_sweep("table_density", SPEC)
+        with pytest.raises(ServiceError, match="queued") as excinfo:
+            service["client"].fetch_results(job_id)
+        assert excinfo.value.status == 409
+
+    def test_unreachable_server_raises_with_no_status(self, tmp_path):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach") as excinfo:
+            client.health()
+        assert excinfo.value.status is None
+
+
+class TestEndToEnd:
+    def test_fetched_sweep_is_bit_identical_to_serial(self, service):
+        client = service["client"]
+        job_id = client.submit_sweep("table_density", SPEC)
+        report = serve_queue(service["queue"], service["store"], drain=True)
+        assert report.ok
+
+        status = client.wait(job_id, timeout=30.0)
+        assert status["state"] == "done"
+        fetched = client.fetch_results(job_id)
+        serial = Engine().sweep("table_density", SPEC)
+        assert fetched == serial
+        assert fetched.content_hash == serial.content_hash
+        assert status["content_hash"] == serial.content_hash
+
+    def test_failed_job_surfaces_through_wait(self, service):
+        client = service["client"]
+        # Valid at submit time, fails in execution: corrupt the queued spec.
+        job_id = client.submit_sweep("table_density", SPEC)
+        import os
+
+        path = os.path.join(service["queue"].directory, job_id + ".job.json")
+        document = json.load(open(path))
+        document["spec"]["kind"] = "batch"
+        json.dump(document, open(path, "w"))
+
+        serve_queue(service["queue"], service["store"], drain=True)
+        with pytest.raises(ServiceError, match="failed"):
+            client.wait(job_id, timeout=10.0)
+
+    def test_list_jobs_tracks_states(self, service):
+        client = service["client"]
+        done_id = client.submit_sweep("table_density", SPEC)
+        serve_queue(service["queue"], service["store"], drain=True)
+        queued_id = client.submit_sweep(
+            "table_density", SweepSpec.grid(length_um=[2.0])
+        )
+        states = {job["job_id"]: job["state"] for job in client.list_jobs()}
+        assert states == {done_id: "done", queued_id: "queued"}

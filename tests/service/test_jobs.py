@@ -1,0 +1,122 @@
+"""JobSpec: strict payload parsing and registry validation at submit time."""
+
+import pytest
+
+from repro.api import SweepSpec
+from repro.api.experiment import ExperimentError
+from repro.service import JobSpec
+
+SPEC = SweepSpec.grid(length_um=[1.0, 10.0])
+
+
+class TestConstruction:
+    def test_sweep_job_round_trips_through_payload(self):
+        job = JobSpec(
+            kind="sweep", name="table_density", sweep=SPEC,
+            params={"n_tubes": 40},
+        )
+        rebuilt = JobSpec.from_payload(job.to_payload())
+        assert rebuilt == job
+        assert rebuilt.sweep == SPEC
+        assert rebuilt.params == {"n_tubes": 40}
+
+    def test_study_job_round_trips_through_payload(self):
+        job = JobSpec(
+            kind="study", name="growth_to_wafer",
+            stage_params={"growth_window": {"duration_s": 500.0}},
+        )
+        rebuilt = JobSpec.from_payload(job.to_payload())
+        assert rebuilt == job
+        assert rebuilt.sweep is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="'kind'"):
+            JobSpec(kind="batch", name="table_density", sweep=SPEC)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="'name'"):
+            JobSpec(kind="sweep", name="", sweep=SPEC)
+
+    def test_sweep_job_requires_sweep(self):
+        with pytest.raises(ValueError, match="needs a 'sweep'"):
+            JobSpec(kind="sweep", name="table_density")
+
+    def test_study_job_rejects_flat_params(self):
+        with pytest.raises(ValueError, match="stage_params"):
+            JobSpec(kind="study", name="growth_to_wafer", params={"x": 1})
+
+    def test_non_mapping_params_rejected(self):
+        with pytest.raises(ValueError, match="'params' must be a mapping"):
+            JobSpec(kind="sweep", name="table_density", sweep=SPEC, params=[1])
+
+    def test_non_mapping_stage_params_rejected(self):
+        with pytest.raises(ValueError, match="'stage_params' must be a mapping"):
+            JobSpec(kind="sweep", name="table_density", sweep=SPEC, stage_params=7)
+        with pytest.raises(ValueError, match=r"stage_params\['a'\]"):
+            JobSpec(
+                kind="sweep", name="table_density", sweep=SPEC,
+                stage_params={"a": [1]},
+            )
+
+
+class TestFromPayload:
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            JobSpec.from_payload([1, 2])
+
+    def test_unknown_fields_rejected(self):
+        payload = JobSpec(kind="sweep", name="table_density", sweep=SPEC).to_payload()
+        payload["priority"] = 9
+        with pytest.raises(ValueError, match=r"unknown fields \['priority'\]"):
+            JobSpec.from_payload(payload)
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ValueError, match=r"missing required fields \['kind', 'name'\]"):
+            JobSpec.from_payload({})
+
+    def test_malformed_sweep_descriptor_rejected(self):
+        with pytest.raises(ValueError, match="missing the 'axes'"):
+            JobSpec.from_payload(
+                {"kind": "sweep", "name": "table_density", "sweep": {"mode": "grid"}}
+            )
+
+
+class TestValidate:
+    def test_valid_sweep_job(self):
+        job = JobSpec(kind="sweep", name="table_density", sweep=SPEC)
+        assert job.validate() is job
+
+    def test_valid_study_job(self):
+        job = JobSpec(
+            kind="study", name="growth_to_wafer",
+            stage_params={"growth_window": {"duration_s": 500.0}},
+        )
+        assert job.validate() is job
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            JobSpec(kind="sweep", name="no_such_experiment", sweep=SPEC).validate()
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(ExperimentError):
+            JobSpec(kind="study", name="no_such_study").validate()
+
+    def test_unknown_sweep_axis_rejected(self):
+        job = JobSpec(
+            kind="sweep", name="table_density",
+            sweep=SweepSpec.grid(bogus_axis=[1, 2]),
+        )
+        with pytest.raises(ExperimentError):
+            job.validate()
+
+    def test_unknown_base_param_rejected(self):
+        job = JobSpec(
+            kind="sweep", name="table_density", sweep=SPEC,
+            params={"bogus_param": 1},
+        )
+        with pytest.raises(ExperimentError):
+            job.validate()
+
+    def test_describe_is_one_line(self):
+        text = JobSpec(kind="sweep", name="table_density", sweep=SPEC).describe()
+        assert "table_density" in text and "\n" not in text

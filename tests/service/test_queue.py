@@ -1,0 +1,234 @@
+"""SpecQueue: durable submission, lease-based claiming, status derivation."""
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import Engine, SweepSpec
+from repro.service import JOB_DONE, JOB_FAILED, JOB_QUEUED, JOB_RUNNING, JobSpec
+from repro.service.queue import (
+    DONE_SUFFIX,
+    JOB_SUFFIX,
+    SpecQueue,
+    UnknownJobError,
+)
+
+SPEC = SweepSpec.grid(length_um=[1.0, 10.0])
+
+
+def _job() -> JobSpec:
+    return JobSpec(kind="sweep", name="table_density", sweep=SPEC)
+
+
+class TestSubmitAndRead:
+    def test_submit_writes_a_durable_document(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        path = os.path.join(str(tmp_path), job_id + JOB_SUFFIX)
+        assert os.path.exists(path)
+        document = json.load(open(path))
+        assert document["job_id"] == job_id
+        assert document["spec"]["name"] == "table_density"
+
+    def test_get_round_trips_the_spec(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        assert queue.get(job_id) == _job()
+
+    def test_unknown_job_raises(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        with pytest.raises(UnknownJobError, match="no job"):
+            queue.get("j-missing")
+        with pytest.raises(UnknownJobError):
+            queue.status("j-missing")
+
+    def test_job_ids_are_oldest_first(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        submitted = [queue.submit(_job()) for _ in range(3)]
+        # Rewrite submitted_at stamps to force a known order.
+        for offset, job_id in enumerate(reversed(submitted)):
+            path = os.path.join(str(tmp_path), job_id + JOB_SUFFIX)
+            document = json.load(open(path))
+            document["submitted_at"] = 1000.0 + offset
+            json.dump(document, open(path, "w"))
+        assert queue.job_ids() == list(reversed(submitted))
+
+
+class TestClaiming:
+    def test_claim_next_is_exactly_once(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        first = queue.claim_next("w1")
+        assert first is not None and first[0] == job_id
+        assert queue.claim_next("w2") is None  # leased to w1
+
+    def test_concurrent_claims_do_not_collide(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        for _ in range(4):
+            queue.submit(_job())
+
+        def drain(worker: str) -> list[str]:
+            claimed = []
+            while True:
+                got = queue.claim_next(worker)
+                if got is None:
+                    return claimed
+                claimed.append(got[0])
+                # Settle the claim, as a real daemon does -- an unsettled
+                # job stays claimable by its own worker (lease re-entry).
+                queue.complete(got[0], {"worker_id": worker})
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            mine, yours = [
+                f.result() for f in [pool.submit(drain, w) for w in ("w1", "w2")]
+            ]
+        assert set(mine).isdisjoint(yours)
+        assert sorted(mine + yours) == sorted(queue.job_ids())
+
+    def test_release_makes_the_job_claimable_again(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        queue.claim_next("w1")
+        queue.release(job_id, "w1")
+        got = queue.claim_next("w2")
+        assert got is not None and got[0] == job_id
+
+    def test_stale_lease_is_taken_over(self, tmp_path):
+        """A crashed daemon's job is reclaimed once its lease ttl lapses."""
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        assert queue.claim_next("dead-daemon", ttl=0.05) is not None
+        import time
+
+        time.sleep(0.1)
+        got = queue.claim_next("survivor")
+        assert got is not None and got[0] == job_id
+
+    def test_done_and_failed_jobs_are_skipped(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        done_id = queue.submit(_job())
+        failed_id = queue.submit(_job())
+        queue.claim_next("w1")
+        queue.complete(done_id, {"worker_id": "w1"})
+        claimed = queue.claim_next("w1")
+        assert claimed is not None and claimed[0] == failed_id
+        queue.fail(failed_id, "w1", "boom")
+        assert queue.claim_next("w2") is None
+
+
+class TestLifecycleStatus:
+    def test_states_through_the_lifecycle(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        assert queue.status(job_id)["state"] == JOB_QUEUED
+
+        queue.claim(job_id, "w1", ttl=60.0)
+        queue.record_progress(job_id, points_done=1, points_total=2)
+        running = queue.status(job_id)
+        assert running["state"] == JOB_RUNNING
+        assert running["worker_id"] == "w1"
+        progress = running["progress"]
+        assert progress["points_done"] == 1 and progress["points_total"] == 2
+
+        queue.complete(job_id, {"worker_id": "w1", "n_records": 8})
+        done = queue.status(job_id)
+        assert done["state"] == JOB_DONE
+        assert done["n_records"] == 8
+        assert "completed_at" in done
+
+    def test_failed_state_carries_the_error(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        queue.claim(job_id, "w1", ttl=60.0)
+        queue.fail(job_id, "w1", "ValueError: bad axis")
+        status = queue.status(job_id)
+        assert status["state"] == JOB_FAILED
+        assert status["error"] == "ValueError: bad axis"
+        assert status["worker_id"] == "w1"
+
+    def test_requeue_clears_the_tombstone(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        queue.claim(job_id, "w1", ttl=60.0)
+        queue.fail(job_id, "w1", "boom")
+        assert queue.requeue(job_id) is True
+        assert queue.status(job_id)["state"] == JOB_QUEUED
+        assert queue.claim_next("w2") is not None
+        assert queue.requeue(job_id) is False  # nothing left to clear
+
+    def test_depth_counts_by_state(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        queue.submit(_job())
+        running_id = queue.submit(_job())
+        failed_id = queue.submit(_job())
+        queue.claim(running_id, "w1", ttl=60.0)
+        queue.claim(failed_id, "w1", ttl=60.0)
+        queue.fail(failed_id, "w1", "boom")
+        assert queue.depth() == {
+            "queued": 1, "running": 1, "done": 0, "failed": 1,
+        }
+
+    def test_load_result_requires_done(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        with pytest.raises(ValueError, match="queued"):
+            queue.load_result(job_id)
+
+    def test_result_round_trips(self, tmp_path):
+        queue = SpecQueue(str(tmp_path / "q"))
+        result = Engine().sweep("table_density", SPEC)
+        job_id = queue.submit(_job())
+        queue.store_result(job_id, result)
+        queue.complete(job_id, {"content_hash": result.content_hash})
+        loaded = queue.load_result(job_id)
+        assert loaded == result
+        assert loaded.content_hash == result.content_hash
+
+
+class TestGc:
+    def test_gc_collects_expired_leases_and_stale_progress(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        crashed = queue.submit(_job())
+        settled = queue.submit(_job())
+        queue.claim(crashed, "dead", ttl=0.01)
+        queue.claim(settled, "w1", ttl=60.0)
+        queue.record_progress(settled, points_done=2, points_total=2)
+        queue.complete(settled, {"worker_id": "w1"})
+        import time
+
+        time.sleep(0.05)
+        removed = queue.gc()
+        assert any(crashed in path for path in removed)  # expired lease
+        assert any(settled in path for path in removed)  # stale progress doc
+        # The crashed job is claimable again and unharmed.
+        got = queue.claim_next("w2")
+        assert got is not None and got[0] == crashed
+
+    def test_gc_keeps_failure_tombstones(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        queue.claim(job_id, "w1", ttl=60.0)
+        queue.fail(job_id, "w1", "boom")
+        queue.gc()
+        assert queue.status(job_id)["state"] == JOB_FAILED
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        queue.claim(job_id, "dead", ttl=0.01)
+        import time
+
+        time.sleep(0.05)
+        listed = queue.gc(dry_run=True)
+        assert listed
+        assert all(os.path.exists(path) for path in listed)
+
+
+class TestDunders:
+    def test_iter_and_len(self, tmp_path):
+        queue = SpecQueue(str(tmp_path))
+        ids = {queue.submit(_job()) for _ in range(3)}
+        assert set(queue) == ids
+        assert len(queue) == 3
