@@ -16,10 +16,15 @@ is the management surface over that store:
   or orphaned claim leases (``<entry>.lease``) crashed workers leave behind
   (``python -m repro cache prune --gc`` on the shell).
 
-Everything here only ever touches files matching the engine's own naming
-pattern, so a cache directory that also holds exported results is safe.
-Destructive operations (``clear`` / ``prune``) take the store's advisory
-lock (:func:`repro.dist.store.store_lock`), so evicting entries from a
+Every function accepts either a directory path (the classic spelling) or
+any :class:`~repro.dist.store.ResultStore` instance -- the maintenance
+logic goes through the store seam (``entries`` / ``remove_entries`` /
+``collect_garbage``), so a :class:`~repro.dist.sqlstore.SqliteStore` is
+inspected and pruned with exactly the same calls, just against indexed
+rows instead of files.  For directories, only files matching the engine's
+own naming pattern are ever touched, so a cache directory that also holds
+exported results is safe.  Destructive operations (``clear`` / ``prune``)
+run under the store's maintenance lock, so evicting entries from a
 *shared* store that live workers are publishing into cannot interleave with
 a publish or with claim-lease bookkeeping; each removed entry's stale
 ``.lease`` file (if any) is disposed of along with it.  The same operations
@@ -108,15 +113,37 @@ class CacheStats:
         return groups
 
 
-def scan_cache(cache_dir: str | None, read_meta: bool = True) -> list[CacheEntry]:
-    """Enumerate the cache entries of a directory, sorted by path.
+def _as_store(target: Any) -> Any:
+    """Coerce a maintenance target to a store; ``None`` means nothing to do.
+
+    A directory path becomes a :class:`~repro.dist.store.SharedStore` (its
+    maintenance lock makes destructive operations safe against live
+    workers); a missing directory or ``None`` stays ``None``; store
+    instances pass through unchanged.
+    """
+    if target is None or isinstance(target, str):
+        if target is None or not os.path.isdir(target):
+            return None
+        from repro.dist.store import SharedStore
+
+        return SharedStore(target)
+    return target
+
+
+def scan_cache(cache_dir: str | Any | None, read_meta: bool = True) -> list[CacheEntry]:
+    """Enumerate the cache entries of a directory or store, sorted by path.
 
     A missing or ``None`` directory yields an empty list (a cache that was
     never written is just empty).  Non-entry files are ignored; entries whose
     JSON cannot be read still appear, with ``version``/``params`` of ``None``.
     ``read_meta=False`` skips parsing the entry payloads entirely (they can
-    be large) for callers that only need the file inventory.
+    be large) for callers that only need the file inventory.  A
+    :class:`~repro.dist.store.ResultStore` target is scanned through its own
+    :meth:`~repro.dist.store.ResultStore.entries` (for a sqlite store that
+    is an indexed metadata query -- payload blobs stay untouched).
     """
+    if cache_dir is not None and not isinstance(cache_dir, str):
+        return cache_dir.entries(read_meta=read_meta)
     if cache_dir is None or not os.path.isdir(cache_dir):
         return []
     entries: list[CacheEntry] = []
@@ -153,28 +180,33 @@ def scan_cache(cache_dir: str | None, read_meta: bool = True) -> list[CacheEntry
     return entries
 
 
-def cache_stats(cache_dir: str | None) -> CacheStats:
-    """Aggregate statistics over a cache directory."""
-    return CacheStats(cache_dir=cache_dir or "", entries=tuple(scan_cache(cache_dir)))
+def cache_stats(cache_dir: str | Any | None) -> CacheStats:
+    """Aggregate statistics over a cache directory or store."""
+    if cache_dir is None or isinstance(cache_dir, str):
+        directory = cache_dir or ""
+    else:
+        directory = cache_dir.directory
+    return CacheStats(cache_dir=directory, entries=tuple(scan_cache(cache_dir)))
 
 
-def clear_cache(cache_dir: str | None) -> int:
-    """Delete every cache entry; returns the number of files removed.
+def clear_cache(cache_dir: str | Any | None) -> int:
+    """Delete every cache entry; returns the number of entries removed.
 
-    Holds the store lock for the scan + removal, so concurrent writers
-    (distributed workers publishing into a shared store) are never
+    Holds the store's maintenance lock for the scan + removal, so concurrent
+    writers (distributed workers publishing into a shared store) are never
     interleaved with the eviction.
     """
-    if cache_dir is None or not os.path.isdir(cache_dir):
+    store = _as_store(cache_dir)
+    if store is None:
         return 0
-    from repro.dist.store import store_lock
-
-    with store_lock(cache_dir):
-        return _remove(scan_cache(cache_dir, read_meta=False))
+    with store.lock():
+        return store.remove_entries(
+            [entry.path for entry in store.entries(read_meta=False)]
+        )
 
 
 def prune_cache(
-    cache_dir: str | None,
+    cache_dir: str | Any | None,
     experiment: str | None = None,
     version: str | None = None,
     older_than: float | None = None,
@@ -234,24 +266,23 @@ def prune_cache(
             matched.append(entry)
         return matched
 
-    if dry_run or cache_dir is None or not os.path.isdir(cache_dir):
+    store = _as_store(cache_dir)
+    if dry_run or store is None:
         return match()
-    from repro.dist.store import store_lock
-
-    with store_lock(cache_dir):
+    with store.lock():
         matched = match()
-        _remove(matched)
+        store.remove_entries([entry.path for entry in matched])
     return matched
 
 
 def gc_store(
-    cache_dir: str | None,
+    cache_dir: str | Any | None,
     now: float | None = None,
     dry_run: bool = False,
 ) -> list[str]:
-    """Garbage-collect crashed-worker residue from a (shared) store directory.
+    """Garbage-collect crashed-worker residue from a (shared) store.
 
-    Removes, and returns the paths of:
+    Removes, and returns the identifiers of:
 
     * **failure tombstones** (``<entry>.failed``): a worker's record that a
       point raised.  Collecting one makes the failure invisible to future
@@ -264,45 +295,15 @@ def gc_store(
       running workers.
 
     Entries themselves are never removed -- that is :func:`prune_cache` /
-    :func:`clear_cache`.  Unless ``dry_run``, the scan and removal happen
-    under the store lock.
+    :func:`clear_cache`.  The work is delegated to the store's
+    :meth:`~repro.dist.store.ResultStore.collect_garbage` -- a locked
+    directory sweep for file stores, a pair of conditional ``DELETE``
+    statements for a sqlite store.
     """
-    if cache_dir is None or not os.path.isdir(cache_dir):
+    store = _as_store(cache_dir)
+    if store is None:
         return []
-    from repro.dist.store import FAILED_SUFFIX, LEASE_SUFFIX, SharedStore, store_lock
-
-    store = SharedStore(cache_dir)
-    timestamp = time.time() if now is None else now
-
-    def collect() -> list[str]:
-        stale: list[str] = []
-        for filename in sorted(os.listdir(cache_dir)):
-            path = os.path.join(cache_dir, filename)
-            if filename.endswith(".json" + FAILED_SUFFIX):
-                stale.append(path)
-                continue
-            if not filename.endswith(".json" + LEASE_SUFFIX):
-                continue
-            entry_path = path[: -len(LEASE_SUFFIX)]
-            lease = store.read_lease(entry_path)
-            if (
-                lease is None  # corrupt lease: the point is claimable anyway
-                or lease.expired(timestamp)
-                or os.path.exists(entry_path)  # published: lease is vestigial
-            ):
-                stale.append(path)
-        return stale
-
-    if dry_run:
-        return collect()
-    with store_lock(cache_dir):
-        stale = collect()
-        for path in stale:
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                pass  # removed concurrently: already gone is fine
-    return stale
+    return store.collect_garbage(now=now, dry_run=dry_run)
 
 
 def parse_age(text: str) -> float:
@@ -324,25 +325,3 @@ def parse_age(text: str) -> float:
     if not math.isfinite(seconds) or seconds < 0:
         raise ValueError(f"age must be finite and non-negative, got {text!r}")
     return seconds
-
-
-def _remove(entries: list[CacheEntry]) -> int:
-    from repro.dist.store import FAILED_SUFFIX, LEASE_SUFFIX
-
-    removed = 0
-    for entry in entries:
-        try:
-            os.unlink(entry.path)
-            removed += 1
-        except FileNotFoundError:
-            pass  # deleted concurrently: already gone is fine
-        # An entry's claim lease and failure tombstone (shared stores) die
-        # with the entry -- a leftover lease would make the point look
-        # claimed after eviction, a leftover tombstone would report a
-        # failure for a point that no longer exists.
-        for suffix in (LEASE_SUFFIX, FAILED_SUFFIX):
-            try:
-                os.unlink(entry.path + suffix)
-            except FileNotFoundError:
-                pass
-    return removed

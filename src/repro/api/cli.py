@@ -55,12 +55,24 @@ Subcommands
 ``fetch JOB_ID [--url URL]``
     Download a completed job's merged ResultSet (bit-identical to a serial
     run) and print/export it like ``run`` does.
+``query [--store SPEC] [--where EXPR ...]``
+    Cross-sweep catalog: filter cached results across *all* experiments by
+    parameter predicates (``--where "n_segments>50"``), experiment name and
+    age; sort and limit; ``--export``/``--csv`` merge the matching payloads
+    into one parameter-tagged ResultSet.  Against a sqlite store the query
+    touches metadata columns only.  See docs/QUERY.md.
+``migrate SRC DEST``
+    Copy a result store into another backend -- typically an existing cache
+    directory into ``sqlite:///catalog.db`` -- preserving entry identity,
+    timestamps and failure tombstones.
 ``cache {stats,clear,prune}``
     Inspect or evict the on-disk memoisation cache (prune by
     ``--experiment``, ``--version`` and/or ``--older-than 7d``); eviction
     takes the store lock, so it is safe against live workers.  ``prune
     --gc`` additionally garbage-collects failure tombstones and the
-    expired/orphaned claim leases crashed workers leave behind.
+    expired/orphaned claim leases crashed workers leave behind.  All cache
+    subcommands take ``--store`` (directory or ``sqlite:///path.db``) as an
+    alternative to ``--cache-dir``.
 ``perf-report``
     Render the committed perf trajectory (``benchmarks/perf/BENCH_*.json``)
     with per-case speedup deltas; ``--check`` fails on regressions;
@@ -92,6 +104,11 @@ Examples::
     python -m repro study run growth_to_wafer -p growth_window.duration_s=500
     python -m repro study run growth_to_wafer --shards 2 --shard-index 0 \\
         --store /shared/study-store --json part0.json
+    python -m repro sweep fig12 --grid contact_resistance=100e3,250e3 \\
+        --store sqlite:///sweeps.db
+    python -m repro migrate .repro-cache sqlite:///catalog.db
+    python -m repro query --store sqlite:///catalog.db \\
+        --where "contact_resistance>=250e3" --sort timestamp --desc
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro cache prune --experiment fig12 --older-than 7d
     python -m repro cache prune --gc
@@ -146,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_execution_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--cache-dir", default=None, help="on-disk memoisation cache directory")
+        sub.add_argument(
+            "--store", default=None, metavar="SPEC",
+            help="memoise through a result store instead of --cache-dir: a "
+            "lock-safe shared directory or sqlite:///path.db",
+        )
         sub.add_argument("--no-cache", action="store_true", help="bypass the cache")
         sub.add_argument("--csv", default=None, metavar="PATH", help="write records as CSV")
         sub.add_argument("--json", default=None, metavar="PATH", help="write the ResultSet as JSON")
@@ -205,10 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sweep_axes(worker, required=False)
     worker.add_argument(
-        "--store", default=None, metavar="DIR",
-        help="shared result-store directory (same for every cooperating "
-        "worker); required without --watch, defaults to QUEUE_DIR/store "
-        "with it",
+        "--store", default=None, metavar="SPEC",
+        help="shared result store (same for every cooperating worker): a "
+        "directory or sqlite:///path.db; required without --watch, defaults "
+        "to QUEUE_DIR/store with it",
     )
     worker.add_argument(
         "--watch", default=None, metavar="QUEUE_DIR",
@@ -340,10 +362,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="pool size for parallel executors"
     )
     study_run.add_argument(
-        "--store", default=None, metavar="DIR",
-        help="shared result-store directory (lock-safe; instead of --cache-dir)",
-    )
-    study_run.add_argument(
         "--no-progress", action="store_true",
         help="suppress the per-point progress lines on stderr",
     )
@@ -365,6 +383,62 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--json", default=None, metavar="PATH", help="write the ResultSet as JSON")
     merge.add_argument("--limit", type=int, default=40, help="table rows to print (0: all)")
 
+    query = subparsers.add_parser(
+        "query", help="cross-sweep catalog: filter/sort cached results by metadata"
+    )
+    query.add_argument(
+        "--store", default=DEFAULT_CACHE_DIR, metavar="SPEC",
+        help="result store to query: a cache directory or sqlite:///path.db "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    query.add_argument(
+        "--experiment", default=None, help="only entries of this experiment"
+    )
+    query.add_argument(
+        "--where", action="append", default=[], metavar="EXPR",
+        help="parameter predicate, e.g. \"n_segments>50\" or \"kind==Cu\" "
+        "(repeatable; all must match)",
+    )
+    query.add_argument(
+        "--newer-than", default=None, metavar="AGE",
+        help="only entries at most this old (e.g. 45s, 12h, 7d)",
+    )
+    query.add_argument(
+        "--older-than", default=None, metavar="AGE",
+        help="only entries at least this old",
+    )
+    query.add_argument(
+        "--sort", default="timestamp",
+        choices=["timestamp", "experiment", "size", "version"],
+        help="sort key (default: timestamp)",
+    )
+    query.add_argument(
+        "--desc", action="store_true", help="sort descending (newest/biggest first)"
+    )
+    query.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="keep at most N entries after sorting",
+    )
+    query.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="load the matching payloads and write the merged ResultSet as JSON",
+    )
+    query.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="load the matching payloads and write the merged records as CSV",
+    )
+
+    migrate = subparsers.add_parser(
+        "migrate", help="copy a result store into another backend (dir <-> sqlite)"
+    )
+    migrate.add_argument(
+        "source", metavar="SRC", help="source store: a cache directory or sqlite:///path.db"
+    )
+    migrate.add_argument(
+        "destination", metavar="DEST",
+        help="destination store, typically sqlite:///path.db",
+    )
+
     cache = subparsers.add_parser("cache", help="inspect or evict the result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
 
@@ -372,6 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--cache-dir", default=DEFAULT_CACHE_DIR,
             help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+        sub.add_argument(
+            "--store", default=None, metavar="SPEC",
+            help="operate on a result store instead: a shared directory or "
+            "sqlite:///path.db",
         )
 
     cache_stats = cache_sub.add_parser("stats", help="per-experiment entry counts and sizes")
@@ -524,8 +603,19 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolved_store(args: argparse.Namespace):
+    """The --store of run/sweep/study as a ResultStore (None without one)."""
+    if getattr(args, "store", None) is None:
+        return None
+    if getattr(args, "cache_dir", None) is not None:
+        raise ValueError("pass either --store or --cache-dir, not both")
+    from repro.dist import resolve_store
+
+    return resolve_store(args.store)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    engine = Engine(cache_dir=args.cache_dir)
+    engine = Engine(cache_dir=args.cache_dir, store=_resolved_store(args))
     result = engine.run(
         args.name,
         params=_coerced_overrides(args.name, args.param),
@@ -575,7 +665,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _parsed_spec(args)
     shard = _shard_plan(args)
     engine = Engine(
-        cache_dir=args.cache_dir, executor=args.executor, max_workers=args.workers
+        cache_dir=args.cache_dir,
+        store=_resolved_store(args),
+        executor=args.executor,
+        max_workers=args.workers,
     )
     n_points = len(spec) if shard is None else len(shard.indices(spec.points()))
     shard_note = (
@@ -608,7 +701,7 @@ def _cmd_worker_watch(args: argparse.Namespace) -> int:
     import threading
 
     from repro.api.cache import parse_age
-    from repro.dist import SharedStore
+    from repro.dist import resolve_store
     from repro.service import SpecQueue, serve_queue
 
     if args.name is not None or args.grid is not None or args.zip_axes is not None:
@@ -619,7 +712,7 @@ def _cmd_worker_watch(args: argparse.Namespace) -> int:
     if args.param or args.shards is not None or args.shard_index is not None:
         raise ValueError("-p/--shards/--shard-index do not apply in --watch mode")
     queue = SpecQueue(args.watch)
-    store_dir = args.store if args.store is not None else os.path.join(args.watch, "store")
+    store_spec = args.store if args.store is not None else os.path.join(args.watch, "store")
     stop = threading.Event()
     installed: list[tuple[int, Any]] = []
     if threading.current_thread() is threading.main_thread():
@@ -632,7 +725,7 @@ def _cmd_worker_watch(args: argparse.Namespace) -> int:
     try:
         report = serve_queue(
             queue,
-            SharedStore(store_dir),
+            resolve_store(store_spec),
             worker_id=args.worker_id,
             lease_ttl=parse_age(args.lease_ttl),
             poll_interval=args.poll,
@@ -652,7 +745,7 @@ def _cmd_worker_watch(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.api.cache import parse_age
-    from repro.dist import SharedStore, default_worker_id, run_worker
+    from repro.dist import default_worker_id, resolve_store, run_worker
 
     if args.watch is not None:
         return _cmd_worker_watch(args)
@@ -667,7 +760,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         raise ValueError("--drain/--max-jobs only apply with --watch")
     spec = _parsed_spec(args)
     shard = _shard_plan(args)
-    store = SharedStore(args.store)
+    store = resolve_store(args.store)
     worker_id = args.worker_id or default_worker_id()
     n_points = len(spec) if shard is None else len(shard.indices(spec.points()))
     print(
@@ -894,16 +987,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
             axes=_coerced_axes(study.target, assignments),
         )
     shard = _shard_plan(args)
-    store = None
-    if args.store is not None:
-        if args.cache_dir is not None:
-            raise ValueError("pass either --store or --cache-dir, not both")
-        from repro.dist import SharedStore
-
-        store = SharedStore(args.store)
     engine = Engine(
         cache_dir=args.cache_dir,
-        store=store,
+        store=_resolved_store(args),
         executor=args.executor,
         max_workers=args.workers,
     )
@@ -1001,12 +1087,88 @@ def _format_bytes(size: int) -> str:
     return f"{value:.1f} GB"
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.api.cache import parse_age
+    from repro.api.query import export_results, parse_predicate, query_entries
+    from repro.dist import resolve_store
+
+    store = resolve_store(args.store)
+    predicates = [parse_predicate(expression) for expression in args.where]
+    entries = query_entries(
+        store,
+        experiment=args.experiment,
+        where=predicates,
+        newer_than=None if args.newer_than is None else parse_age(args.newer_than),
+        older_than=None if args.older_than is None else parse_age(args.older_than),
+        sort=args.sort,
+        descending=args.desc,
+        limit=args.limit,
+    )
+    rows = []
+    for entry in entries:
+        params = entry.params or {}
+        compact = " ".join(f"{key}={value}" for key, value in params.items())
+        rows.append(
+            {
+                "experiment": entry.experiment,
+                "version": "?" if entry.version is None else entry.version,
+                "key": entry.key,
+                "age": f"{entry.age_seconds():.0f}s",
+                "size": _format_bytes(entry.size_bytes),
+                "params": compact if len(compact) <= 60 else compact[:57] + "...",
+            }
+        )
+    filters = [f"store {store.directory}"]
+    if args.experiment:
+        filters.append(f"experiment {args.experiment}")
+    filters.extend(predicate.describe() for predicate in predicates)
+    print(format_table(rows, title=f"{len(rows)} entries ({', '.join(filters)})"))
+    if args.export is None and args.csv is None:
+        return 0
+    result = export_results(
+        store,
+        entries,
+        query={
+            "experiment": args.experiment,
+            "where": list(args.where),
+            "sort": args.sort,
+        },
+    )
+    if args.export is not None:
+        result.to_json(args.export)
+        print(f"wrote {len(result)} records to {args.export}")
+    if args.csv is not None:
+        result.to_csv(args.csv)
+        print(f"wrote {len(result)} records to {args.csv}")
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.dist import migrate_store, resolve_store
+
+    report = migrate_store(
+        resolve_store(args.source), resolve_store(args.destination)
+    )
+    print(report.summary())
+    for path in report.skipped:
+        print(f"  skipped (corrupt): {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.api.cache import cache_stats, clear_cache, parse_age, prune_cache
 
+    target = args.cache_dir
+    if getattr(args, "store", None) is not None:
+        from repro.dist import resolve_store
+
+        target = resolve_store(args.store)
+    label = target if isinstance(target, str) else target.directory
+
     if args.cache_command == "stats":
-        stats = cache_stats(args.cache_dir)
+        stats = cache_stats(target)
         rows = [
             {
                 "experiment": name,
@@ -1021,15 +1183,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(
             format_table(
                 rows,
-                title=f"cache {args.cache_dir}: {stats.n_entries} entries, "
+                title=f"cache {label}: {stats.n_entries} entries, "
                 f"{_format_bytes(stats.total_bytes)}",
             )
         )
         return 0
 
     if args.cache_command == "clear":
-        removed = clear_cache(args.cache_dir)
-        print(f"removed {removed} cache entries from {args.cache_dir}")
+        removed = clear_cache(target)
+        print(f"removed {removed} cache entries from {label}")
         return 0
 
     # prune
@@ -1045,21 +1207,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         # Without criteria prune_cache raises its usual guidance error; --gc
         # alone is a pure bookkeeping collection with no entry eviction.
         matched = prune_cache(
-            args.cache_dir,
+            target,
             experiment=args.experiment,
             version=args.version,
             older_than=None if args.older_than is None else parse_age(args.older_than),
             dry_run=args.dry_run,
         )
-        print(f"{verb} {len(matched)} cache entries from {args.cache_dir}")
+        print(f"{verb} {len(matched)} cache entries from {label}")
         for entry in matched:
             # Metadata is only read when pruning by version; omit it otherwise.
             version = "" if entry.version is None else f" (version {entry.version})"
             print(f"  {entry.experiment}{version} {entry.path}")
     if args.gc:
-        collected = gc_store(args.cache_dir, dry_run=args.dry_run)
+        collected = gc_store(target, dry_run=args.dry_run)
         print(
-            f"{verb} {len(collected)} tombstone/lease files from {args.cache_dir}"
+            f"{verb} {len(collected)} tombstone/lease records from {label}"
         )
         for path in collected:
             print(f"  {path}")
@@ -1104,6 +1266,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fetch": _cmd_fetch,
         "study": _cmd_study,
         "merge": _cmd_merge,
+        "query": _cmd_query,
+        "migrate": _cmd_migrate,
         "cache": _cmd_cache,
         "perf-report": _cmd_perf_report,
         "docs": _cmd_docs,

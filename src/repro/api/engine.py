@@ -235,7 +235,10 @@ class Engine:
         of ``cache_dir`` (pass one or the other, not both).  A
         :class:`~repro.dist.store.SharedStore` here makes the engine safe to
         point at a directory that distributed workers are writing into
-        concurrently.
+        concurrently.  A string is resolved like the CLI's ``--store``
+        option: ``"sqlite:///cache.db"`` opens a
+        :class:`~repro.dist.sqlstore.SqliteStore`, a directory path a
+        :class:`~repro.dist.store.SharedStore`.
     executor:
         ``"serial"`` (default), ``"thread"`` or ``"process"`` -- how sweep
         points are fanned out.  Single ``run`` calls always execute inline.
@@ -256,7 +259,7 @@ class Engine:
         executor: str = "serial",
         max_workers: int | None = None,
         chunk_size: int | None = None,
-        store: "ResultStore | None" = None,
+        store: "ResultStore | str | None" = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; use one of {EXECUTORS}")
@@ -266,6 +269,12 @@ class Engine:
             raise ValueError("chunk_size must be positive")
         if store is not None and cache_dir is not None:
             raise ValueError("pass either cache_dir or store, not both")
+        if isinstance(store, str):
+            # CLI spellings resolve here too: "sqlite:///cache.db" or a
+            # shared directory path (see repro.dist.sqlstore.resolve_store).
+            from repro.dist.sqlstore import resolve_store
+
+            store = resolve_store(store)
         if store is None and cache_dir is not None:
             from repro.dist.store import LocalStore
 
@@ -320,7 +329,7 @@ class Engine:
         """
         from repro.api.cache import clear_cache
 
-        return clear_cache(self.cache_dir)
+        return clear_cache(self.store)
 
     # --- execution --------------------------------------------------------
 

@@ -14,6 +14,11 @@ only needs the three pieces this subpackage provides:
   to a serial run.
 * :mod:`repro.dist.worker` -- :func:`run_worker`, the claim/execute/publish
   loop behind ``python -m repro worker``.
+* :mod:`repro.dist.sqlstore` -- :class:`SqliteStore`, the same store seam
+  over one sqlite database (transactional claims, indexed metadata, queried
+  by ``python -m repro query``), :func:`resolve_store` for the CLI's
+  ``--store sqlite:///path.db`` spelling and :func:`migrate_store` for
+  moving an existing directory store into a database.
 
 Quick start (two cooperating workers, one shared directory)::
 
@@ -38,6 +43,12 @@ semantics and failure recovery.
 
 from repro.dist.backoff import Backoff
 from repro.dist.shards import ShardPlan, merge_results, point_hash, point_key, shard_of
+from repro.dist.sqlstore import (
+    MigrationReport,
+    SqliteStore,
+    migrate_store,
+    resolve_store,
+)
 from repro.dist.store import (
     CLAIM_ACQUIRED,
     CLAIM_BUSY,
@@ -66,15 +77,19 @@ __all__ = [
     "Lease",
     "LeaseHeartbeat",
     "LocalStore",
+    "MigrationReport",
     "ResultStore",
     "ShardPlan",
     "SharedStore",
+    "SqliteStore",
     "StoreLockTimeout",
     "WorkerReport",
     "default_worker_id",
     "merge_results",
+    "migrate_store",
     "point_hash",
     "point_key",
+    "resolve_store",
     "run_worker",
     "shard_of",
     "store_lock",

@@ -294,6 +294,58 @@ class ResultStore:
         """Maintenance lock over the whole store (no-op locally)."""
         return nullcontext()
 
+    # --- maintenance / inspection -------------------------------------------
+    #
+    # The maintenance surface (``cache stats/clear/prune --gc``, queue GC)
+    # talks to these four methods instead of walking the directory itself, so
+    # backends with a different physical layout (:class:`SqliteStore`) inherit
+    # every maintenance tool for free.
+
+    def exists(self, path: str) -> bool:
+        """Whether an entry or bookkeeping document exists at ``path``."""
+        return os.path.exists(path)
+
+    def entries(self, read_meta: bool = True) -> list:
+        """This store's cache entries as :class:`repro.api.cache.CacheEntry`.
+
+        ``read_meta=False`` skips provenance metadata (version/params) for
+        callers that only need the inventory.
+        """
+        from repro.api.cache import scan_cache
+
+        return scan_cache(self.directory, read_meta=read_meta)
+
+    def remove_entries(self, paths: list[str]) -> int:
+        """Delete entries plus their lease/tombstone bookkeeping.
+
+        Returns the number of entries actually removed.  A leftover lease
+        would make an evicted point look claimed; a leftover tombstone would
+        report a failure for a point that no longer exists -- both die with
+        the entry.
+        """
+        removed = 0
+        for path in paths:
+            try:
+                os.unlink(path)
+                removed += 1
+            except FileNotFoundError:
+                pass  # deleted concurrently: already gone is fine
+            for suffix in (LEASE_SUFFIX, FAILED_SUFFIX):
+                try:
+                    os.unlink(path + suffix)
+                except FileNotFoundError:
+                    pass
+        return removed
+
+    def collect_garbage(
+        self,
+        now: float | None = None,
+        dry_run: bool = False,
+        keep_pending_failures: bool = False,
+    ) -> list[str]:
+        """GC claim/tombstone residue; a local store has none to collect."""
+        return []
+
 
 class LocalStore(ResultStore):
     """The engine's classic single-machine cache directory, unchanged.
@@ -473,3 +525,55 @@ class SharedStore(ResultStore):
             payload["path"] = tombstone
             found.append(payload)
         return found
+
+    def collect_garbage(
+        self,
+        now: float | None = None,
+        dry_run: bool = False,
+        keep_pending_failures: bool = False,
+    ) -> list[str]:
+        """Collect crashed-worker residue; returns the disposed paths.
+
+        Removes failure tombstones and the claim leases that are expired
+        (their worker died mid-point), corrupt, or attached to an entry that
+        already exists.  Live, unexpired leases of pending entries are never
+        touched, so GC is safe against running workers.  With
+        ``keep_pending_failures`` a tombstone whose entry is still absent is
+        preserved -- :class:`repro.service.queue.SpecQueue` uses that mode
+        because its tombstones *are* the failed-job state.
+        """
+        if not os.path.isdir(self.directory):
+            return []
+        timestamp = time.time() if now is None else now
+
+        def collect() -> list[str]:
+            stale: list[str] = []
+            for filename in sorted(os.listdir(self.directory)):
+                path = os.path.join(self.directory, filename)
+                if filename.endswith(".json" + FAILED_SUFFIX):
+                    entry_path = path[: -len(FAILED_SUFFIX)]
+                    if not keep_pending_failures or os.path.exists(entry_path):
+                        stale.append(path)
+                    continue
+                if not filename.endswith(".json" + LEASE_SUFFIX):
+                    continue
+                entry_path = path[: -len(LEASE_SUFFIX)]
+                lease = self.read_lease(entry_path)
+                if (
+                    lease is None  # corrupt lease: the point is claimable anyway
+                    or lease.expired(timestamp)
+                    or os.path.exists(entry_path)  # published: lease is vestigial
+                ):
+                    stale.append(path)
+            return stale
+
+        if dry_run:
+            return collect()
+        with self.lock():
+            stale = collect()
+            for path in stale:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass  # removed concurrently: already gone is fine
+        return stale

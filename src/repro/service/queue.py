@@ -383,48 +383,42 @@ class SpecQueue:
         """Collect queue residue; returns the removed paths.
 
         Removes **expired or orphaned job leases** (a daemon died mid-job:
-        the job is claimable again either way, the lease file is just
+        the job is claimable again either way, the lease record is just
         clutter) and **superseded tombstones** (a completion record exists,
         so the recorded failure is history).  Failure tombstones of jobs
         that never completed are *kept* -- they encode the ``failed`` state
         (clear one explicitly with :meth:`requeue`).  Progress documents of
         settled (done/failed) jobs are dropped too.
+
+        Lease and tombstone residue is collected through the store seam
+        (:meth:`~repro.dist.store.ResultStore.collect_garbage` with pending
+        failures kept), so the mechanics follow the store backend -- a
+        locked directory sweep here, conditional ``DELETE`` statements for
+        a SQL-backed queue store -- while progress documents, which are
+        queue-level artifacts rather than store bookkeeping, are swept by
+        the queue itself via :meth:`~repro.dist.store.ResultStore.exists`.
         """
-        if not os.path.isdir(self.directory):
-            return []
-        timestamp = time.time() if now is None else now
-
-        def collect() -> list[str]:
-            stale: list[str] = []
+        stale = self._store.collect_garbage(
+            now=now, dry_run=dry_run, keep_pending_failures=True
+        )
+        progress: list[str] = []
+        if os.path.isdir(self.directory):
             for filename in sorted(os.listdir(self.directory)):
-                path = os.path.join(self.directory, filename)
-                if filename.endswith(DONE_SUFFIX + LEASE_SUFFIX):
-                    entry = path[: -len(LEASE_SUFFIX)]
-                    lease = self._store.read_lease(entry)
-                    if lease is None or lease.expired(timestamp) or os.path.exists(entry):
-                        stale.append(path)
-                elif filename.endswith(DONE_SUFFIX + FAILED_SUFFIX):
-                    if os.path.exists(path[: -len(FAILED_SUFFIX)]):
-                        stale.append(path)
-                elif filename.endswith(PROGRESS_SUFFIX):
-                    job_id = filename[: -len(PROGRESS_SUFFIX)]
-                    done_path = self.done_path(job_id)
-                    if os.path.exists(done_path) or os.path.exists(
-                        done_path + FAILED_SUFFIX
-                    ):
-                        stale.append(path)
-            return stale
-
-        if dry_run:
-            return collect()
-        with self._store.lock():
-            stale = collect()
-            for path in stale:
+                if not filename.endswith(PROGRESS_SUFFIX):
+                    continue
+                job_id = filename[: -len(PROGRESS_SUFFIX)]
+                done_path = self.done_path(job_id)
+                if self._store.exists(done_path) or self._store.exists(
+                    done_path + FAILED_SUFFIX
+                ):
+                    progress.append(os.path.join(self.directory, filename))
+        if not dry_run:
+            for path in progress:
                 try:
                     os.unlink(path)
                 except FileNotFoundError:
                     pass
-        return stale
+        return stale + progress
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.job_ids())

@@ -276,7 +276,7 @@ class TestCacheCommand:
         # --gc alone is valid (no entry criteria needed) and touches no entries.
         code, out, _ = run_cli(capsys, "cache", "prune", "--cache-dir", cache, "--gc")
         assert code == 0
-        assert "removed 2 tombstone/lease files" in out
+        assert "removed 2 tombstone/lease records" in out
         _, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", cache)
         assert "2 entries" in out
 
@@ -293,9 +293,9 @@ class TestCacheCommand:
             capsys, "cache", "prune", "--cache-dir", cache, "--gc", "--dry-run"
         )
         assert code == 0
-        assert "would remove 1 tombstone/lease files" in out
+        assert "would remove 1 tombstone/lease records" in out
         code, out, _ = run_cli(capsys, "cache", "prune", "--cache-dir", cache, "--gc")
-        assert "removed 1 tombstone/lease files" in out
+        assert "removed 1 tombstone/lease records" in out
 
 
 class TestStudyCommand:

@@ -225,6 +225,37 @@ class TestGc:
         assert listed
         assert all(os.path.exists(path) for path in listed)
 
+    def test_gc_collects_superseded_tombstone(self, tmp_path):
+        """Seam regression: a tombstone orphaned next to a completion record
+        (a failure report that raced a successful retry) is residue, and the
+        job's done state must win over the stale failure."""
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        queue.claim(job_id, "w1", ttl=60.0)
+        queue.complete(job_id, {"worker_id": "w1"})
+        orphan = queue.done_path(job_id) + ".failed"
+        with open(orphan, "w") as handle:
+            json.dump({"worker": "w0", "error": "stale", "failed_at": 0.0}, handle)
+
+        removed = queue.gc()
+        assert orphan in removed
+        assert not os.path.exists(orphan)
+        assert queue.status(job_id)["state"] == JOB_DONE
+
+    def test_gc_collects_corrupt_job_lease(self, tmp_path):
+        """Seam regression: an unreadable lease never blocks a job forever --
+        GC disposes of it and the job is claimable again."""
+        queue = SpecQueue(str(tmp_path))
+        job_id = queue.submit(_job())
+        corrupt = queue.done_path(job_id) + ".lease"
+        with open(corrupt, "w") as handle:
+            handle.write("{ torn")
+
+        removed = queue.gc()
+        assert corrupt in removed
+        got = queue.claim_next("w1")
+        assert got is not None and got[0] == job_id
+
 
 class TestDunders:
     def test_iter_and_len(self, tmp_path):
