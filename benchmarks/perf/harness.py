@@ -1,18 +1,24 @@
 """Perf-trajectory harness: times the hot paths, asserts speedup + parity.
 
-Each case times a *legacy* implementation against the *fast* path introduced
-in PR 3 (compiled sparse MNA with factorization reuse; vectorised Monte
-Carlo), checks numerical parity between the two, and reports wall-clock
-numbers.  :func:`run_suite` executes every case and returns the
-machine-readable record that ``run.py`` writes to ``BENCH_<pr>.json`` --
-the perf trajectory future PRs extend and compare against.
+Each case times a *legacy* implementation against the *fast* path, checks
+numerical parity between the two, and reports wall-clock numbers.
+:func:`run_suite` executes every case and returns the machine-readable
+record that ``run.py`` writes to ``BENCH_<pr>.json`` -- the perf trajectory
+future PRs extend and compare against.
+
+The fast sides layer the optimisation rounds: PR 3 introduced the compiled
+sparse MNA path and the vectorised Monte Carlo; PR 8 adds Newton
+factorization reuse (``SolverOptions(newton="freeze")``, the
+``newton_reuse`` case and the delay/crosstalk fast sides), stacked
+same-topology transient batching (``batched_sweep``), the engine's
+``batch`` executor (``engine_sweep``) and batched lease claims in the
+worker loop (``dist_workers``).
 
 Modes
 -----
 ``full`` (default)
-    Paper-scale problem sizes.  Speedup floors are asserted (the ISSUE-3
-    acceptance criteria): >= 5x on the segmented-RC-line transient and
-    >= 10x on the 500-device variability Monte Carlo.
+    Paper-scale problem sizes.  Speedup floors are asserted (the ISSUE-3 /
+    ISSUE-8 acceptance criteria in :data:`SPEEDUP_FLOORS`).
 ``smoke``
     Reduced sizes for CI: parity is still asserted (it is
     size-independent), speedup floors are reported but not enforced --
@@ -32,8 +38,12 @@ import numpy as np
 
 from repro.api import Engine, SweepSpec
 from repro.circuit import Circuit, Step, solver_backend, transient_analysis
+from repro.circuit.compiled import SolverOptions
 from repro.circuit.crosstalk import analyze_crosstalk
-from repro.circuit.delay import measure_inverter_line_delay
+from repro.circuit.delay import (
+    measure_inverter_line_delay,
+    measure_inverter_line_delay_batch,
+)
 from repro.circuit.mna import MNAAssembler
 from repro.circuit.rcline import add_rc_ladder
 from repro.core import InterconnectLine, MWCNTInterconnect
@@ -43,8 +53,23 @@ from repro.units import nm, um
 
 PARITY_RTOL = 1.0e-9
 
-SPEEDUP_FLOORS = {"transient_rc_line": 5.0, "variability_mc": 10.0}
-"""Acceptance floors (full mode only), from ISSUE 3."""
+FREEZE = SolverOptions(newton="freeze")
+"""The reused-factorization Newton policy every PR-8 fast side runs under."""
+
+SPEEDUP_FLOORS = {
+    "transient_rc_line": 5.0,
+    "variability_mc": 10.0,
+    "delay_benchmark": 6.0,
+    "crosstalk": 4.0,
+    "engine_sweep": 1.2,
+    "dist_workers": 1.0,
+    "newton_reuse": 1.5,
+    "batched_sweep": 2.5,
+}
+"""Acceptance floors (full mode only): ISSUE 3 for the first two, ISSUE 8
+for the rest.  ``engine_sweep`` and ``dist_workers`` run on whatever the
+host gives them (possibly one core), so their floors only assert that the
+batch executor / batched worker never *lose* to serial dispatch."""
 
 
 @dataclass
@@ -167,8 +192,13 @@ def case_variability_mc(smoke: bool) -> CaseResult:
 
 
 def case_delay_benchmark(smoke: bool) -> CaseResult:
-    """Fig. 11 inverter-line-inverter benchmark (nonlinear Newton path)."""
-    n_segments = 30 if smoke else 100
+    """Fig. 11 inverter-line-inverter benchmark (nonlinear Newton path).
+
+    The fast side stacks both optimisation rounds: compiled sparse MNA
+    (PR 3) plus frozen-factorization Newton (PR 8), which is what the
+    experiment stack runs when flipped to freeze mode.
+    """
+    n_segments = 30 if smoke else 200
     n_steps = 200 if smoke else 600
     tube = MWCNTInterconnect(
         outer_diameter=nm(10), length=um(200), contact_resistance=100e3
@@ -179,7 +209,9 @@ def case_delay_benchmark(smoke: bool) -> CaseResult:
         lambda: measure_inverter_line_delay(line, n_time_steps=n_steps, backend="dense")
     )
     fast_s, candidate = _timed(
-        lambda: measure_inverter_line_delay(line, n_time_steps=n_steps, backend="sparse")
+        lambda: measure_inverter_line_delay(
+            line, n_time_steps=n_steps, backend="sparse", solver_opts=FREEZE
+        )
     )
     parity = abs(candidate.propagation_delay - reference.propagation_delay) / abs(
         reference.propagation_delay
@@ -197,8 +229,12 @@ def case_delay_benchmark(smoke: bool) -> CaseResult:
 
 
 def case_crosstalk(smoke: bool) -> CaseResult:
-    """Victim/aggressor crosstalk: two coupled ladders + four inverters."""
-    n_segments = 8 if smoke else 30
+    """Victim/aggressor crosstalk: two coupled ladders + four inverters.
+
+    Like :func:`case_delay_benchmark`, the fast side is sparse + frozen
+    Newton -- three transients per call, so factorization reuse compounds.
+    """
+    n_segments = 8 if smoke else 80
     n_steps = 150 if smoke else 400
     tube = MWCNTInterconnect(outer_diameter=nm(10), length=um(50), contact_resistance=100e3)
     line = InterconnectLine(tube, n_segments=n_segments)
@@ -208,7 +244,9 @@ def case_crosstalk(smoke: bool) -> CaseResult:
         lambda: analyze_crosstalk(line, coupling, n_time_steps=n_steps, backend="dense")
     )
     fast_s, candidate = _timed(
-        lambda: analyze_crosstalk(line, coupling, n_time_steps=n_steps, backend="sparse")
+        lambda: analyze_crosstalk(
+            line, coupling, n_time_steps=n_steps, backend="sparse", solver_opts=FREEZE
+        )
     )
     parity = max(
         abs(candidate.noise_peak - reference.noise_peak)
@@ -229,15 +267,15 @@ def case_crosstalk(smoke: bool) -> CaseResult:
 
 
 def case_engine_sweep(smoke: bool) -> CaseResult:
-    """Engine fan-out: serial vs process pool with per-point futures.
+    """Engine fan-out: serial dispatch vs the ``batch`` executor.
 
-    Keeps the ROADMAP's serial-vs-parallel parity assertion alive with the
-    same transient-heavy Fig. 12 sweep the PR-1 baseline used -- each point
-    is a real MNA workload, so the fan-out measures parallel scaling, not
-    dispatch overhead.  The speedup is host-dependent by nature (on a
-    single-core runner the pool only adds dispatch cost -- check
-    ``host.cpus`` in the JSON before comparing trajectory points); parity
-    is the invariant.
+    The same transient-heavy Fig. 12 sweep the PR-1 baseline used, but the
+    fast side now runs ``Engine(executor="batch")``: every pending point
+    feeds one stacked evaluation through the experiment's ``batch_fn``
+    (same-topology transients solve together), so the win does not depend
+    on spare cores.  Content-hash identity between the serial and batched
+    sweeps is the invariant -- the records must be float-identical, not
+    just close.
     """
     contacts = [100e3, 250e3] if smoke else [50e3, 100e3, 150e3, 200e3, 300e3, 400e3]
     spec = SweepSpec.grid(contact_resistance=contacts)
@@ -254,15 +292,24 @@ def case_engine_sweep(smoke: bool) -> CaseResult:
 
     legacy_s, reference = _timed(lambda: Engine().sweep("fig12", spec, base_params=base))
     fast_s, candidate = _timed(
-        lambda: Engine(executor="process", max_workers=4).sweep("fig12", spec, base_params=base)
+        lambda: Engine(executor="batch").sweep("fig12", spec, base_params=base)
     )
+    if candidate.content_hash != reference.content_hash:
+        raise AssertionError(
+            "batch-executor sweep is not content-hash identical to serial: "
+            f"{candidate.content_hash} != {reference.content_hash}"
+        )
     parity = 0.0 if candidate == reference else float("inf")
     return CaseResult(
         name="engine_sweep",
         legacy_s=legacy_s,
         fast_s=fast_s,
         parity_max_rel=parity,
-        detail={"n_points": len(spec), "executor": "process"},
+        detail={
+            "n_points": len(spec),
+            "executor": "batch",
+            "content_hash": candidate.content_hash[:16],
+        },
     )
 
 
@@ -273,8 +320,11 @@ def case_dist_workers(smoke: bool) -> CaseResult:
     (locked claims + atomic publish); the case asserts every point was
     executed exactly once across the workers and that the merged-from-store
     sweep equals the serial run bit-for-bit -- the PR-4 acceptance
-    invariant.  The workers run in threads, so the speedup is GIL- and
-    host-dependent (no floor); parity is the invariant.
+    invariant.  Since PR 8 the loop claims in batches (``claim_many``: one
+    store lock per pass instead of one per point) and executes its
+    acquired fig12 points through the experiment's ``batch_fn``, so two
+    GIL-sharing thread workers are expected to at least *match* serial
+    dispatch (floor 1.0) instead of losing to lock round trips.
     """
     import shutil
     import tempfile
@@ -293,6 +343,7 @@ def case_dist_workers(smoke: bool) -> CaseResult:
     }
 
     legacy_s, reference = _timed(lambda: Engine().sweep("fig12", spec, base_params=base))
+    claim_round_trips: list[int] = []
 
     def distributed():
         directory = tempfile.mkdtemp(prefix="repro-dist-bench-")
@@ -318,6 +369,9 @@ def case_dist_workers(smoke: bool) -> CaseResult:
                 raise AssertionError(
                     f"{executed} executions for {len(spec)} points (duplicates or losses)"
                 )
+            claim_round_trips[:] = [
+                sum(report.claim_round_trips for report in reports)
+            ]
             return Engine(store=store).sweep("fig12", spec, base_params=base)
         finally:
             shutil.rmtree(directory, ignore_errors=True)
@@ -329,7 +383,106 @@ def case_dist_workers(smoke: bool) -> CaseResult:
         legacy_s=legacy_s,
         fast_s=fast_s,
         parity_max_rel=parity,
-        detail={"n_points": len(spec), "n_workers": 2},
+        detail={
+            "n_points": len(spec),
+            "n_workers": 2,
+            "claim_round_trips": claim_round_trips[0],
+        },
+    )
+
+
+def case_newton_reuse(smoke: bool) -> CaseResult:
+    """Frozen-factorization Newton vs per-iteration refactorization.
+
+    Isolates the PR-8 solver win from the PR-3 backend win: both sides run
+    the compiled *sparse* path on the Fig. 11 delay benchmark; only the
+    Newton policy differs (``exact`` refactorizes every iteration,
+    ``freeze`` reuses one numeric LU across iterations and steps with
+    residual-triggered refreshes).  Full mode uses a longer ladder than
+    ``delay_benchmark``: factorization cost grows with the system while the
+    per-iteration triangular solves stay cheap, so this is the regime the
+    freeze policy exists for.
+    """
+    n_segments = 30 if smoke else 800
+    n_steps = 200 if smoke else 600
+    tube = MWCNTInterconnect(
+        outer_diameter=nm(10), length=um(200), contact_resistance=100e3
+    )
+    line = InterconnectLine(tube, n_segments=n_segments)
+
+    legacy_s, reference = _timed(
+        lambda: measure_inverter_line_delay(
+            line, n_time_steps=n_steps, backend="sparse", solver_opts=SolverOptions()
+        )
+    )
+    fast_s, candidate = _timed(
+        lambda: measure_inverter_line_delay(
+            line, n_time_steps=n_steps, backend="sparse", solver_opts=FREEZE
+        )
+    )
+    parity = abs(candidate.propagation_delay - reference.propagation_delay) / abs(
+        reference.propagation_delay
+    )
+    return CaseResult(
+        name="newton_reuse",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=parity,
+        detail={
+            "n_segments": n_segments,
+            "delay_ps": round(candidate.propagation_delay * 1e12, 4),
+        },
+    )
+
+
+def case_batched_sweep(smoke: bool) -> CaseResult:
+    """Stacked same-topology transients vs one solve per line.
+
+    The PR-8 batched point evaluation in isolation: N inverter-line delay
+    benchmarks that differ only in contact resistance (same topology, all
+    below the dense-backend threshold) are measured one call at a time vs
+    through :func:`~repro.circuit.delay.measure_inverter_line_delay_batch`,
+    which stacks the per-step linear systems into one dense kernel.
+    Results are required to be float-identical per line.
+    """
+    n_lines = 4 if smoke else 16
+    n_segments = 8 if smoke else 12
+    n_steps = 150 if smoke else 400
+    lines = [
+        InterconnectLine(
+            MWCNTInterconnect(
+                outer_diameter=nm(10),
+                length=um(100),
+                contact_resistance=100e3 + 25e3 * index,
+            ),
+            n_segments=n_segments,
+        )
+        for index in range(n_lines)
+    ]
+
+    legacy_s, reference = _timed(
+        lambda: [
+            measure_inverter_line_delay(line, n_time_steps=n_steps) for line in lines
+        ]
+    )
+    fast_s, candidate = _timed(
+        lambda: measure_inverter_line_delay_batch(lines, n_time_steps=n_steps)
+    )
+    parity = max(
+        abs(fast.propagation_delay - slow.propagation_delay)
+        / max(abs(slow.propagation_delay), 1e-30)
+        for fast, slow in zip(candidate, reference)
+    )
+    return CaseResult(
+        name="batched_sweep",
+        legacy_s=legacy_s,
+        fast_s=fast_s,
+        parity_max_rel=parity,
+        detail={
+            "n_lines": n_lines,
+            "n_segments": n_segments,
+            "delay_ps": round(candidate[0].propagation_delay * 1e12, 4),
+        },
     )
 
 
@@ -338,6 +491,8 @@ CASES = (
     case_variability_mc,
     case_delay_benchmark,
     case_crosstalk,
+    case_newton_reuse,
+    case_batched_sweep,
     case_engine_sweep,
     case_dist_workers,
 )
@@ -379,7 +534,7 @@ def run_suite(smoke: bool = False, enforce_floors: bool | None = None) -> dict:
 
     return {
         "schema": 1,
-        "pr": 4,
+        "pr": 8,
         "mode": "smoke" if smoke else "full",
         "parity_rtol": PARITY_RTOL,
         "speedup_floors": SPEEDUP_FLOORS,

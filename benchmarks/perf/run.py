@@ -7,7 +7,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/perf/run.py --smoke    # CI: small, parity only
     PYTHONPATH=src python benchmarks/perf/run.py --output BENCH_local.json
 
-Full mode writes ``benchmarks/perf/BENCH_4.json`` (the committed trajectory
+Full mode writes ``benchmarks/perf/BENCH_8.json`` (the committed trajectory
 point for this PR); smoke mode defaults to ``BENCH_smoke.json`` in the
 working directory so CI can upload it as a build artifact without touching
 the tree.  Read the trajectory with ``python -m repro perf-report`` (see
@@ -36,7 +36,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="output JSON path (default: benchmarks/perf/BENCH_4.json, "
+        help="output JSON path (default: benchmarks/perf/BENCH_8.json, "
         "or ./BENCH_smoke.json with --smoke)",
     )
     args = parser.parse_args(argv)
@@ -46,7 +46,7 @@ def main(argv: list[str] | None = None) -> int:
         output = (
             "BENCH_smoke.json"
             if args.smoke
-            else os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_4.json")
+            else os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_8.json")
         )
 
     print(f"perf harness ({'smoke' if args.smoke else 'full'} mode)", file=sys.stderr)

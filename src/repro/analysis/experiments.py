@@ -47,6 +47,7 @@ from repro.analysis.fig12_delay_ratio import (
     DEFAULT_CONTACT_RESISTANCE,
     DelayRatioStudy,
     fig12_records,
+    fig12_records_batch,
 )
 from repro.analysis.tables import (
     ampacity_table,
@@ -195,6 +196,31 @@ register_experiment(
 # --- Fig. 12: circuit-level delay-ratio benchmark ---------------------------
 
 
+def _fig12_study(
+    diameters_nm: tuple[float, ...],
+    lengths_um: tuple[float, ...],
+    channel_counts: tuple[float, ...],
+    contact_resistance: float,
+    technology: str,
+    use_transient: bool,
+    n_segments: int,
+) -> DelayRatioStudy:
+    return DelayRatioStudy(
+        diameters_nm=tuple(diameters_nm),
+        lengths_um=tuple(lengths_um),
+        channel_counts=tuple(channel_counts),
+        contact_resistance=contact_resistance,
+        technology=node_by_name(technology),
+        use_transient=use_transient,
+        n_segments=n_segments,
+    )
+
+
+def _fig12_batch(params_list: list[dict]) -> list[list[dict]]:
+    """Batched fig12 evaluator: stacked transients across sweep points."""
+    return fig12_records_batch([_fig12_study(**params) for params in params_list])
+
+
 @register_experiment(
     "fig12",
     params=(
@@ -223,6 +249,7 @@ register_experiment(
     ),
     description="Doped vs pristine MWCNT delay-ratio benchmark (Figs. 11-12)",
     tags=("figure", "circuit"),
+    batch_fn=_fig12_batch,
 )
 def _fig12(
     diameters_nm: tuple[float, ...],
@@ -233,16 +260,17 @@ def _fig12(
     use_transient: bool,
     n_segments: int,
 ) -> list[dict]:
-    study = DelayRatioStudy(
-        diameters_nm=tuple(diameters_nm),
-        lengths_um=tuple(lengths_um),
-        channel_counts=tuple(channel_counts),
-        contact_resistance=contact_resistance,
-        technology=node_by_name(technology),
-        use_transient=use_transient,
-        n_segments=n_segments,
+    return fig12_records(
+        _fig12_study(
+            diameters_nm,
+            lengths_um,
+            channel_counts,
+            contact_resistance,
+            technology,
+            use_transient,
+            n_segments,
+        )
     )
-    return fig12_records(study)
 
 
 # --- extension: energy design space -----------------------------------------

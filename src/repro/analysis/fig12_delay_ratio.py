@@ -25,7 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis._compat import warn_legacy
-from repro.circuit.delay import measure_inverter_line_delay
+from repro.circuit.delay import (
+    measure_inverter_line_delay,
+    measure_inverter_line_delay_batch,
+)
 from repro.circuit.technology import NODE_45NM, TechnologyNode
 from repro.core.doping import DopingProfile
 from repro.core.line import InterconnectLine
@@ -127,6 +130,71 @@ def fig12_records(study: DelayRatioStudy | None = None) -> list[dict]:
                     }
                 )
     return records
+
+
+def fig12_records_batch(studies: list[DelayRatioStudy]) -> list[list[dict]]:
+    """Run several Fig. 12 studies with their transients batched together.
+
+    The records of each study are float-identical to :func:`fig12_records`
+    of the same study: the exact set of lines the serial loop would simulate
+    is enumerated first (one pristine line per (diameter, length) -- reused
+    for ``Nc = 2`` exactly like the serial loop reuses it -- plus one line
+    per doped channel count), all transients are evaluated through
+    :func:`repro.circuit.delay.measure_inverter_line_delay_batch` (grouped
+    by technology, since the driver/receiver cells depend on it), and the
+    record arithmetic is then replayed from the measured delays.  This is
+    what the engine's ``batch`` executor calls when several ``fig12`` sweep
+    points are pending at once.
+    """
+    requests: dict[tuple, None] = {}
+    for study_index, study in enumerate(studies):
+        for diameter in study.diameters_nm:
+            for length in study.lengths_um:
+                requests.setdefault((study_index, diameter, length, 2.0))
+                for channels in study.channel_counts:
+                    if channels != 2.0:
+                        requests.setdefault((study_index, diameter, length, channels))
+
+    delays: dict[tuple, float] = {}
+    transient_keys: dict[TechnologyNode, list[tuple]] = {}
+    for key in requests:
+        study = studies[key[0]]
+        if study.use_transient:
+            transient_keys.setdefault(study.technology, []).append(key)
+        else:
+            delays[key] = _delay(study, _line(study, *key[1:]))
+    for technology, keys in transient_keys.items():
+        lines = [
+            _line(studies[study_index], diameter, length, channels)
+            for study_index, diameter, length, channels in keys
+        ]
+        measurements = measure_inverter_line_delay_batch(lines, technology=technology)
+        for key, measurement in zip(keys, measurements):
+            delays[key] = measurement.propagation_delay
+
+    all_records: list[list[dict]] = []
+    for study_index, study in enumerate(studies):
+        records: list[dict] = []
+        for diameter in study.diameters_nm:
+            for length in study.lengths_um:
+                pristine_delay = delays[(study_index, diameter, length, 2.0)]
+                for channels in study.channel_counts:
+                    if channels == 2.0:
+                        delay = pristine_delay
+                    else:
+                        delay = delays[(study_index, diameter, length, channels)]
+                    records.append(
+                        {
+                            "diameter_nm": diameter,
+                            "length_um": length,
+                            "channels_per_shell": channels,
+                            "delay_ps": delay * 1e12,
+                            "delay_ratio": delay / pristine_delay,
+                            "delay_reduction_percent": 100.0 * (1.0 - delay / pristine_delay),
+                        }
+                    )
+        all_records.append(records)
+    return all_records
 
 
 def summarize_at_length(

@@ -212,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--executor", choices=EXECUTORS, default="serial")
     sweep.add_argument("--workers", type=int, default=None, help="pool size for parallel executors")
     sweep.add_argument(
+        "--profile", action="store_true",
+        help="record per-point wall/solve/dispatch timings into each point's "
+        "meta (and a sweep-level aggregate), queryable via `repro query`",
+    )
+    sweep.add_argument(
         "--no-progress", action="store_true",
         help="suppress the per-point progress lines on stderr",
     )
@@ -664,32 +669,33 @@ def _shard_plan(args: argparse.Namespace):
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _parsed_spec(args)
     shard = _shard_plan(args)
-    engine = Engine(
-        cache_dir=args.cache_dir,
-        store=_resolved_store(args),
-        executor=args.executor,
-        max_workers=args.workers,
-    )
     n_points = len(spec) if shard is None else len(shard.indices(spec.points()))
     shard_note = (
         "" if shard is None else f" (shard {shard.shard_index}/{shard.n_shards})"
     )
     print(f"sweep: {spec.mode} over {spec.axis_names}, {n_points} points{shard_note}")
-    try:
-        result = engine.sweep(
-            args.name,
-            spec,
-            base_params=_coerced_overrides(args.name, args.param),
-            use_cache=not args.no_cache,
-            on_result=None if args.no_progress else _progress_printer(n_points),
-            shard=shard,
-        )
-    except SweepError as error:
-        # Completed points survive the failure: print and export them so the
-        # work (also sitting in the cache) is not lost.
-        print(f"error: {error}", file=sys.stderr)
-        _print_result(error.partial, args)
-        return 1
+    with Engine(
+        cache_dir=args.cache_dir,
+        store=_resolved_store(args),
+        executor=args.executor,
+        max_workers=args.workers,
+        profile=args.profile,
+    ) as engine:
+        try:
+            result = engine.sweep(
+                args.name,
+                spec,
+                base_params=_coerced_overrides(args.name, args.param),
+                use_cache=not args.no_cache,
+                on_result=None if args.no_progress else _progress_printer(n_points),
+                shard=shard,
+            )
+        except SweepError as error:
+            # Completed points survive the failure: print and export them so
+            # the work (also sitting in the cache) is not lost.
+            print(f"error: {error}", file=sys.stderr)
+            _print_result(error.partial, args)
+            return 1
     _print_result(result, args)
     return 0
 
@@ -987,12 +993,6 @@ def _cmd_study(args: argparse.Namespace) -> int:
             axes=_coerced_axes(study.target, assignments),
         )
     shard = _shard_plan(args)
-    engine = Engine(
-        cache_dir=args.cache_dir,
-        store=_resolved_store(args),
-        executor=args.executor,
-        max_workers=args.workers,
-    )
     effective = spec if spec is not None else study.sweep
     on_result = None
     if effective is not None and not args.no_progress:
@@ -1009,19 +1009,25 @@ def _cmd_study(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         on_result = _progress_printer(n_points)
-    try:
-        result = engine.run_study(
-            study,
-            stage_params=stage_params,
-            sweep=spec,
-            shard=shard,
-            use_cache=not args.no_cache,
-            on_result=on_result,
-        )
-    except SweepError as error:
-        print(f"error: {error}", file=sys.stderr)
-        _print_result(error.partial, args)
-        return 1
+    with Engine(
+        cache_dir=args.cache_dir,
+        store=_resolved_store(args),
+        executor=args.executor,
+        max_workers=args.workers,
+    ) as engine:
+        try:
+            result = engine.run_study(
+                study,
+                stage_params=stage_params,
+                sweep=spec,
+                shard=shard,
+                use_cache=not args.no_cache,
+                on_result=on_result,
+            )
+        except SweepError as error:
+            print(f"error: {error}", file=sys.stderr)
+            _print_result(error.partial, args)
+            return 1
     _print_result(result, args)
     return 0
 

@@ -6,8 +6,12 @@ The :class:`Engine` is the single entry point that turns a registered
 
 * ``run(name, **params)`` -- one experiment execution,
 * ``sweep(name, spec)`` -- fan a :class:`~repro.api.sweep.SweepSpec` out over
-  the experiment, serially or through a ``concurrent.futures`` thread/process
-  pool with per-point future submission (optionally chunked),
+  the experiment, serially, through a ``concurrent.futures`` thread/process
+  pool with per-point future submission (optionally chunked), or through the
+  ``batch`` executor, which hands all pending points of an experiment that
+  declares a ``batch_fn`` to one stacked evaluation
+  (:meth:`~repro.api.experiment.Experiment.run_batch`) and falls back to
+  point-by-point execution otherwise,
 * ``iter_sweep(name, spec)`` -- the streaming form of ``sweep``: a generator
   yielding one :class:`SweepPoint` per sweep point *as it completes* (cache
   hits first, then executed points in completion order), so callers can
@@ -71,7 +75,14 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.dist.shards import ShardPlan
     from repro.dist.store import ResultStore
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "batch")
+
+TARGET_CHUNK_SECONDS = 0.25
+"""Per-pool-task compute budget ``chunk_size="auto"`` aims for.
+
+Large enough that a chunk's pickling/dispatch overhead (sub-millisecond) is
+noise, small enough that streaming consumers still see results at a useful
+cadence and the pool stays load-balanced."""
 
 # Per-stage parameter overrides, keyed by experiment name (a Study's params).
 StageParams = Mapping[str, Mapping[str, Any]]
@@ -98,10 +109,12 @@ def cache_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-# One executed sweep point before tagging: (records, error message, wall time).
-# ``records`` is None exactly when ``error`` is set; capturing the error as a
-# string keeps the tuple picklable across process-pool boundaries.
-_Outcome = tuple[list[dict[str, Any]] | None, str | None, float]
+# One executed sweep point before tagging: (records, error message, wall
+# time, profile block or None).  ``records`` is None exactly when ``error``
+# is set; capturing the error as a string keeps the tuple picklable across
+# process-pool boundaries.  The profile block (``profile=True`` engines
+# only) carries the point's ``wall_s`` / ``solve_s`` / ``dispatch_s`` split.
+_Outcome = tuple[list[dict[str, Any]] | None, str | None, float, dict[str, float] | None]
 
 # One executable unit: (resolved params, injected upstream artifacts).
 _Task = tuple[dict[str, Any], dict[str, Any]]
@@ -124,25 +137,37 @@ def upstream_meta(
 
 
 def _run_outcomes(
-    run_with_inputs: Callable[..., list[dict[str, Any]]], tasks: list[_Task]
+    run_with_inputs: Callable[..., list[dict[str, Any]]],
+    tasks: list[_Task],
+    profile: bool = False,
 ) -> list[_Outcome]:
     """Run sweep tasks one by one, capturing per-task failures.
 
     An exception in one point must not poison its siblings (that is the
     partial-failure guarantee of ``sweep``), so each point's error is caught
-    and reported as data rather than raised.
+    and reported as data rather than raised.  With ``profile=True`` each
+    execution is wrapped in :func:`repro.circuit.compiled.profiled_solves`
+    so the outcome carries the point's solver wall time.
     """
     outcomes: list[_Outcome] = []
     for params, inputs in tasks:
+        prof: dict[str, float] | None = None
         start = time.perf_counter()
         try:
-            records = run_with_inputs(inputs, params)
+            if profile:
+                from repro.circuit.compiled import profiled_solves
+
+                with profiled_solves() as accumulator:
+                    records = run_with_inputs(inputs, params)
+                prof = dict(accumulator)
+            else:
+                records = run_with_inputs(inputs, params)
         except Exception as error:
             outcomes.append(
-                (None, f"{type(error).__name__}: {error}", time.perf_counter() - start)
+                (None, f"{type(error).__name__}: {error}", time.perf_counter() - start, None)
             )
         else:
-            outcomes.append((records, None, time.perf_counter() - start))
+            outcomes.append((records, None, time.perf_counter() - start, prof))
     return outcomes
 
 
@@ -240,8 +265,14 @@ class Engine:
         :class:`~repro.dist.sqlstore.SqliteStore`, a directory path a
         :class:`~repro.dist.store.SharedStore`.
     executor:
-        ``"serial"`` (default), ``"thread"`` or ``"process"`` -- how sweep
-        points are fanned out.  Single ``run`` calls always execute inline.
+        ``"serial"`` (default), ``"thread"``, ``"process"`` or ``"batch"``
+        -- how sweep points are fanned out.  ``"batch"`` executes in the
+        coordinating process like ``"serial"``, but routes every pending
+        point of an experiment that declares a ``batch_fn`` through one
+        stacked :meth:`~repro.api.experiment.Experiment.run_batch` call
+        (points of experiments without one, and points needing injected
+        upstream artifacts, run point by point).  Single ``run`` calls
+        always execute inline.
     max_workers:
         Pool size for the parallel executors (default: ``os.cpu_count()``).
     chunk_size:
@@ -250,7 +281,24 @@ class Engine:
         point-granularly under the pooled executors (the process pool
         pre-imports the registry through a worker initializer, so the
         per-task dispatch cost stays small).  Set a larger value to batch
-        very cheap points and amortise pickling overhead.
+        very cheap points and amortise pickling overhead, or ``"auto"`` to
+        size chunks from the measured per-point cost (targeting
+        :data:`TARGET_CHUNK_SECONDS` of compute per pool task, capped so
+        every worker still gets several chunks).  Under the ``batch``
+        executor ``None``/``"auto"`` stack *all* pending batchable points
+        into one evaluation and an integer caps the stack size.
+    profile:
+        When True, every executed point's ResultSet records a
+        ``meta["profile"]`` block splitting the point's cost into
+        ``wall_s`` (experiment execution), ``solve_s`` (time inside the
+        compiled MNA solver; in-process executors only) and ``dispatch_s``
+        (executor queueing/dispatch overhead share), and ``sweep`` adds an
+        aggregated block to the combined ResultSet's meta.  Profile blocks
+        live in meta, so content hashes and cache keys are unaffected.
+
+    Pools are kept warm: consecutive sweeps through one engine reuse the
+    executor pool instead of re-spawning workers per call.  ``close()``
+    (or using the engine as a context manager) shuts the pools down.
     """
 
     def __init__(
@@ -258,14 +306,20 @@ class Engine:
         cache_dir: str | None = None,
         executor: str = "serial",
         max_workers: int | None = None,
-        chunk_size: int | None = None,
+        chunk_size: int | str | None = None,
         store: "ResultStore | str | None" = None,
+        profile: bool = False,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; use one of {EXECUTORS}")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be positive")
-        if chunk_size is not None and chunk_size < 1:
+        if isinstance(chunk_size, str):
+            if chunk_size != "auto":
+                raise ValueError(
+                    f"chunk_size must be a positive int, None or 'auto', got {chunk_size!r}"
+                )
+        elif chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         if store is not None and cache_dir is not None:
             raise ValueError("pass either cache_dir or store, not both")
@@ -284,8 +338,80 @@ class Engine:
         self.executor = executor
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
+        self.profile = profile
         self.cache_hits = 0
         self.cache_misses = 0
+        # Warm executor pools, keyed by kind ("thread"/"process"), with the
+        # worker count they were created at; see _get_pool.
+        self._pools: dict[str, tuple[Any, int]] = {}
+        # Exponential moving average of the per-point wall time, feeding
+        # chunk_size="auto".
+        self._point_cost_ema: float | None = None
+
+    # --- pool lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down any warm executor pools (idempotent)."""
+        pools, self._pools = self._pools, {}
+        for pool, _ in pools.values():
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            for pool, _ in self._pools.values():
+                pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _get_pool(self, workers: int) -> Any:
+        """The warm pool for the current executor, (re)built when too small.
+
+        Re-dispatching through one long-lived pool is what removes the
+        per-sweep worker spawn cost (process fork + registry import) that
+        used to make many small ``iter_sweep`` calls slower than serial
+        execution.  A cached pool is reused whenever it has at least the
+        requested worker count; a too-small one is replaced.
+        """
+        cached = self._pools.get(self.executor)
+        if cached is not None and cached[1] >= workers:
+            return cached[0]
+        if cached is not None:
+            cached[0].shutdown(wait=False, cancel_futures=True)
+        if self.executor == "thread":
+            pool: Any = ThreadPoolExecutor(max_workers=workers)
+        else:
+            # Import the registry once per worker at startup instead of per
+            # submitted task -- with per-point futures the task count equals
+            # the point count, so per-task work must stay minimal.
+            pool = ProcessPoolExecutor(max_workers=workers, initializer=ensure_registered)
+        self._pools[self.executor] = (pool, workers)
+        return pool
+
+    def _observe_point_cost(self, elapsed: float) -> None:
+        """Feed one executed point's wall time into the auto-chunk EMA."""
+        if self._point_cost_ema is None:
+            self._point_cost_ema = elapsed
+        else:
+            self._point_cost_ema = 0.5 * self._point_cost_ema + 0.5 * elapsed
+
+    def _finalize_outcome(self, outcome: _Outcome, dispatch_s: float) -> _Outcome:
+        """Record the point cost and attach the profile block (if profiling)."""
+        records, error, elapsed, prof = outcome
+        self._observe_point_cost(elapsed)
+        if not self.profile:
+            return (records, error, elapsed, None)
+        profile = {
+            "wall_s": elapsed,
+            "solve_s": (prof or {}).get("solve_s", 0.0),
+            "dispatch_s": dispatch_s,
+        }
+        return (records, error, elapsed, profile)
 
     # --- cache ------------------------------------------------------------
 
@@ -599,6 +725,21 @@ class Engine:
 
         meta = self._meta(experiment, dict(base_params or {}), elapsed)
         meta["sweep"] = spec.to_meta()
+        if self.profile:
+            blocks = [
+                completed[index].result.meta["profile"]
+                for index in selected
+                if completed[index].ok
+                and not completed[index].cache_hit
+                and completed[index].result is not None
+                and "profile" in completed[index].result.meta
+            ]
+            meta["profile"] = {
+                "points_profiled": len(blocks),
+                "wall_s": sum(block.get("wall_s", 0.0) for block in blocks),
+                "solve_s": sum(block.get("solve_s", 0.0) for block in blocks),
+                "dispatch_s": sum(block.get("dispatch_s", 0.0) for block in blocks),
+            }
         if shard is not None:
             meta["shard"] = {
                 "n_shards": shard.n_shards,
@@ -739,7 +880,7 @@ class Engine:
             }
             for index in pending
         }
-        for index, (records, error, elapsed) in self._execute_pending(
+        for index, (records, error, elapsed, prof) in self._execute_pending(
             experiment, tasks, pending
         ):
             if error is not None:
@@ -751,12 +892,12 @@ class Engine:
                     error=error,
                 )
                 continue
-            result = ResultSet.from_records(
-                records,
-                meta=self._meta(
-                    experiment, resolved_points[index], elapsed, upstream_by_index[index]
-                ),
+            meta = self._meta(
+                experiment, resolved_points[index], elapsed, upstream_by_index[index]
             )
+            if prof is not None:
+                meta["profile"] = prof
+            result = ResultSet.from_records(records, meta=meta)
             self._cache_store(paths[index], result)
             yield SweepPoint(
                 index=index,
@@ -838,7 +979,7 @@ class Engine:
                 stage_upstream[slot] = upstream_hashes
             self.cache_misses += len(pending)
 
-            for slot, (records, error, elapsed) in self._execute_pending(
+            for slot, (records, error, elapsed, prof) in self._execute_pending(
                 upstream, stage_tasks, pending
             ):
                 if error is not None:
@@ -846,16 +987,31 @@ class Engine:
                     # it without re-executing the doomed invocation.
                     memo[memo_keys[slot]] = UpstreamFailure(error)
                     continue
-                result = ResultSet.from_records(
-                    records,
-                    meta=self._meta(
-                        upstream, stage_tasks[slot][0], elapsed, stage_upstream[slot]
-                    ),
+                stage_meta = self._meta(
+                    upstream, stage_tasks[slot][0], elapsed, stage_upstream[slot]
                 )
+                if prof is not None:
+                    stage_meta["profile"] = prof
+                result = ResultSet.from_records(records, meta=stage_meta)
                 self._cache_store(stage_paths[slot], result)
                 memo[memo_keys[slot]] = result
 
     # --- helpers ----------------------------------------------------------
+
+    def _auto_chunk_size(self, n_pending: int) -> int:
+        """Chunk size targeting :data:`TARGET_CHUNK_SECONDS` per pool task.
+
+        Derived from the measured per-point cost EMA (1 until anything has
+        been measured), and capped so every worker still receives at least
+        two chunks -- a single giant chunk would serialise the sweep behind
+        one worker no matter how cheap the points are.
+        """
+        cost = self._point_cost_ema
+        if cost is None or cost <= 0.0:
+            return 1
+        by_cost = int(TARGET_CHUNK_SECONDS / cost)
+        balance_cap = n_pending // (2 * self.max_workers)
+        return max(1, min(by_cost, max(1, balance_cap)))
 
     def _chunks(self, pending: list[int]) -> list[list[int]]:
         """Split pending point indices into pool tasks.
@@ -864,14 +1020,17 @@ class Engine:
         result streams back the moment it finishes instead of waiting for
         chunk-mates, which is the point-granular latency :meth:`iter_sweep`
         promises.  An explicit ``chunk_size`` restores batched submission
-        for workloads whose per-point cost is dwarfed by dispatch overhead.
+        for workloads whose per-point cost is dwarfed by dispatch overhead;
+        ``"auto"`` picks that size from the measured point cost.
         """
         if self.chunk_size is None:
             return [[index] for index in pending]
-        return [
-            pending[i : i + self.chunk_size]
-            for i in range(0, len(pending), self.chunk_size)
-        ]
+        size = (
+            self._auto_chunk_size(len(pending))
+            if self.chunk_size == "auto"
+            else self.chunk_size
+        )
+        return [pending[i : i + size] for i in range(0, len(pending), size)]
 
     def _execute_pending(
         self,
@@ -891,16 +1050,19 @@ class Engine:
         """
         if not pending:
             return
+        if self.executor == "batch":
+            yield from self._execute_batched(experiment, tasks, pending)
+            return
         if self.executor == "serial" or len(pending) == 1:
             # Execute through the instance itself so ad-hoc (unregistered)
             # Experiment objects behave exactly like in run().
             for index in pending:
-                yield index, _run_outcomes(
-                    experiment.run_with_inputs, [tasks[index]]
+                outcome = _run_outcomes(
+                    experiment.run_with_inputs, [tasks[index]], profile=self.profile
                 )[0]
+                yield index, self._finalize_outcome(outcome, 0.0)
             return
 
-        pool_kwargs: dict[str, Any] = {}
         if self.executor == "process":
             # Process workers rebuild the registry by name; an instance that
             # is not the registered one would silently execute the wrong
@@ -914,39 +1076,109 @@ class Engine:
                     f"{experiment.name!r} is not the registered instance "
                     "(use executor='thread'/'serial' for ad-hoc experiments)"
                 )
-            # Import the registry once per worker at startup instead of per
-            # submitted task -- with per-point futures the task count equals
-            # the point count, so per-task work must stay minimal.
-            pool_kwargs["initializer"] = ensure_registered
 
         chunks = self._chunks(pending)
-        pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
-        pool = pool_cls(max_workers=min(self.max_workers, len(chunks)), **pool_kwargs)
+        pool = self._get_pool(min(self.max_workers, len(chunks)))
+        if self.executor == "thread":
+            # Threads share the interpreter: execute through the instance
+            # (ad-hoc experiments included), no registry round-trip.
+            def submit(chunk_tasks):
+                return pool.submit(
+                    _run_outcomes, experiment.run_with_inputs, chunk_tasks
+                )
+
+        else:
+            def submit(chunk_tasks):
+                return pool.submit(_execute_chunk, experiment.name, chunk_tasks)
+
+        submitted = time.perf_counter()
+        future_to_chunk = {
+            submit([tasks[i] for i in chunk]): chunk for chunk in chunks
+        }
         try:
-            if self.executor == "thread":
-                # Threads share the interpreter: execute through the instance
-                # (ad-hoc experiments included), no registry round-trip.
-                def submit(chunk_tasks):
-                    return pool.submit(
-                        _run_outcomes, experiment.run_with_inputs, chunk_tasks
-                    )
-
-            else:
-                def submit(chunk_tasks):
-                    return pool.submit(_execute_chunk, experiment.name, chunk_tasks)
-
-            future_to_chunk = {
-                submit([tasks[i] for i in chunk]): chunk for chunk in chunks
-            }
             for future in as_completed(future_to_chunk):
-                for index, outcome in zip(future_to_chunk[future], future.result()):
-                    yield index, outcome
+                received = time.perf_counter()
+                chunk = future_to_chunk[future]
+                outcomes = future.result()
+                # Everything between submission and completion that was not
+                # experiment compute: pickling, queueing behind other chunks,
+                # result transfer.  Shared evenly across the chunk's points.
+                compute = sum(outcome[2] for outcome in outcomes)
+                dispatch = max(0.0, received - submitted - compute) / len(chunk)
+                for index, outcome in zip(chunk, outcomes):
+                    yield index, self._finalize_outcome(outcome, dispatch)
         finally:
             # A streaming consumer may abandon the generator mid-sweep
-            # (GeneratorExit lands here); cancelling the queued chunks keeps
-            # the shutdown wait bounded to the chunks already in flight
-            # instead of computing the rest of the sweep for nobody.
-            pool.shutdown(wait=True, cancel_futures=True)
+            # (GeneratorExit lands here); cancel the queued chunks so the
+            # warm pool stops computing the rest of the sweep for nobody.
+            # The pool itself stays alive for the next sweep (see close()).
+            for future in future_to_chunk:
+                future.cancel()
+
+    def _execute_batched(
+        self,
+        experiment: Experiment,
+        tasks: dict[int, _Task],
+        pending: list[int],
+    ) -> Iterator[tuple[int, _Outcome]]:
+        """The ``batch`` executor: stacked evaluation of batchable points.
+
+        Points of an experiment with a ``batch_fn`` and no injected inputs
+        are stacked into :meth:`Experiment.run_batch` calls (all pending
+        points at once for ``chunk_size=None``/``"auto"``, capped stacks for
+        an integer ``chunk_size``); everything else runs point by point like
+        the serial executor.  A failing batch falls back to per-point
+        execution, so each point's error is attributed individually and a
+        buggy batch function can never change sweep results.
+        """
+        batchable = (
+            [index for index in pending if not tasks[index][1]]
+            if experiment.batch_fn is not None
+            else []
+        )
+        batch_set = set(batchable)
+        for index in pending:
+            if index in batch_set:
+                continue
+            outcome = _run_outcomes(
+                experiment.run_with_inputs, [tasks[index]], profile=self.profile
+            )[0]
+            yield index, self._finalize_outcome(outcome, 0.0)
+
+        if isinstance(self.chunk_size, int):
+            chunks = [
+                batchable[i : i + self.chunk_size]
+                for i in range(0, len(batchable), self.chunk_size)
+            ]
+        else:
+            chunks = [batchable] if batchable else []
+        for chunk in chunks:
+            start = time.perf_counter()
+            solve_share = 0.0
+            try:
+                if self.profile:
+                    from repro.circuit.compiled import profiled_solves
+
+                    with profiled_solves() as accumulator:
+                        records_list = experiment.run_batch(
+                            [tasks[index][0] for index in chunk]
+                        )
+                    solve_share = accumulator["solve_s"] / len(chunk)
+                else:
+                    records_list = experiment.run_batch(
+                        [tasks[index][0] for index in chunk]
+                    )
+            except Exception:
+                for index in chunk:
+                    outcome = _run_outcomes(
+                        experiment.run_with_inputs, [tasks[index]], profile=self.profile
+                    )[0]
+                    yield index, self._finalize_outcome(outcome, 0.0)
+                continue
+            elapsed = (time.perf_counter() - start) / len(chunk)
+            for index, records in zip(chunk, records_list):
+                prof = {"solve_s": solve_share} if self.profile else None
+                yield index, self._finalize_outcome((records, None, elapsed, prof), 0.0)
 
     def _meta(
         self,

@@ -269,6 +269,14 @@ class Experiment:
         Upstream dependencies; non-empty makes this a *composite* experiment
         that can only execute with its input artifacts injected (the engine
         resolves them -- see :meth:`run_with_inputs`).
+    batch_fn:
+        Optional batched evaluator: a callable taking a *list* of resolved
+        parameter dicts and returning one record list per dict, each
+        float-identical to what ``fn`` would return for that dict alone.
+        The engine's ``batch`` executor routes pending sweep points through
+        it (see :meth:`run_batch`); experiments without one always run
+        point by point.  Only self-contained experiments (empty
+        ``consumes``) may declare a ``batch_fn``.
     description:
         One-line summary for ``python -m repro list``.
     tags:
@@ -286,8 +294,14 @@ class Experiment:
     version: str = "1"
     outputs: tuple[OutputSpec, ...] = ()
     consumes: tuple[Consumes, ...] = ()
+    batch_fn: Callable[[list[dict[str, Any]]], Any] | None = None
 
     def __post_init__(self) -> None:
+        if self.batch_fn is not None and self.consumes:
+            raise ValueError(
+                f"experiment {self.name!r}: batch_fn is only supported for "
+                "self-contained experiments (empty consumes)"
+            )
         names = [spec.name for spec in self.params]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate parameter names in experiment {self.name!r}")
@@ -377,6 +391,35 @@ class Experiment:
         validate_records(records, self.outputs, self.name)
         return records
 
+    def run_batch(
+        self, resolved_list: Sequence[Mapping[str, Any]]
+    ) -> list[list[dict[str, Any]]]:
+        """Execute many pre-resolved invocations through :attr:`batch_fn`.
+
+        Returns one record list per parameter dict, in order, each
+        normalised and validated exactly like a :meth:`run_with_inputs`
+        return value.  Raises :class:`PipelineError` when no ``batch_fn``
+        is declared or when it returns the wrong number of results --
+        callers (the engine's ``batch`` executor) fall back to per-point
+        execution on any exception, so a buggy batch function can cost
+        performance but never correctness.
+        """
+        if self.batch_fn is None:
+            raise PipelineError(
+                f"experiment {self.name!r} declares no batch_fn; "
+                "run its points individually"
+            )
+        results = self.batch_fn([dict(resolved) for resolved in resolved_list])
+        if not isinstance(results, Sequence) or len(results) != len(resolved_list):
+            raise PipelineError(
+                f"experiment {self.name!r} batch_fn must return one record "
+                f"list per parameter set ({len(resolved_list)} expected)"
+            )
+        records_list = [normalize_records(result) for result in results]
+        for records in records_list:
+            validate_records(records, self.outputs, self.name)
+        return records_list
+
 
 def normalize_records(result: Any) -> list[dict[str, Any]]:
     """Coerce an experiment return value into a list of record dicts.
@@ -448,6 +491,7 @@ def register_experiment(
     version: str = "1",
     outputs: Sequence[OutputSpec] = (),
     consumes: Sequence[Consumes] = (),
+    batch_fn: Callable[[list[dict[str, Any]]], Any] | None = None,
     replace: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator registering a function as a named experiment.
@@ -470,6 +514,7 @@ def register_experiment(
             version=version,
             outputs=tuple(outputs),
             consumes=tuple(consumes),
+            batch_fn=batch_fn,
         )
         if name in _REGISTRY and not replace:
             raise DuplicateExperimentError(

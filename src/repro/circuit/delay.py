@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.circuit.batched import TransientJob, batched_transient_analysis
+from repro.circuit.compiled import SolverOptions
 from repro.circuit.elements import Step
 from repro.circuit.inverter import Inverter, add_supply
 from repro.circuit.netlist import Circuit
@@ -133,52 +135,21 @@ class DelayMeasurement:
     result: TransientResult
 
 
-def measure_inverter_line_delay(
+def _build_delay_benchmark(
     line: DistributedRC | InterconnectLine,
-    technology: TechnologyNode = NODE_45NM,
-    driver_size: float = 1.0,
-    receiver_size: float = 1.0,
-    input_rise_time: float = 5.0e-12,
-    rising_input: bool = True,
-    simulation_margin: float = 8.0,
-    n_time_steps: int = 600,
-    method: str = "trapezoidal",
-    backend: str | None = None,
-) -> DelayMeasurement:
-    """Run the Fig. 11 benchmark: driver inverter -> interconnect -> receiver inverter.
+    technology: TechnologyNode,
+    driver_size: float,
+    receiver_size: float,
+    input_rise_time: float,
+    rising_input: bool,
+    simulation_margin: float,
+    n_time_steps: int,
+) -> tuple[Circuit, float, float, float]:
+    """Build the Fig. 11 benchmark circuit and its simulation window.
 
-    The input is a step applied to the driver inverter; the measured
-    propagation delay is between the 50 % crossing of the input and of the far
-    end of the interconnect (the receiver input), matching the paper's
-    definition of interconnect propagation delay.
-
-    Parameters
-    ----------
-    line:
-        Distributed description of the interconnect under test.
-    technology:
-        Technology node of the driver/receiver inverters (45 nm in the paper).
-    driver_size, receiver_size:
-        Inverter drive strengths.
-    input_rise_time:
-        Rise time of the stimulus step in second.
-    rising_input:
-        Direction of the input step; the far-end response has the opposite
-        polarity because of the inverting driver.
-    simulation_margin:
-        Simulation window as a multiple of the line's Elmore-delay estimate
-        (plus the input transition), so slow lines still settle.
-    n_time_steps:
-        Number of fixed transient steps.
-    method:
-        Integration method passed to the transient engine.
-    backend:
-        MNA solver backend (``"dense"``/``"sparse"``); ``None`` selects by
-        circuit size (:func:`repro.circuit.compiled.resolve_backend`).
-
-    Returns
-    -------
-    DelayMeasurement
+    Shared by the serial and batched measurement paths so both simulate the
+    exact same netlist with the exact same ``(stop_time, time_step)``.
+    Returns ``(circuit, stop_time, time_step, v_dd)``.
     """
     if isinstance(line, InterconnectLine):
         ladder = line.distributed()
@@ -212,16 +183,128 @@ def measure_inverter_line_delay(
     )
     stop_time = max(simulation_margin * (elmore + input_rise_time), 50.0e-12)
     time_step = stop_time / n_time_steps
+    return circuit, stop_time, time_step, v_dd
 
-    result = transient_analysis(circuit, stop_time, time_step, method=method, backend=backend)
 
+def _measure_from_result(result: TransientResult, v_dd: float) -> DelayMeasurement:
+    """Extract the benchmark metrics from a finished transient result."""
     delay_far = propagation_delay(result, "in", "far", v_dd)
     delay_out = propagation_delay(result, "in", "out", v_dd)
     slew = rise_time(result, "far", v_dd)
-
     return DelayMeasurement(
         propagation_delay=delay_far,
         receiver_output_delay=delay_out,
         far_end_rise_time=slew,
         result=result,
     )
+
+
+def measure_inverter_line_delay(
+    line: DistributedRC | InterconnectLine,
+    technology: TechnologyNode = NODE_45NM,
+    driver_size: float = 1.0,
+    receiver_size: float = 1.0,
+    input_rise_time: float = 5.0e-12,
+    rising_input: bool = True,
+    simulation_margin: float = 8.0,
+    n_time_steps: int = 600,
+    method: str = "trapezoidal",
+    backend: str | None = None,
+    solver_opts: SolverOptions | None = None,
+) -> DelayMeasurement:
+    """Run the Fig. 11 benchmark: driver inverter -> interconnect -> receiver inverter.
+
+    The input is a step applied to the driver inverter; the measured
+    propagation delay is between the 50 % crossing of the input and of the far
+    end of the interconnect (the receiver input), matching the paper's
+    definition of interconnect propagation delay.
+
+    Parameters
+    ----------
+    line:
+        Distributed description of the interconnect under test.
+    technology:
+        Technology node of the driver/receiver inverters (45 nm in the paper).
+    driver_size, receiver_size:
+        Inverter drive strengths.
+    input_rise_time:
+        Rise time of the stimulus step in second.
+    rising_input:
+        Direction of the input step; the far-end response has the opposite
+        polarity because of the inverting driver.
+    simulation_margin:
+        Simulation window as a multiple of the line's Elmore-delay estimate
+        (plus the input transition), so slow lines still settle.
+    n_time_steps:
+        Number of fixed transient steps.
+    method:
+        Integration method passed to the transient engine.
+    backend:
+        MNA solver backend (``"dense"``/``"sparse"``); ``None`` selects by
+        circuit size (:func:`repro.circuit.compiled.resolve_backend`).
+    solver_opts:
+        Newton policy forwarded to :func:`transient_analysis` (sparse
+        backend only).
+
+    Returns
+    -------
+    DelayMeasurement
+    """
+    circuit, stop_time, time_step, v_dd = _build_delay_benchmark(
+        line,
+        technology,
+        driver_size,
+        receiver_size,
+        input_rise_time,
+        rising_input,
+        simulation_margin,
+        n_time_steps,
+    )
+    result = transient_analysis(
+        circuit, stop_time, time_step, method=method, backend=backend, solver_opts=solver_opts
+    )
+    return _measure_from_result(result, v_dd)
+
+
+def measure_inverter_line_delay_batch(
+    lines: list[DistributedRC | InterconnectLine],
+    technology: TechnologyNode = NODE_45NM,
+    driver_size: float = 1.0,
+    receiver_size: float = 1.0,
+    input_rise_time: float = 5.0e-12,
+    rising_input: bool = True,
+    simulation_margin: float = 8.0,
+    n_time_steps: int = 600,
+    method: str = "trapezoidal",
+    backend: str | None = None,
+) -> list[DelayMeasurement]:
+    """Batched :func:`measure_inverter_line_delay` over same-topology lines.
+
+    Every line gets the exact circuit and simulation window the serial
+    function would build; the transients are then evaluated together by
+    :func:`repro.circuit.batched.batched_transient_analysis`, which groups
+    same-topology jobs into stacked solves and is bitwise-identical to
+    per-job serial runs.  Lines whose segment counts differ simply land in
+    different groups -- correctness never depends on the batching.
+    """
+    jobs = []
+    windows = []
+    for line in lines:
+        circuit, stop_time, time_step, v_dd = _build_delay_benchmark(
+            line,
+            technology,
+            driver_size,
+            receiver_size,
+            input_rise_time,
+            rising_input,
+            simulation_margin,
+            n_time_steps,
+        )
+        jobs.append(
+            TransientJob(circuit=circuit, stop_time=stop_time, time_step=time_step, method=method)
+        )
+        windows.append(v_dd)
+    results = batched_transient_analysis(jobs, backend=backend)
+    return [
+        _measure_from_result(result, v_dd) for result, v_dd in zip(results, windows)
+    ]

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.compiled import ArrayState, CompiledMNA, resolve_backend
+from repro.circuit.compiled import ArrayState, CompiledMNA, SolverOptions, resolve_backend
 from repro.circuit.dc import dc_operating_point
 from repro.circuit.mna import CompanionState, MNAAssembler, newton_solve
 from repro.circuit.netlist import Circuit, is_ground
@@ -76,6 +76,7 @@ def transient_analysis(
     use_dc_start: bool = True,
     max_newton_iterations: int = 60,
     backend: str | None = None,
+    solver_opts: SolverOptions | None = None,
 ) -> TransientResult:
     """Run a fixed-step transient analysis.
 
@@ -99,6 +100,11 @@ def transient_analysis(
         ``"dense"``, ``"sparse"`` or ``None`` (default) for automatic
         size-based selection -- see :func:`repro.circuit.compiled.resolve_backend`.
         Both backends produce the same waveforms to solver precision.
+    solver_opts:
+        Newton policy for the compiled sparse backend
+        (:class:`repro.circuit.compiled.SolverOptions`); ``None`` picks up
+        any active :func:`repro.circuit.compiled.solver_options` override,
+        else exact mode.  The dense backend always runs exact Newton.
 
     Returns
     -------
@@ -142,7 +148,11 @@ def transient_analysis(
         array_state = ArrayState.from_companion(state, circuit)
         for step in range(1, n_steps + 1):
             solution = compiled.solve_step(
-                times[step], solution, array_state, max_iterations=max_newton_iterations
+                times[step],
+                solution,
+                array_state,
+                max_iterations=max_newton_iterations,
+                options=solver_opts,
             )
             array_state = compiled.update_state(solution, array_state)
             trace[step] = solution

@@ -53,6 +53,7 @@ from repro.dist.store import (
     CLAIM_ACQUIRED,
     CLAIM_BUSY,
     CLAIM_DONE,
+    CLAIM_SKIPPED,
     DEFAULT_LEASE_TTL,
     FAILED_SUFFIX,
     LEASE_SUFFIX,
@@ -71,6 +72,7 @@ __all__ = [
     "CLAIM_ACQUIRED",
     "CLAIM_BUSY",
     "CLAIM_DONE",
+    "CLAIM_SKIPPED",
     "DEFAULT_LEASE_TTL",
     "FAILED_SUFFIX",
     "LEASE_SUFFIX",

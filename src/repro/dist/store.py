@@ -70,10 +70,14 @@ prune --gc`` (:func:`repro.api.cache.gc_store`) garbage-collects them."""
 DEFAULT_LEASE_TTL = 300.0
 """Default claim lease in seconds; must exceed the slowest single point."""
 
-# Claim outcomes (see ResultStore.claim).
+# Claim outcomes (see ResultStore.claim / ResultStore.claim_many).
 CLAIM_ACQUIRED = "acquired"
 CLAIM_DONE = "done"
 CLAIM_BUSY = "busy"
+CLAIM_SKIPPED = "skipped"
+"""``claim_many`` only: the path was not examined because ``max_acquire``
+leases were already granted in this call.  The point is neither done nor
+busy as far as the caller knows -- retry it on a later round trip."""
 
 
 class StoreLockTimeout(TimeoutError):
@@ -274,6 +278,36 @@ class ResultStore:
         """
         return CLAIM_DONE if self.load(path) is not None else CLAIM_ACQUIRED
 
+    def claim_many(
+        self,
+        paths: list[str],
+        worker_id: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        max_acquire: int | None = None,
+    ) -> list[str]:
+        """Claim a batch of pending entries in (ideally) one store round trip.
+
+        Returns one claim outcome per path, in order: the :meth:`claim`
+        statuses plus :data:`CLAIM_SKIPPED` for paths not examined because
+        ``max_acquire`` leases were already granted.  Workers use this to
+        amortise store locking over whole sweeps -- against a contended
+        :class:`SharedStore` or :class:`~repro.dist.sqlstore.SqliteStore`
+        the per-point lock/transaction round trip dominates cheap points,
+        and those backends override this with a single-lock implementation.
+        The base class has no coordination cost, so it simply loops.
+        """
+        statuses: list[str] = []
+        acquired = 0
+        for path in paths:
+            if max_acquire is not None and acquired >= max_acquire:
+                statuses.append(CLAIM_SKIPPED)
+                continue
+            status = self.claim(path, worker_id, ttl)
+            if status == CLAIM_ACQUIRED:
+                acquired += 1
+            statuses.append(status)
+        return statuses
+
     def release(self, path: str, worker_id: str) -> None:
         """Give up a claim without publishing (failed or abandoned point)."""
 
@@ -462,6 +496,70 @@ class SharedStore(ResultStore):
             with self.lock():
                 if os.path.exists(path) and self.load(path) is None:
                     os.unlink(path)
+
+    def claim_many(
+        self,
+        paths: list[str],
+        worker_id: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        max_acquire: int | None = None,
+    ) -> list[str]:
+        """Batch claim under a *single* lock acquisition per pass.
+
+        The per-path decisions are identical to :meth:`claim`; what changes
+        is the cost model -- N pending points are leased with one
+        lock/unlock round trip instead of N, which is what makes worker
+        dispatch overhead independent of sweep size.  Entry validation
+        still happens outside the lock (published entries are immutable,
+        and N workers must not serialise on JSON parsing); corrupt entries
+        are disposed of and re-examined on a follow-up pass, exactly like
+        the single-point loop.
+        """
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        statuses: list[str | None] = [None] * len(paths)
+        pending = list(range(len(paths)))
+        acquired = 0
+        while pending:
+            revisit: list[int] = []  # entries on disk: validate outside the lock
+            with self.lock():
+                now = time.time()
+                for index in pending:
+                    path = paths[index]
+                    if max_acquire is not None and acquired >= max_acquire:
+                        statuses[index] = CLAIM_SKIPPED
+                        continue
+                    if os.path.exists(path):
+                        revisit.append(index)
+                        continue
+                    lease = self.read_lease(path)
+                    if (
+                        lease is not None
+                        and lease.worker != worker_id
+                        and not lease.expired(now)
+                    ):
+                        statuses[index] = CLAIM_BUSY
+                        continue
+                    self._write_lease(path, worker_id, now, ttl)
+                    statuses[index] = CLAIM_ACQUIRED
+                    acquired += 1
+            corrupt: list[int] = []
+            for index in revisit:
+                if self.load(paths[index]) is not None:
+                    statuses[index] = CLAIM_DONE
+                else:
+                    corrupt.append(index)
+            if corrupt:
+                # Dispose of torn entries under the lock (re-validated there,
+                # so a concurrent good publish is never deleted), then loop
+                # back to lease them.
+                with self.lock():
+                    for index in corrupt:
+                        path = paths[index]
+                        if os.path.exists(path) and self.load(path) is None:
+                            os.unlink(path)
+            pending = corrupt
+        return [status for status in statuses if status is not None]
 
     def publish(self, path: str, result: ResultSet) -> None:
         with self.lock():

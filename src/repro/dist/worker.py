@@ -54,6 +54,7 @@ from repro.dist.store import (
     CLAIM_ACQUIRED,
     CLAIM_BUSY,
     CLAIM_DONE,
+    CLAIM_SKIPPED,
     DEFAULT_LEASE_TTL,
     ResultStore,
     default_worker_id,
@@ -61,29 +62,45 @@ from repro.dist.store import (
 
 
 class LeaseHeartbeat:
-    """Background renewal of a claim lease while its point executes.
+    """Background renewal of claim leases while their points execute.
 
-    Entered around one point's execution: a daemon thread calls
-    ``store.renew`` every ``ttl / 2`` seconds, so the lease never expires
-    under a live worker no matter how slow the point is, while a killed
-    worker's lease still lapses within one ttl.  If a renewal reports the
-    lease lost (published, pruned, or taken over), the heartbeat stops --
-    the eventual publish is atomic and content-addressed, so the worst case
-    is duplicated work, never a corrupt store.
+    Entered around one point's execution (or one *batch* of points --
+    ``path`` may be a list): a daemon thread calls ``store.renew`` every
+    ``ttl / 2`` seconds, so the leases never expire under a live worker no
+    matter how slow the work is, while a killed worker's leases still lapse
+    within one ttl.  If a renewal reports a lease lost (published, pruned,
+    or taken over), that path drops out of the heartbeat -- the eventual
+    publish is atomic and content-addressed, so the worst case is
+    duplicated work, never a corrupt store.
     """
 
-    def __init__(self, store: ResultStore, path: str, worker_id: str, ttl: float):
+    def __init__(
+        self,
+        store: ResultStore,
+        path: "str | list[str]",
+        worker_id: str,
+        ttl: float,
+    ):
         self.store = store
-        self.path = path
+        self.paths = [path] if isinstance(path, str) else list(path)
         self.worker_id = worker_id
         self.ttl = ttl
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
+    @property
+    def path(self) -> str:
+        """The single guarded path (for the one-point entry the loop uses)."""
+        return self.paths[0]
+
     def _beat(self) -> None:
-        while not self._stop.wait(self.ttl / 2.0):
-            if not self.store.renew(self.path, self.worker_id, self.ttl):
-                return
+        live = list(self.paths)
+        while live and not self._stop.wait(self.ttl / 2.0):
+            live = [
+                entry
+                for entry in live
+                if self.store.renew(entry, self.worker_id, self.ttl)
+            ]
 
     def __enter__(self) -> "LeaseHeartbeat":
         self._thread = threading.Thread(target=self._beat, daemon=True)
@@ -106,6 +123,14 @@ class WorkerReport:
     workers may retry); ``abandoned`` were left leased to other workers when
     the worker gave up waiting (only non-empty with ``wait=False`` or an
     exhausted ``max_wait``).
+
+    ``claim_round_trips`` counts the ``claim_many`` calls the loop made and
+    ``store_round_trips`` every coordination/IO call against the store from
+    the main loop (claims, loads, publishes, releases, tombstones --
+    heartbeat renewals run on their own thread and are not counted).  These
+    are the dispatch-overhead budget: for an uncontended sweep of N points
+    the loop stays within a handful of claim round trips total plus one
+    load-or-publish per point, rather than N claims.
     """
 
     worker_id: str
@@ -115,6 +140,8 @@ class WorkerReport:
     failed: list[int] = field(default_factory=list)
     abandoned: list[int] = field(default_factory=list)
     wall_time_s: float = 0.0
+    claim_round_trips: int = 0
+    store_round_trips: int = 0
 
     @property
     def ok(self) -> bool:
@@ -132,7 +159,8 @@ class WorkerReport:
             f"worker {self.worker_id}: {self.n_points} points -- "
             f"{len(self.executed)} executed, {len(self.already_done)} already done, "
             f"{len(self.failed)} failed, {len(self.abandoned)} abandoned "
-            f"({self.wall_time_s:.3f} s)"
+            f"({self.wall_time_s:.3f} s, {self.claim_round_trips} claim / "
+            f"{self.store_round_trips} store round trips)"
         )
 
 
@@ -149,6 +177,7 @@ def run_worker(
     poll_interval: float = 0.2,
     max_wait: float | None = None,
     stage_params: StageParams | None = None,
+    claim_batch: int | None = None,
 ) -> WorkerReport:
     """Attach to a store and drive a sweep's pending points to completion.
 
@@ -193,6 +222,16 @@ def run_worker(
         Per-experiment parameter overrides for upstream pipeline stages of a
         composite experiment (a study's ``params``); every cooperating
         worker must agree on them, like on ``spec``.
+    claim_batch:
+        How many leases to request per ``claim_many`` round trip.  The
+        default (``None``) adapts: each pass asks for half the remaining
+        points (at least one), so a lone worker drains a sweep in O(log N)
+        claim round trips while cooperating workers still interleave
+        instead of one worker fencing off the whole sweep up front.  Points
+        past the batch come back :data:`~repro.dist.store.CLAIM_SKIPPED`
+        and are simply re-claimed on the next pass (even with
+        ``wait=False`` -- skipped is this worker's own deferral, not
+        another worker's lease).
     """
     experiment = name if isinstance(name, Experiment) else get_experiment(name)
     worker = worker_id if worker_id is not None else default_worker_id()
@@ -258,16 +297,56 @@ def run_worker(
     # a publish observed) snaps the delay back to poll_interval.
     backoff = Backoff(initial=poll_interval, maximum=max(poll_interval * 16, 2.0))
 
+    claim_round_trips = 0
+    store_round_trips = 0
+
+    def build_meta(index: int, wall_time_s: float) -> dict[str, Any]:
+        meta: dict[str, Any] = {
+            "experiment": experiment.name,
+            "version": experiment.version,
+            "params": dict(resolved[index]),
+            "executor": "worker",
+            "worker_id": worker,
+            "wall_time_s": wall_time_s,
+        }
+        if inputs_by_index[index]:
+            meta["upstream"] = upstream_meta(
+                experiment,
+                {
+                    inject: upstream_result.content_hash
+                    for inject, upstream_result in inputs_by_index[index].items()
+                },
+            )
+        return meta
+
     while remaining:
         progressed = False
         busy: list[int] = []
-        for index in remaining:
-            status = store.claim(paths[index], worker, lease_ttl)
+        skipped: list[int] = []
+        acquired: list[int] = []
+        batch = (
+            claim_batch
+            if claim_batch is not None
+            else max(1, (len(remaining) + 1) // 2)
+        )
+        statuses = store.claim_many(
+            [paths[index] for index in remaining],
+            worker,
+            lease_ttl,
+            max_acquire=batch,
+        )
+        claim_round_trips += 1
+        store_round_trips += 1
+        for index, status in zip(remaining, statuses):
             if status == CLAIM_BUSY:
                 busy.append(index)
                 continue
+            if status == CLAIM_SKIPPED:
+                skipped.append(index)
+                continue
             if status == CLAIM_DONE:
                 result = store.load(paths[index])
+                store_round_trips += 1
                 if result is None:
                     # The entry vanished between claim and load (concurrent
                     # `cache clear`/`prune` on the live store): the point is
@@ -280,8 +359,48 @@ def run_worker(
                 result.meta["cache_hit"] = True
                 emit(index, result=result, cache_hit=True)
                 continue
-            progressed = True
             assert status == CLAIM_ACQUIRED
+            acquired.append(index)
+
+        # Acquired points whose experiment declares a batch_fn (and which
+        # have no upstream inputs -- batch_fn is a self-contained contract)
+        # run as ONE stacked evaluation; the rest run point by point.  A
+        # batch failure falls back to the per-point path so one poisoned
+        # point cannot take its whole batch down with it.
+        serial = list(acquired)
+        batchable = (
+            [index for index in acquired if not inputs_by_index[index]]
+            if experiment.batch_fn is not None
+            else []
+        )
+        if len(batchable) > 1:
+            batch_start = time.perf_counter()
+            try:
+                # One heartbeat renews every lease in the batch while it runs.
+                with LeaseHeartbeat(
+                    store, [paths[index] for index in batchable], worker, lease_ttl
+                ):
+                    records_list = experiment.run_batch(
+                        [resolved[index] for index in batchable]
+                    )
+            except Exception:
+                records_list = None  # fall through to the per-point path
+            if records_list is not None:
+                progressed = True
+                per_point_wall = (time.perf_counter() - batch_start) / len(batchable)
+                batched = set(batchable)
+                serial = [index for index in serial if index not in batched]
+                for index, records in zip(batchable, records_list):
+                    result = ResultSet.from_records(
+                        records, meta=build_meta(index, per_point_wall)
+                    )
+                    store.publish(paths[index], result)
+                    store_round_trips += 1
+                    executed.append(index)
+                    emit(index, result=result)
+
+        for index in serial:
+            progressed = True
             point_start = time.perf_counter()
             try:
                 # The heartbeat renews the lease while the point runs, so a
@@ -297,32 +416,27 @@ def run_worker(
                 message = f"{type(error).__name__}: {error}"
                 store.release(paths[index], worker)
                 store.record_failure(paths[index], worker, message)
+                store_round_trips += 2
                 failed.append(index)
                 emit(index, result=None, error=message)
                 continue
-            meta = {
-                "experiment": experiment.name,
-                "version": experiment.version,
-                "params": dict(resolved[index]),
-                "executor": "worker",
-                "worker_id": worker,
-                "wall_time_s": time.perf_counter() - point_start,
-            }
-            if inputs_by_index[index]:
-                meta["upstream"] = upstream_meta(
-                    experiment,
-                    {
-                        inject: upstream_result.content_hash
-                        for inject, upstream_result in inputs_by_index[index].items()
-                    },
-                )
-            result = ResultSet.from_records(records, meta=meta)
+            result = ResultSet.from_records(
+                records, meta=build_meta(index, time.perf_counter() - point_start)
+            )
             store.publish(paths[index], result)
+            store_round_trips += 1
             executed.append(index)
             emit(index, result=result)
-        remaining = busy
+
+        remaining = sorted(busy + skipped)
         if not remaining:
             break
+        if skipped:
+            # Skipped points are this worker's own claim_batch deferral, not
+            # another worker's lease: go claim them immediately (even with
+            # wait=False), no backoff.
+            backoff.reset()
+            continue
         if not wait or (deadline is not None and time.monotonic() >= deadline):
             break
         if progressed:
@@ -338,4 +452,6 @@ def run_worker(
         failed=failed,
         abandoned=remaining,
         wall_time_s=time.perf_counter() - start,
+        claim_round_trips=claim_round_trips,
+        store_round_trips=store_round_trips,
     )
