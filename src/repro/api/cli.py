@@ -78,9 +78,18 @@ Subcommands
     with per-case speedup deltas; ``--check`` fails on regressions;
     ``--plot out.svg`` writes a speedup-trajectory chart (skipped
     gracefully when matplotlib is not installed).
+``trace {summary,tree,critical-path} TRACE.jsonl``
+    Inspect a span trace recorded with ``--trace PATH`` (available on
+    ``run``/``sweep``/``worker``/``study run``/``serve``/``submit``):
+    aggregate wall/CPU time per span name, render the span tree, or walk
+    the longest chain.  See docs/OBSERVABILITY.md.
 ``docs``
     Print the generated experiment catalog; ``--write``/``--check`` keep
     ``docs/EXPERIMENTS.md`` in sync with the registry.
+
+Global flags: ``--log-level LEVEL`` (or ``-v``/``-vv``) configures root
+logging with timestamps -- daemon and worker activity logs through the
+standard :mod:`logging` tree (``repro.*`` loggers).
 
 Examples::
 
@@ -153,6 +162,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["debug", "info", "warning", "error"],
+        help="configure root logging at this level (timestamped, stderr)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="shorthand for --log-level info (-vv: debug)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="enumerate registered experiments")
@@ -172,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--csv", default=None, metavar="PATH", help="write records as CSV")
         sub.add_argument("--json", default=None, metavar="PATH", help="write the ResultSet as JSON")
         sub.add_argument("--limit", type=int, default=40, help="table rows to print (0: all)")
+        add_trace_option(sub)
+
+    def add_trace_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace", default=None, metavar="PATH", dest="trace_path",
+            help="record spans as JSON lines into PATH (inspect with "
+            "`python -m repro trace summary PATH`)",
+        )
 
     run = subparsers.add_parser("run", help="execute one experiment")
     run.add_argument("name", help="experiment name (see `list`)")
@@ -274,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-point progress lines on stderr",
     )
     add_shard_options(worker)
+    add_trace_option(worker)
 
     serve = subparsers.add_parser(
         "serve", help="HTTP front end over a spec queue (see docs/SERVICE.md)"
@@ -287,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="log one stderr line per handled HTTP request",
     )
+    add_trace_option(serve)
 
     def add_service_url(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -312,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0, metavar="SECONDS",
         help="give up --wait polling after this long (default: 300)",
     )
+    add_trace_option(submit)
 
     status = subparsers.add_parser(
         "status", help="one job's status, or service health plus all jobs"
@@ -503,6 +532,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a speedup-trajectory chart (SVG/PNG by extension; "
         "skipped gracefully when matplotlib is not installed)",
     )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a span trace recorded with --trace PATH"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="aggregate wall/CPU time per span name"
+    )
+    trace_tree = trace_sub.add_parser(
+        "tree", help="render the span tree(s), parent over children"
+    )
+    trace_tree.add_argument(
+        "--max-children", type=int, default=20, metavar="N",
+        help="siblings to show per parent before eliding (default: 20)",
+    )
+    trace_path = trace_sub.add_parser(
+        "critical-path", help="walk the longest wall-clock chain of a trace"
+    )
+    for sub in (trace_summary, trace_tree, trace_path):
+        sub.add_argument(
+            "path", metavar="TRACE.jsonl", help="span file written by --trace"
+        )
 
     docs = subparsers.add_parser(
         "docs", help="generate the experiment catalog (docs/EXPERIMENTS.md)"
@@ -738,8 +789,11 @@ def _cmd_worker_watch(args: argparse.Namespace) -> int:
             drain=args.drain,
             max_jobs=args.max_jobs,
             stop=stop,
+            # Events always flow through the repro.service.daemon logger;
+            # the raw stderr echo is for runs without logging configured
+            # (keeping it with --log-level would print every line twice).
             on_event=None
-            if args.no_progress
+            if args.no_progress or args.log_level is not None or args.verbose
             else (lambda line: print(line, file=sys.stderr)),
         )
     finally:
@@ -1234,6 +1288,31 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.inspect import (
+        load_spans,
+        render_critical_path,
+        render_summary,
+        render_tree,
+    )
+
+    try:
+        spans = load_spans(args.path)
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"no spans in {args.path}", file=sys.stderr)
+        return 1
+    if args.trace_command == "summary":
+        print(render_summary(spans))
+    elif args.trace_command == "tree":
+        print(render_tree(spans, max_children=args.max_children))
+    else:
+        print(render_critical_path(spans))
+    return 0
+
+
 def _cmd_docs(args: argparse.Namespace) -> int:
     from repro.api.catalog import catalog_markdown, check_catalog
 
@@ -1257,9 +1336,27 @@ def _cmd_docs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Apply the root --log-level/-v flags (timestamped stderr handler)."""
+    import logging
+
+    level_name = args.log_level
+    if level_name is None and args.verbose:
+        level_name = "debug" if args.verbose >= 2 else "info"
+    if level_name is None:
+        return
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper()),
+        stream=sys.stderr,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     handlers = {
         "list": _cmd_list,
         "describe": _cmd_describe,
@@ -1276,10 +1373,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         "migrate": _cmd_migrate,
         "cache": _cmd_cache,
         "perf-report": _cmd_perf_report,
+        "trace": _cmd_trace,
         "docs": _cmd_docs,
     }
     try:
-        return handlers[args.command](args)
+        trace_path = getattr(args, "trace_path", None)
+        if trace_path is None:
+            return handlers[args.command](args)
+        # --trace: record spans for the whole invocation under one root
+        # span, so everything the command spawns (pool chunks, claimed
+        # jobs, daemons it hands the carrier to) shares one trace_id.
+        from contextlib import ExitStack
+
+        from repro.obs.trace import trace_span, tracing
+
+        with ExitStack() as scope:
+            scope.enter_context(tracing(trace_path))
+            scope.enter_context(trace_span(f"cli.{args.command}"))
+            return handlers[args.command](args)
     except (ExperimentError, ValueError) as error:
         # ValueError covers user-input rejections from Engine/SweepSpec
         # construction (bad --workers, malformed axes, ...).

@@ -69,6 +69,8 @@ from repro.api.experiment import (
 )
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
+from repro.obs import metrics
+from repro.obs.trace import activate_carrier, current_carrier, trace_span
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.api.study import Study
@@ -140,6 +142,8 @@ def _run_outcomes(
     run_with_inputs: Callable[..., list[dict[str, Any]]],
     tasks: list[_Task],
     profile: bool = False,
+    carrier: Mapping[str, Any] | None = None,
+    experiment: str = "",
 ) -> list[_Outcome]:
     """Run sweep tasks one by one, capturing per-task failures.
 
@@ -148,30 +152,47 @@ def _run_outcomes(
     and reported as data rather than raised.  With ``profile=True`` each
     execution is wrapped in :func:`repro.circuit.compiled.profiled_solves`
     so the outcome carries the point's solver wall time.
+
+    ``carrier`` is the tracing context of the submitting process
+    (:func:`repro.obs.current_carrier`): contextvars do not cross pool
+    boundaries -- thread or process -- so the span ancestry rides along
+    in the call instead, and each point records an ``engine.point`` span
+    under the submitter's sweep span.
     """
     outcomes: list[_Outcome] = []
-    for params, inputs in tasks:
-        prof: dict[str, float] | None = None
-        start = time.perf_counter()
-        try:
-            if profile:
-                from repro.circuit.compiled import profiled_solves
+    with activate_carrier(carrier):
+        for params, inputs in tasks:
+            prof: dict[str, float] | None = None
+            start = time.perf_counter()
+            with trace_span("engine.point", experiment=experiment) as span:
+                try:
+                    if profile:
+                        from repro.circuit.compiled import profiled_solves
 
-                with profiled_solves() as accumulator:
-                    records = run_with_inputs(inputs, params)
-                prof = dict(accumulator)
-            else:
-                records = run_with_inputs(inputs, params)
-        except Exception as error:
-            outcomes.append(
-                (None, f"{type(error).__name__}: {error}", time.perf_counter() - start, None)
-            )
-        else:
-            outcomes.append((records, None, time.perf_counter() - start, prof))
+                        with profiled_solves() as accumulator:
+                            records = run_with_inputs(inputs, params)
+                        prof = dict(accumulator)
+                    else:
+                        records = run_with_inputs(inputs, params)
+                except Exception as error:
+                    message = f"{type(error).__name__}: {error}"
+                    span.set("error", message)
+                    outcomes.append(
+                        (None, message, time.perf_counter() - start, None)
+                    )
+                else:
+                    outcomes.append(
+                        (records, None, time.perf_counter() - start, prof)
+                    )
     return outcomes
 
 
-def _execute_chunk(name: str, tasks: list[_Task]) -> list[_Outcome]:
+def _execute_chunk(
+    name: str,
+    tasks: list[_Task],
+    profile: bool = False,
+    carrier: Mapping[str, Any] | None = None,
+) -> list[_Outcome]:
     """Run a chunk of sweep tasks in one pool task (amortises dispatch cost).
 
     Importable (not a closure) so process pools can pickle it; the worker
@@ -180,7 +201,13 @@ def _execute_chunk(name: str, tasks: list[_Task]) -> list[_Outcome]:
     columns + meta), so pool workers never touch the cache.
     """
     ensure_registered()
-    return _run_outcomes(get_experiment(name).run_with_inputs, tasks)
+    return _run_outcomes(
+        get_experiment(name).run_with_inputs,
+        tasks,
+        profile=profile,
+        carrier=carrier,
+        experiment=name,
+    )
 
 
 @dataclass(frozen=True)
@@ -404,6 +431,8 @@ class Engine:
         """Record the point cost and attach the profile block (if profiling)."""
         records, error, elapsed, prof = outcome
         self._observe_point_cost(elapsed)
+        metrics.counter("repro_points_executed_total", executor=self.executor).inc()
+        metrics.histogram("repro_point_wall_seconds").observe(elapsed)
         if not self.profile:
             return (records, error, elapsed, None)
         profile = {
@@ -414,6 +443,14 @@ class Engine:
         return (records, error, elapsed, profile)
 
     # --- cache ------------------------------------------------------------
+
+    def _count_cache(self, outcome: str, n: int = 1) -> None:
+        """Bump both the engine's own counters and the shared cache metric."""
+        if outcome == "hit":
+            self.cache_hits += n
+        else:
+            self.cache_misses += n
+        metrics.counter("repro_cache_events_total", outcome=outcome).inc(n)
 
     def _cache_path(
         self,
@@ -515,17 +552,18 @@ class Engine:
         path = self._cache_path(experiment, resolved, upstream) if use_cache else None
         cached = self._cache_load(path)
         if cached is not None:
-            self.cache_hits += 1
+            self._count_cache("hit")
             memo[memo_key] = cached
             return cached
-        self.cache_misses += 1
+        self._count_cache("miss")
 
         start = time.perf_counter()
-        try:
-            records = experiment.run_with_inputs(inputs, resolved)
-        except Exception as error:
-            memo[memo_key] = UpstreamFailure(f"{type(error).__name__}: {error}")
-            raise
+        with trace_span("engine.run", experiment=experiment.name):
+            try:
+                records = experiment.run_with_inputs(inputs, resolved)
+            except Exception as error:
+                memo[memo_key] = UpstreamFailure(f"{type(error).__name__}: {error}")
+                raise
         elapsed = time.perf_counter() - start
 
         result = ResultSet.from_records(
@@ -697,17 +735,26 @@ class Engine:
         points = spec.points()
         start = time.perf_counter()
         completed: dict[int, SweepPoint] = {}
-        for sweep_point in self.iter_sweep(
-            experiment,
-            spec,
-            base_params=base_params,
-            use_cache=use_cache,
-            shard=shard,
-            stage_params=stage_params,
+        # The span wraps the consuming loop (not the generator body), so the
+        # trace context never leaks across generator suspensions; every
+        # engine.point span -- serial or pooled -- nests under it.
+        with trace_span(
+            "engine.sweep",
+            experiment=experiment.name,
+            executor=self.executor,
+            n_points=len(points),
         ):
-            completed[sweep_point.index] = sweep_point
-            if on_result is not None:
-                on_result(sweep_point)
+            for sweep_point in self.iter_sweep(
+                experiment,
+                spec,
+                base_params=base_params,
+                use_cache=use_cache,
+                shard=shard,
+                stage_params=stage_params,
+            ):
+                completed[sweep_point.index] = sweep_point
+                if on_result is not None:
+                    on_result(sweep_point)
         elapsed = time.perf_counter() - start
         # iter_sweep yields exactly the selected slice, so the slice (in
         # sweep order) is the sorted key set -- no second hashing pass.
@@ -863,7 +910,7 @@ class Engine:
                 paths[index] = path
                 tasks[index] = (resolved_points[index], inputs)
                 continue
-            self.cache_hits += 1
+            self._count_cache("hit")
             yield SweepPoint(
                 index=index,
                 point=points[index],
@@ -871,7 +918,8 @@ class Engine:
                 result=cached,
                 cache_hit=True,
             )
-        self.cache_misses += len(pending)
+        if pending:
+            self._count_cache("miss", len(pending))
 
         upstream_by_index = {
             index: {
@@ -969,7 +1017,7 @@ class Engine:
                 )
                 cached = self._cache_load(path)
                 if cached is not None:
-                    self.cache_hits += 1
+                    self._count_cache("hit")
                     memo[memo_key] = cached
                     continue
                 pending.append(slot)
@@ -977,7 +1025,8 @@ class Engine:
                 stage_tasks[slot] = (up_resolved, inputs)
                 stage_paths[slot] = path
                 stage_upstream[slot] = upstream_hashes
-            self.cache_misses += len(pending)
+            if pending:
+                self._count_cache("miss", len(pending))
 
             for slot, (records, error, elapsed, prof) in self._execute_pending(
                 upstream, stage_tasks, pending
@@ -1058,7 +1107,10 @@ class Engine:
             # Experiment objects behave exactly like in run().
             for index in pending:
                 outcome = _run_outcomes(
-                    experiment.run_with_inputs, [tasks[index]], profile=self.profile
+                    experiment.run_with_inputs,
+                    [tasks[index]],
+                    profile=self.profile,
+                    experiment=experiment.name,
                 )[0]
                 yield index, self._finalize_outcome(outcome, 0.0)
             return
@@ -1079,32 +1131,56 @@ class Engine:
 
         chunks = self._chunks(pending)
         pool = self._get_pool(min(self.max_workers, len(chunks)))
+        # Pool workers (threads included) start with an empty contextvars
+        # context, so the trace ancestry rides along explicitly.  The
+        # profile flag rides the same way: pool-side execution is where
+        # solve_s accrues, so dropping it there zeroed every pooled
+        # point's solver share.
+        carrier = current_carrier()
         if self.executor == "thread":
             # Threads share the interpreter: execute through the instance
             # (ad-hoc experiments included), no registry round-trip.
             def submit(chunk_tasks):
                 return pool.submit(
-                    _run_outcomes, experiment.run_with_inputs, chunk_tasks
+                    _run_outcomes,
+                    experiment.run_with_inputs,
+                    chunk_tasks,
+                    self.profile,
+                    carrier,
+                    experiment.name,
                 )
 
         else:
             def submit(chunk_tasks):
-                return pool.submit(_execute_chunk, experiment.name, chunk_tasks)
+                return pool.submit(
+                    _execute_chunk, experiment.name, chunk_tasks, self.profile, carrier
+                )
 
-        submitted = time.perf_counter()
-        future_to_chunk = {
-            submit([tasks[i] for i in chunk]): chunk for chunk in chunks
-        }
+        future_to_chunk: dict[Any, list[int]] = {}
+        submitted_at: dict[Any, float] = {}
+        for chunk in chunks:
+            start = time.perf_counter()
+            future = submit([tasks[i] for i in chunk])
+            future_to_chunk[future] = chunk
+            submitted_at[future] = start
         try:
             for future in as_completed(future_to_chunk):
-                received = time.perf_counter()
                 chunk = future_to_chunk[future]
                 outcomes = future.result()
-                # Everything between submission and completion that was not
-                # experiment compute: pickling, queueing behind other chunks,
-                # result transfer.  Shared evenly across the chunk's points.
+                # ``received`` is taken *after* result(): everything between
+                # this chunk's own submission and holding its results that
+                # was not experiment compute -- pickling, queueing behind
+                # other chunks, result transfer/retrieval -- is dispatch
+                # overhead, shared evenly across the chunk's points, so
+                # wall_s + dispatch_s approximates the point's true cost.
+                received = time.perf_counter()
                 compute = sum(outcome[2] for outcome in outcomes)
-                dispatch = max(0.0, received - submitted - compute) / len(chunk)
+                dispatch = max(0.0, received - submitted_at[future] - compute) / len(
+                    chunk
+                )
+                metrics.counter(
+                    "repro_dispatch_overhead_seconds_total", executor=self.executor
+                ).inc(dispatch * len(chunk))
                 for index, outcome in zip(chunk, outcomes):
                     yield index, self._finalize_outcome(outcome, dispatch)
         finally:
@@ -1141,7 +1217,10 @@ class Engine:
             if index in batch_set:
                 continue
             outcome = _run_outcomes(
-                experiment.run_with_inputs, [tasks[index]], profile=self.profile
+                experiment.run_with_inputs,
+                [tasks[index]],
+                profile=self.profile,
+                experiment=experiment.name,
             )[0]
             yield index, self._finalize_outcome(outcome, 0.0)
 
@@ -1156,22 +1235,28 @@ class Engine:
             start = time.perf_counter()
             solve_share = 0.0
             try:
-                if self.profile:
-                    from repro.circuit.compiled import profiled_solves
+                with trace_span(
+                    "engine.batch", experiment=experiment.name, n_points=len(chunk)
+                ):
+                    if self.profile:
+                        from repro.circuit.compiled import profiled_solves
 
-                    with profiled_solves() as accumulator:
+                        with profiled_solves() as accumulator:
+                            records_list = experiment.run_batch(
+                                [tasks[index][0] for index in chunk]
+                            )
+                        solve_share = accumulator["solve_s"] / len(chunk)
+                    else:
                         records_list = experiment.run_batch(
                             [tasks[index][0] for index in chunk]
                         )
-                    solve_share = accumulator["solve_s"] / len(chunk)
-                else:
-                    records_list = experiment.run_batch(
-                        [tasks[index][0] for index in chunk]
-                    )
             except Exception:
                 for index in chunk:
                     outcome = _run_outcomes(
-                        experiment.run_with_inputs, [tasks[index]], profile=self.profile
+                        experiment.run_with_inputs,
+                        [tasks[index]],
+                        profile=self.profile,
+                        experiment=experiment.name,
                     )[0]
                     yield index, self._finalize_outcome(outcome, 0.0)
                 continue

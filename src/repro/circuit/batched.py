@@ -45,6 +45,8 @@ from repro.circuit.mna import GMIN, CompanionState, MNAAssembler
 from repro.circuit.netlist import Circuit
 from repro.circuit.compiled import resolve_backend
 from repro.circuit.transient import TransientResult, transient_analysis
+from repro.obs import metrics
+from repro.obs.trace import trace_span
 
 NEWTON_TOLERANCE = 1.0e-9
 NEWTON_DAMPING_LIMIT = 1.0
@@ -448,15 +450,20 @@ def batched_transient_analysis(
 
     for indices in groups.values():
         if len(indices) == 1:
+            metrics.counter("repro_batch_groups_total", mode="serial").inc()
             results[indices[0]] = _run_serial(jobs[indices[0]], backend)
             continue
         group_jobs = [jobs[i] for i in indices]
         try:
-            group_results = _Batch(group_jobs, backend).run()
+            with trace_span("circuit.batch", n_jobs=len(group_jobs)):
+                group_results = _Batch(group_jobs, backend).run()
+            metrics.counter("repro_batch_groups_total", mode="stacked").inc()
+            metrics.histogram("repro_batch_group_points").observe(len(group_jobs))
         except Exception:
             # Never let batching change observable behaviour: rerun the
             # group serially so a genuinely failing job raises the same
             # error a serial caller would see.
+            metrics.counter("repro_batch_groups_total", mode="fallback").inc()
             group_results = [_run_serial(job, backend) for job in group_jobs]
         for index, result in zip(indices, group_results):
             results[index] = result

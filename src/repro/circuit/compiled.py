@@ -61,6 +61,7 @@ knob through every signature.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from time import perf_counter
 from dataclasses import dataclass
 from typing import Iterator
@@ -205,8 +206,22 @@ class SolverStats:
     steps: int = 0
     refreshes: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot (feeds the ``repro.obs`` solver metrics and spans)."""
+        return {
+            "factorizations": self.factorizations,
+            "iterations": self.iterations,
+            "steps": self.steps,
+            "refreshes": self.refreshes,
+        }
 
-_PROFILE_ACCUMULATOR: dict[str, float] | None = None
+
+# Context-local so concurrently profiled blocks (one per thread-pool worker
+# under Engine(executor="thread", profile=True)) each accumulate their own
+# solver time instead of clobbering a shared module global.
+_PROFILE_ACCUMULATOR: ContextVar[dict[str, float] | None] = ContextVar(
+    "repro_profile_accumulator", default=None
+)
 
 
 @contextmanager
@@ -218,18 +233,15 @@ def profiled_solves() -> Iterator[dict[str, float]]:
     triangular solves) while the block is active.  The engine's ``profile``
     mode wraps each experiment execution in this to split a sweep point's
     wall time into solver vs. everything-else; when no block is active the
-    solver pays a single ``is None`` check per step.  The accumulator is a
-    module global, so profiled execution is meaningful for in-process
-    (serial / batch) execution only.
+    solver pays a single ``is None`` check per step.  The accumulator is
+    context-local (see above), so profiled blocks running concurrently in
+    pool threads stay independent.
     """
-    global _PROFILE_ACCUMULATOR
-    previous = _PROFILE_ACCUMULATOR
-    accumulator = {"solve_s": 0.0}
-    _PROFILE_ACCUMULATOR = accumulator
+    token = _PROFILE_ACCUMULATOR.set({"solve_s": 0.0})
     try:
-        yield accumulator
+        yield _PROFILE_ACCUMULATOR.get()
     finally:
-        _PROFILE_ACCUMULATOR = previous
+        _PROFILE_ACCUMULATOR.reset(token)
 
 
 def _gather(solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
@@ -606,7 +618,8 @@ class CompiledMNA:
         nonlinear circuits the resolved :class:`SolverOptions` decide between
         exact Newton and the frozen-factorization update.
         """
-        if _PROFILE_ACCUMULATOR is not None:
+        accumulator = _PROFILE_ACCUMULATOR.get()
+        if accumulator is not None:
             start = perf_counter()
             try:
                 return self._solve_step_impl(
@@ -614,7 +627,7 @@ class CompiledMNA:
                     damping_limit, options,
                 )
             finally:
-                _PROFILE_ACCUMULATOR["solve_s"] += perf_counter() - start
+                accumulator["solve_s"] += perf_counter() - start
         return self._solve_step_impl(
             time, initial_guess, state, max_iterations, tolerance, damping_limit, options
         )

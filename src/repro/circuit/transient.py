@@ -25,6 +25,8 @@ from repro.circuit.compiled import ArrayState, CompiledMNA, SolverOptions, resol
 from repro.circuit.dc import dc_operating_point
 from repro.circuit.mna import CompanionState, MNAAssembler, newton_solve
 from repro.circuit.netlist import Circuit, is_ground
+from repro.obs.metrics import record_solver_stats
+from repro.obs.trace import trace_span
 
 
 @dataclass(frozen=True)
@@ -143,33 +145,48 @@ def transient_analysis(
     trace = np.empty((n_steps + 1, assembler.size))
     trace[0] = solution
 
-    if resolve_backend(assembler.size, backend) == "sparse":
-        compiled = CompiledMNA(circuit, dt=time_step, method=method, assembler=assembler)
-        array_state = ArrayState.from_companion(state, circuit)
-        for step in range(1, n_steps + 1):
-            solution = compiled.solve_step(
-                times[step],
-                solution,
-                array_state,
-                max_iterations=max_newton_iterations,
-                options=solver_opts,
+    resolved_backend = resolve_backend(assembler.size, backend)
+    with trace_span(
+        "circuit.transient",
+        backend=resolved_backend,
+        size=assembler.size,
+        n_steps=n_steps,
+    ) as span:
+        if resolved_backend == "sparse":
+            compiled = CompiledMNA(
+                circuit, dt=time_step, method=method, assembler=assembler
             )
-            array_state = compiled.update_state(solution, array_state)
-            trace[step] = solution
-    else:
-        for step in range(1, n_steps + 1):
-            time = times[step]
-            solution = newton_solve(
-                assembler,
-                time,
-                solution,
-                state=state,
-                dt=time_step,
-                method=method,
-                max_iterations=max_newton_iterations,
-            )
-            state = assembler.update_state(solution, state, time_step, method=method)
-            trace[step] = solution
+            array_state = ArrayState.from_companion(state, circuit)
+            for step in range(1, n_steps + 1):
+                solution = compiled.solve_step(
+                    times[step],
+                    solution,
+                    array_state,
+                    max_iterations=max_newton_iterations,
+                    options=solver_opts,
+                )
+                array_state = compiled.update_state(solution, array_state)
+                trace[step] = solution
+            # One sync per analysis: the compiled solver's counters feed the
+            # shared registry (and the open span) without per-step overhead.
+            record_solver_stats(compiled.stats)
+            span.set("solver", compiled.stats.as_dict())
+        else:
+            for step in range(1, n_steps + 1):
+                time = times[step]
+                solution = newton_solve(
+                    assembler,
+                    time,
+                    solution,
+                    state=state,
+                    dt=time_step,
+                    method=method,
+                    max_iterations=max_newton_iterations,
+                )
+                state = assembler.update_state(
+                    solution, state, time_step, method=method
+                )
+                trace[step] = solution
 
     voltages = {
         name: np.ascontiguousarray(trace[:, assembler.node_index(name)])

@@ -82,6 +82,25 @@ SCHEMA_VERSION = 1
 
 _ENTRY_PATTERN = re.compile(r"(?P<experiment>.+)-(?P<key>[0-9a-f]{16})\.json$")
 
+
+def _trace_json() -> str | None:
+    """The claiming process's tracing carrier as JSON (None when off)."""
+    from repro.obs.trace import current_carrier
+
+    carrier = current_carrier()
+    return None if carrier is None else json.dumps(carrier)
+
+
+def _row_trace(value: Any) -> dict[str, Any] | None:
+    """Parse a leases.trace column value (tolerant of NULL/corruption)."""
+    if not value:
+        return None
+    try:
+        parsed = json.loads(value)
+    except (TypeError, ValueError):
+        return None
+    return parsed if isinstance(parsed, dict) else None
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS schema_info (
     version INTEGER NOT NULL
@@ -110,7 +129,8 @@ CREATE TABLE IF NOT EXISTS leases (
     worker     TEXT NOT NULL,
     claimed_at REAL NOT NULL,
     expires_at REAL NOT NULL,
-    pid        INTEGER
+    pid        INTEGER,
+    trace      TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_leases_expires ON leases(expires_at);
 CREATE TABLE IF NOT EXISTS failures (
@@ -156,6 +176,12 @@ class SqliteStore(ResultStore):
 
     def _ensure_schema(self, connection: sqlite3.Connection) -> None:
         connection.executescript(_SCHEMA)
+        # Additive migration for databases created before the trace column
+        # existed; purely informational, so no SCHEMA_VERSION bump.
+        try:
+            connection.execute("ALTER TABLE leases ADD COLUMN trace TEXT")
+        except sqlite3.OperationalError:
+            pass  # column already present
         row = connection.execute("SELECT version FROM schema_info").fetchone()
         if row is None:
             connection.execute(
@@ -298,15 +324,16 @@ class SqliteStore(ResultStore):
                     # left by a dead worker: take (over) the point.
                     connection.execute(
                         """
-                        INSERT INTO leases (entry, worker, claimed_at, expires_at, pid)
-                        VALUES (?, ?, ?, ?, ?)
+                        INSERT INTO leases (entry, worker, claimed_at, expires_at, pid, trace)
+                        VALUES (?, ?, ?, ?, ?, ?)
                         ON CONFLICT(entry) DO UPDATE SET
                             worker = excluded.worker,
                             claimed_at = excluded.claimed_at,
                             expires_at = excluded.expires_at,
-                            pid = excluded.pid
+                            pid = excluded.pid,
+                            trace = excluded.trace
                         """,
-                        (path, worker_id, now, now + ttl, os.getpid()),
+                        (path, worker_id, now, now + ttl, os.getpid(), _trace_json()),
                     )
                     return CLAIM_ACQUIRED
             # A row exists.  Validate it *outside* the write transaction --
@@ -373,15 +400,16 @@ class SqliteStore(ResultStore):
                         continue
                     connection.execute(
                         """
-                        INSERT INTO leases (entry, worker, claimed_at, expires_at, pid)
-                        VALUES (?, ?, ?, ?, ?)
+                        INSERT INTO leases (entry, worker, claimed_at, expires_at, pid, trace)
+                        VALUES (?, ?, ?, ?, ?, ?)
                         ON CONFLICT(entry) DO UPDATE SET
                             worker = excluded.worker,
                             claimed_at = excluded.claimed_at,
                             expires_at = excluded.expires_at,
-                            pid = excluded.pid
+                            pid = excluded.pid,
+                            trace = excluded.trace
                         """,
-                        (path, worker_id, now, now + ttl, os.getpid()),
+                        (path, worker_id, now, now + ttl, os.getpid(), _trace_json()),
                     )
                     statuses[index] = CLAIM_ACQUIRED
                     acquired += 1
@@ -469,6 +497,7 @@ class SqliteStore(ResultStore):
             claimed_at=row["claimed_at"],
             expires_at=row["expires_at"],
             pid=row["pid"],
+            trace=_row_trace(row["trace"]),
         )
 
     def leases(self, now: float | None = None) -> list[Lease]:
@@ -486,6 +515,7 @@ class SqliteStore(ResultStore):
                 claimed_at=row["claimed_at"],
                 expires_at=row["expires_at"],
                 pid=row["pid"],
+                trace=_row_trace(row["trace"]),
             )
             for row in rows
         ]

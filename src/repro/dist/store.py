@@ -43,9 +43,10 @@ import tempfile
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
-from typing import ContextManager, Iterator
+from typing import Any, ContextManager, Iterator
 
 from repro.api.results import ResultSet
+from repro.obs.trace import current_carrier
 
 try:
     import fcntl
@@ -198,13 +199,19 @@ def _atomic_write(directory: str, path: str, text: str, fsync: bool = False) -> 
 
 @dataclass(frozen=True)
 class Lease:
-    """One worker's temporary claim on a pending store entry."""
+    """One worker's temporary claim on a pending store entry.
+
+    ``trace`` optionally carries the claiming worker's tracing carrier
+    (see :func:`repro.obs.current_carrier`), so a crashed worker's lease
+    still names the trace its point belonged to.
+    """
 
     path: str
     worker: str
     claimed_at: float
     expires_at: float
     pid: int | None = None
+    trace: dict[str, Any] | None = None
 
     def expired(self, now: float | None = None) -> bool:
         """Whether the lease has lapsed (its point is claimable again)."""
@@ -425,23 +432,30 @@ class SharedStore(ResultStore):
         try:
             with open(lease_path) as handle:
                 payload = json.load(handle)
+            trace = payload.get("trace")
             return Lease(
                 path=lease_path,
                 worker=str(payload["worker"]),
                 claimed_at=float(payload["claimed_at"]),
                 expires_at=float(payload["expires_at"]),
                 pid=payload.get("pid"),
+                trace=trace if isinstance(trace, dict) else None,
             )
         except (OSError, ValueError, KeyError, TypeError):
             return None  # missing or corrupt lease: the point is claimable
 
     def _write_lease(self, path: str, worker_id: str, now: float, ttl: float) -> None:
-        payload = {
+        payload: dict[str, Any] = {
             "worker": worker_id,
             "claimed_at": now,
             "expires_at": now + ttl,
             "pid": os.getpid(),
         }
+        carrier = current_carrier()
+        if carrier is not None:
+            # Lease metadata never feeds cache keys or content hashes, so
+            # the trace context is free to ride along with the claim.
+            payload["trace"] = carrier
         _atomic_write(self.directory, self._lease_path(path), json.dumps(payload))
 
     def _unlink_lease(self, path: str) -> None:

@@ -59,6 +59,9 @@ from repro.dist.store import (
     ResultStore,
     default_worker_id,
 )
+from repro.obs import metrics
+from repro.obs.metrics import metrics_snapshot
+from repro.obs.trace import trace_span
 
 
 class LeaseHeartbeat:
@@ -101,6 +104,7 @@ class LeaseHeartbeat:
                 for entry in live
                 if self.store.renew(entry, self.worker_id, self.ttl)
             ]
+            metrics.counter("repro_lease_renewals_total").inc(len(live))
 
     def __enter__(self) -> "LeaseHeartbeat":
         self._thread = threading.Thread(target=self._beat, daemon=True)
@@ -131,6 +135,11 @@ class WorkerReport:
     are the dispatch-overhead budget: for an uncontended sweep of N points
     the loop stays within a handful of claim round trips total plus one
     load-or-publish per point, rather than N claims.
+
+    ``metrics`` carries a :func:`repro.obs.metrics.metrics_snapshot` of this
+    process taken at loop exit (counters such as claim outcomes, cache
+    events and solver totals) so a supervisor can aggregate worker activity
+    without scraping each process.
     """
 
     worker_id: str
@@ -142,6 +151,7 @@ class WorkerReport:
     wall_time_s: float = 0.0
     claim_round_trips: int = 0
     store_round_trips: int = 0
+    metrics: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -337,6 +347,10 @@ def run_worker(
         )
         claim_round_trips += 1
         store_round_trips += 1
+        for status in set(statuses):
+            metrics.counter("repro_claim_outcomes_total", status=status).inc(
+                statuses.count(status)
+            )
         for index, status in zip(remaining, statuses):
             if status == CLAIM_BUSY:
                 busy.append(index)
@@ -379,6 +393,11 @@ def run_worker(
                 # One heartbeat renews every lease in the batch while it runs.
                 with LeaseHeartbeat(
                     store, [paths[index] for index in batchable], worker, lease_ttl
+                ), trace_span(
+                    "worker.batch",
+                    experiment=experiment.name,
+                    worker=worker,
+                    n_points=len(batchable),
                 ):
                     records_list = experiment.run_batch(
                         [resolved[index] for index in batchable]
@@ -405,7 +424,14 @@ def run_worker(
             try:
                 # The heartbeat renews the lease while the point runs, so a
                 # slower-than-ttl point is not re-claimed by a sibling.
-                with LeaseHeartbeat(store, paths[index], worker, lease_ttl):
+                with LeaseHeartbeat(
+                    store, paths[index], worker, lease_ttl
+                ), trace_span(
+                    "worker.point",
+                    experiment=experiment.name,
+                    worker=worker,
+                    index=index,
+                ):
                     records = experiment.run_with_inputs(
                         inputs_by_index[index], resolved[index]
                     )
@@ -454,4 +480,5 @@ def run_worker(
         wall_time_s=time.perf_counter() - start,
         claim_round_trips=claim_round_trips,
         store_round_trips=store_round_trips,
+        metrics=metrics_snapshot(),
     )

@@ -1,0 +1,185 @@
+"""Trace inspection: turn span JSONL sinks into summaries and waterfalls.
+
+Backs the ``python -m repro trace {summary,tree,critical-path}`` CLI.
+Input files are the sinks written by :mod:`repro.obs.trace`; loading is
+tolerant (truncated or foreign lines are skipped) because many processes
+append concurrently and a reader may catch a line mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "critical_path",
+    "load_spans",
+    "render_critical_path",
+    "render_summary",
+    "render_tree",
+    "summarize",
+]
+
+Span = dict[str, Any]
+
+
+def load_spans(paths: str | Iterable[str]) -> list[Span]:
+    """Read span records from one or more JSONL sinks, oldest first."""
+    if isinstance(paths, str):
+        paths = [paths]
+    spans: list[Span] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "span_id" in record and "name" in record:
+                    spans.append(record)
+    spans.sort(key=lambda span: span.get("t_start", 0.0))
+    return spans
+
+
+def summarize(spans: Sequence[Span]) -> list[dict[str, Any]]:
+    """Aggregate rows per span name, sorted by total wall time descending."""
+    groups: dict[str, list[Span]] = {}
+    for span in spans:
+        groups.setdefault(span["name"], []).append(span)
+    rows = []
+    for name, members in groups.items():
+        walls = [float(span.get("wall_s", 0.0)) for span in members]
+        total = sum(walls)
+        rows.append(
+            {
+                "span": name,
+                "count": len(members),
+                "total_s": round(total, 6),
+                "mean_s": round(total / len(members), 6),
+                "max_s": round(max(walls), 6),
+                "cpu_s": round(
+                    sum(float(span.get("cpu_s", 0.0)) for span in members), 6
+                ),
+            }
+        )
+    rows.sort(key=lambda row: row["total_s"], reverse=True)
+    return rows
+
+
+def _header(spans: Sequence[Span]) -> str:
+    traces = {span.get("trace_id") for span in spans}
+    pids = {span.get("pid") for span in spans}
+    return (
+        f"{len(spans)} spans, {len(traces)} trace(s), "
+        f"{len(pids)} process(es)"
+    )
+
+
+def render_summary(spans: Sequence[Span]) -> str:
+    """Per-name aggregate table for ``repro trace summary``."""
+    from repro.analysis.report import format_table
+
+    if not spans:
+        return "no spans"
+    return format_table(summarize(spans), title=_header(spans))
+
+
+def _children_index(spans: Sequence[Span]) -> dict[str | None, list[Span]]:
+    children: dict[str | None, list[Span]] = {}
+    known = {span["span_id"] for span in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        # A span whose parent never got recorded (e.g. the parent process
+        # is still running) renders as a root rather than vanishing.
+        if parent is not None and parent not in known:
+            parent = None
+        children.setdefault(parent, []).append(span)
+    for members in children.values():
+        members.sort(key=lambda span: span.get("t_start", 0.0))
+    return children
+
+
+def _attr_text(span: Span) -> str:
+    attrs = span.get("attrs") or {}
+    if not isinstance(attrs, dict) or not attrs:
+        return ""
+    inner = " ".join(f"{key}={value}" for key, value in attrs.items())
+    if len(inner) > 60:
+        inner = inner[:57] + "..."
+    return f" [{inner}]"
+
+
+def _span_line(span: Span, depth: int) -> str:
+    wall = float(span.get("wall_s", 0.0))
+    error = " ERROR" if span.get("error") else ""
+    return (
+        f"{'  ' * depth}{span['name']}  {wall * 1000:.1f} ms  "
+        f"(pid {span.get('pid', '?')}){_attr_text(span)}{error}"
+    )
+
+
+def render_tree(spans: Sequence[Span], max_children: int = 20) -> str:
+    """Indented parent/child waterfall for ``repro trace tree``.
+
+    Sibling lists longer than ``max_children`` are elided with a count,
+    so a 500-point sweep stays readable.
+    """
+    if not spans:
+        return "no spans"
+    children = _children_index(spans)
+    lines = [_header(spans)]
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append(_span_line(span, depth))
+        kids = children.get(span["span_id"], [])
+        shown = kids if len(kids) <= max_children else kids[:max_children]
+        for kid in shown:
+            walk(kid, depth + 1)
+        if len(kids) > len(shown):
+            lines.append(f"{'  ' * (depth + 1)}... {len(kids) - len(shown)} more")
+
+    by_trace: dict[str, list[Span]] = {}
+    for root in children.get(None, []):
+        by_trace.setdefault(root.get("trace_id", "?"), []).append(root)
+    for trace_id, roots in by_trace.items():
+        lines.append(f"trace {trace_id}:")
+        for root in roots:
+            walk(root, 1)
+    return "\n".join(lines)
+
+
+def critical_path(spans: Sequence[Span]) -> list[Span]:
+    """The slowest root-to-leaf span chain (greedy by child wall time)."""
+    if not spans:
+        return []
+    children = _children_index(spans)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    span = max(roots, key=lambda candidate: float(candidate.get("wall_s", 0.0)))
+    path = [span]
+    while True:
+        kids = children.get(span["span_id"], [])
+        if not kids:
+            return path
+        span = max(kids, key=lambda candidate: float(candidate.get("wall_s", 0.0)))
+        path.append(span)
+
+
+def render_critical_path(spans: Sequence[Span]) -> str:
+    """Slowest chain with per-hop share for ``repro trace critical-path``."""
+    path = critical_path(spans)
+    if not path:
+        return "no spans"
+    total = float(path[0].get("wall_s", 0.0)) or 1.0
+    lines = [f"critical path ({len(path)} spans, {total * 1000:.1f} ms total):"]
+    for depth, span in enumerate(path):
+        wall = float(span.get("wall_s", 0.0))
+        lines.append(
+            f"{'  ' * depth}{span['name']}  {wall * 1000:.1f} ms  "
+            f"({100.0 * wall / total:.0f}%){_attr_text(span)}"
+        )
+    return "\n".join(lines)

@@ -33,6 +33,7 @@ from typing import Any, Mapping
 from repro.api.results import ResultSet
 from repro.api.sweep import SweepSpec
 from repro.dist.backoff import Backoff
+from repro.obs.trace import TRACE_HEADER, carrier_to_header, current_carrier, trace_span
 from repro.service.jobs import JOB_DONE, JOB_FAILED
 
 
@@ -67,11 +68,17 @@ class ServiceClient:
     # --- transport --------------------------------------------------------
 
     def _request(self, method: str, path: str, payload: Any = None) -> str:
+        headers = {"Content-Type": "application/json"}
+        # With tracing active, every request carries the open span so the
+        # server (and eventually the executing daemon) joins this trace.
+        carrier = current_carrier()
+        if carrier is not None:
+            headers[TRACE_HEADER] = carrier_to_header(carrier)
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             method=method,
             data=None if payload is None else json.dumps(payload).encode(),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -121,7 +128,10 @@ class ServiceClient:
             body["params"] = dict(params)
         if stage_params:
             body["stage_params"] = {k: dict(v) for k, v in stage_params.items()}
-        return self._post_json("/submit_sweep", body)["job_id"]
+        with trace_span("client.submit_sweep", experiment=experiment) as span:
+            job_id = self._post_json("/submit_sweep", body)["job_id"]
+            span.set("job_id", job_id)
+        return job_id
 
     def submit_study(
         self,
@@ -136,7 +146,10 @@ class ServiceClient:
             body["sweep"] = descriptor
         if params:
             body["params"] = {k: dict(v) for k, v in params.items()}
-        return self._post_json("/submit_study", body)["job_id"]
+        with trace_span("client.submit_study", study=study) as span:
+            job_id = self._post_json("/submit_study", body)["job_id"]
+            span.set("job_id", job_id)
+        return job_id
 
     def status(self, job_id: str) -> dict[str, Any]:
         """One job's status view (state, progress, worker, error)."""

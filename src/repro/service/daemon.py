@@ -54,6 +54,7 @@ Quick start::
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -64,8 +65,12 @@ from repro.api.study import get_study
 from repro.dist.backoff import Backoff
 from repro.dist.store import DEFAULT_LEASE_TTL, ResultStore, default_worker_id
 from repro.dist.worker import run_worker
+from repro.obs import metrics
+from repro.obs.trace import activate_carrier, trace_span
 from repro.service.jobs import JobSpec
 from repro.service.queue import SpecQueue
+
+logger = logging.getLogger("repro.service.daemon")
 
 
 class JobExecutionError(RuntimeError):
@@ -212,7 +217,10 @@ def serve_queue(
         Cooperative shutdown flag, checked between jobs and while idle --
         the in-flight job always completes and publishes.
     on_event:
-        Optional line-oriented log callback (the CLI points it at stderr).
+        Optional line-oriented progress callback (the CLI's progress
+        renderer).  Every event also goes to the ``repro.service.daemon``
+        logger, so ``python -m repro --log-level info`` sees daemon
+        activity with timestamps whether or not a callback is installed.
     """
     worker = worker_id if worker_id is not None else default_worker_id()
     halt = stop if stop is not None else threading.Event()
@@ -222,6 +230,7 @@ def serve_queue(
     start = time.perf_counter()
 
     def emit(message: str) -> None:
+        logger.info(message)
         if on_event is not None:
             on_event(message)
 
@@ -238,7 +247,12 @@ def serve_queue(
         job_id, payload = claimed
         # The heartbeat keeps the job lease alive for as long as execution
         # takes; the per-point leases inside run_worker have their own.
-        with queue.heartbeat(job_id, worker, lease_ttl):
+        # A job submitted under tracing carries its submitter's carrier:
+        # adopt it so every span this execution produces (worker points,
+        # solver spans, pool workers) joins the submitting client's trace.
+        with queue.heartbeat(job_id, worker, lease_ttl), activate_carrier(
+            queue.read_trace(job_id)
+        ), trace_span("daemon.job", job_id=job_id, worker=worker):
             job_start = time.perf_counter()
             try:
                 job = JobSpec.from_payload(payload).validate()
@@ -257,6 +271,7 @@ def serve_queue(
                 message = f"{type(error).__name__}: {error}"
                 queue.fail(job_id, worker, message)
                 failed.append(job_id)
+                metrics.counter("repro_jobs_total", state="failed").inc()
                 emit(f"daemon {worker}: {job_id} FAILED: {message}")
             else:
                 queue.store_result(job_id, result)
@@ -270,6 +285,7 @@ def serve_queue(
                     },
                 )
                 executed.append(job_id)
+                metrics.counter("repro_jobs_total", state="done").inc()
                 emit(
                     f"daemon {worker}: {job_id} done "
                     f"({len(result)} records, {result.content_hash[:16]})"

@@ -48,6 +48,7 @@ from repro.dist.store import (
     _atomic_write,
 )
 from repro.dist.worker import LeaseHeartbeat
+from repro.obs.trace import current_carrier
 from repro.service.jobs import (
     JOB_DONE,
     JOB_FAILED,
@@ -148,6 +149,13 @@ class SpecQueue:
             "submitted_at": time.time(),
             "spec": job.to_payload(),
         }
+        # An active trace context rides along as a *top-level* document key
+        # (JobSpec.from_payload rejects unknown spec fields), so the daemon
+        # that eventually executes the job can continue the submitter's
+        # trace.  Pure bookkeeping: never part of the spec or any hash.
+        carrier = current_carrier()
+        if carrier is not None:
+            document["trace"] = carrier
         os.makedirs(self.directory, exist_ok=True)
         _atomic_write(
             self.directory, self._path(job_id, JOB_SUFFIX), json.dumps(document),
@@ -177,6 +185,14 @@ class SpecQueue:
     def get(self, job_id: str) -> JobSpec:
         """The parsed spec of one job (:class:`UnknownJobError` if absent)."""
         return JobSpec.from_payload(self._read_document(job_id).get("spec"))
+
+    def read_trace(self, job_id: str) -> dict[str, Any] | None:
+        """The trace carrier submitted with a job, if any (tolerant read)."""
+        try:
+            trace = self._read_document(job_id).get("trace")
+        except UnknownJobError:
+            return None
+        return trace if isinstance(trace, dict) else None
 
     def job_ids(self) -> list[str]:
         """Every submitted job id, oldest first (submission-time order)."""

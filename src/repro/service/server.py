@@ -26,8 +26,21 @@ Endpoint contract (all JSON; see ``docs/SERVICE.md`` for curl sessions):
 ``GET /list_jobs``
     ``{"jobs": [status, ...]}`` oldest first.
 ``GET /health``
-    Liveness + capacity: package version, registry size (experiments and
-    studies), queue depth by state.
+    Liveness + capacity: package version, uptime, registry size
+    (experiments and studies), queue depth by state, jobs settled since
+    this server started, and this process's metrics snapshot.
+``GET /metrics``
+    Prometheus text exposition (0.0.4) of the process-local
+    :mod:`repro.obs.metrics` registry -- HTTP request counters/latency,
+    queue depth gauges (refreshed per scrape) and whatever engine/solver
+    series this process has produced.
+
+Every endpoint is counted in ``repro_http_requests_total{endpoint,method,
+code}`` and timed in ``repro_http_request_seconds{endpoint}`` (job ids are
+normalised out of the endpoint label).  A ``POST /submit_*`` carrying an
+``X-Repro-Trace`` header joins the submitting client's trace: the submit is
+recorded as a ``service.submit`` span and the carrier is stored with the
+queued job, so the daemon that executes it continues the same trace.
 
 Errors are ``{"error": message}`` with conventional status codes (400
 malformed/invalid submission, 404 unknown job or route, 405 wrong method,
@@ -37,6 +50,7 @@ malformed/invalid submission, 404 unknown job or route, 405 wrong method,
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import urlparse
@@ -44,7 +58,10 @@ from urllib.parse import urlparse
 from repro import __version__
 from repro.api.experiment import ExperimentError, list_experiments
 from repro.api.study import list_studies
-from repro.service.jobs import JobSpec
+from repro.obs import metrics
+from repro.obs.metrics import metrics_snapshot, render_prometheus
+from repro.obs.trace import TRACE_HEADER, activate_carrier, carrier_from_header, trace_span
+from repro.service.jobs import JOB_DONE, JOB_FAILED, JobSpec
 from repro.service.queue import SpecQueue, UnknownJobError
 
 DEFAULT_HOST = "127.0.0.1"
@@ -68,6 +85,10 @@ class ServiceServer(ThreadingHTTPServer):
     ) -> None:
         self.queue = queue
         self.quiet = quiet
+        self.started_at = time.time()
+        # Depth snapshot at bind time: /health reports settled-job deltas
+        # against it ("what happened since this server came up").
+        self.initial_depth = queue.depth()
         super().__init__(address, ServiceHandler)
 
     @property
@@ -105,15 +126,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
+    def _send_body(self, body: bytes, status: int, content_type: str) -> None:
+        self._last_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_json(self, payload: Any, status: int = 200) -> None:
         body = (
             payload if isinstance(payload, bytes) else json.dumps(payload).encode()
         )
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(body, status, "application/json")
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
@@ -135,11 +160,38 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # --- routes -----------------------------------------------------------
 
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        """Normalise a request path to a bounded-cardinality metric label."""
+        if path.startswith("/status/"):
+            return "/status"
+        if path.startswith("/fetch_results/"):
+            return "/fetch_results"
+        if path in ("/health", "/list_jobs", "/metrics", "/submit_sweep",
+                    "/submit_study", "/status", "/fetch_results"):
+            return path
+        return "other"
+
+    def _observe(self, method: str, path: str, started: float) -> None:
+        endpoint = self._endpoint_label(path)
+        metrics.counter(
+            "repro_http_requests_total",
+            endpoint=endpoint,
+            method=method,
+            code=str(getattr(self, "_last_status", 0)),
+        ).inc()
+        metrics.histogram("repro_http_request_seconds", endpoint=endpoint).observe(
+            time.perf_counter() - started
+        )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         path = urlparse(self.path).path.rstrip("/")
+        started = time.perf_counter()
         try:
             if path == "/health":
                 self._send_json(self._health())
+            elif path == "/metrics":
+                self._metrics()
             elif path == "/list_jobs":
                 self._send_json({"jobs": self.server.queue.statuses()})
             elif path.startswith("/status/"):
@@ -156,24 +208,33 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, str(error))
         except Exception as error:  # never let a handler kill the server
             self._send_error_json(500, f"{type(error).__name__}: {error}")
+        finally:
+            self._observe("GET", path, started)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         path = urlparse(self.path).path.rstrip("/")
+        started = time.perf_counter()
+        # A client-sent trace context makes the submit (and the queued job)
+        # part of the client's trace; absent/malformed headers are ignored.
+        carrier = carrier_from_header(self.headers.get(TRACE_HEADER))
         try:
-            if path == "/submit_sweep":
-                self._submit(self._sweep_payload(self._read_body()))
-            elif path == "/submit_study":
-                self._submit(self._study_payload(self._read_body()))
-            elif path in ("/health", "/list_jobs") or path.startswith(
-                ("/status/", "/fetch_results/")
-            ):
-                self._send_error_json(405, f"{path!r} is read-only; use GET")
-            else:
-                self._send_error_json(404, f"unknown endpoint {path!r}")
+            with activate_carrier(carrier):
+                if path == "/submit_sweep":
+                    self._submit(self._sweep_payload(self._read_body()))
+                elif path == "/submit_study":
+                    self._submit(self._study_payload(self._read_body()))
+                elif path in ("/health", "/list_jobs", "/metrics") or path.startswith(
+                    ("/status/", "/fetch_results/")
+                ):
+                    self._send_error_json(405, f"{path!r} is read-only; use GET")
+                else:
+                    self._send_error_json(404, f"unknown endpoint {path!r}")
         except _HttpFault as fault:
             self._send_error_json(fault.status, fault.message)
         except Exception as error:
             self._send_error_json(500, f"{type(error).__name__}: {error}")
+        finally:
+            self._observe("POST", path, started)
 
     # --- endpoint bodies --------------------------------------------------
 
@@ -206,7 +267,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (ValueError, ExperimentError) as error:
             # Untrusted spec rejected at the door, naming the bad field.
             raise _HttpFault(400, str(error))
-        job_id = self.server.queue.submit(job)
+        with trace_span(
+            "service.submit", kind=payload.get("kind"), target=payload.get("name")
+        ) as span:
+            # queue.submit self-injects the *current* carrier, i.e. this
+            # service.submit span, into the job document.
+            job_id = self.server.queue.submit(job)
+            span.set("job_id", job_id)
         self._send_json({"job_id": job_id, "state": "queued"})
 
     def _fetch_results(self, job_id: str) -> None:
@@ -225,18 +292,37 @@ class ServiceHandler(BaseHTTPRequestHandler):
         # what ResultSet.from_json round-trips (content hash included).
         self._send_json(result.to_json().encode())
 
+    def _metrics(self) -> None:
+        # Queue depth is registry state only at scrape time: refresh the
+        # gauges from the queue directory before rendering.
+        for state, count in self.server.queue.depth().items():
+            metrics.gauge("repro_queue_depth", state=state).set(count)
+        self._send_body(
+            render_prometheus().encode(),
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
     def _health(self) -> dict[str, Any]:
+        depth = self.server.queue.depth()
+        initial = self.server.initial_depth
         return {
             "status": "ok",
             "version": __version__,
+            "uptime_s": time.time() - self.server.started_at,
             "registry": {
                 "experiments": len(list_experiments()),
                 "studies": len(list_studies()),
             },
             "queue": {
                 "directory": self.server.queue.directory,
-                **self.server.queue.depth(),
+                **depth,
             },
+            "jobs_since_start": {
+                "done": depth[JOB_DONE] - initial.get(JOB_DONE, 0),
+                "failed": depth[JOB_FAILED] - initial.get(JOB_FAILED, 0),
+            },
+            "metrics": metrics_snapshot(),
         }
 
 

@@ -401,3 +401,29 @@ class TestDocsCommand:
         code, _, err = run_cli(capsys, "docs", "--check", str(path))
         assert code == 1
         assert "stale" in err and "--write" in err
+
+
+class TestTraceCommand:
+    def test_summary_of_a_recorded_run(self, capsys, tmp_path):
+        sink = str(tmp_path / "trace.jsonl")
+        code, _, _ = run_cli(
+            capsys, "run", "table_density", "--limit", "0", "--trace", sink
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "trace", "summary", sink)
+        assert code == 0
+        assert "cli.run" in out and "1 trace(s)" in out
+
+    def test_missing_sink_is_a_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "trace", "summary", str(tmp_path / "absent.jsonl")
+        )
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_empty_sink_reports_no_spans(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, _, err = run_cli(capsys, "trace", "summary", str(empty))
+        assert code == 1
+        assert "no spans" in err

@@ -1,0 +1,107 @@
+"""Trace inspection: tolerant loading, summaries, trees, critical paths."""
+
+import json
+
+from repro.obs.inspect import (
+    critical_path,
+    load_spans,
+    render_critical_path,
+    render_summary,
+    render_tree,
+    summarize,
+)
+
+
+def _span(name, span_id, parent=None, trace="t1", wall=1.0, t_start=0.0, **attrs):
+    return {
+        "name": name,
+        "trace_id": trace,
+        "span_id": span_id,
+        "parent_id": parent,
+        "t_start": t_start,
+        "wall_s": wall,
+        "cpu_s": wall / 2,
+        "pid": 100,
+        "attrs": attrs,
+    }
+
+
+SPANS = [
+    _span("root", "a", wall=4.0, t_start=0.0),
+    _span("child", "b", parent="a", wall=3.0, t_start=0.1, index=0),
+    _span("child", "c", parent="a", wall=0.5, t_start=0.2, index=1),
+    _span("leaf", "d", parent="b", wall=2.0, t_start=0.3),
+]
+
+
+class TestLoading:
+    def test_load_skips_junk_and_sorts_by_start(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps(SPANS[1]),
+            "not json at all",
+            '{"torn": ',
+            json.dumps({"no_span_id": True, "name": "x"}),
+            json.dumps(SPANS[0]),
+            "",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        spans = load_spans(str(path))
+        assert [span["span_id"] for span in spans] == ["a", "b"]
+
+    def test_load_merges_multiple_sinks(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        first.write_text(json.dumps(SPANS[0]) + "\n")
+        second.write_text(json.dumps(SPANS[1]) + "\n")
+        assert len(load_spans([str(first), str(second)])) == 2
+
+
+class TestSummarize:
+    def test_rows_aggregate_per_name_sorted_by_total(self):
+        rows = summarize(SPANS)
+        assert [row["span"] for row in rows] == ["root", "child", "leaf"]
+        child = rows[1]
+        assert child["count"] == 2
+        assert child["total_s"] == 3.5
+        assert child["max_s"] == 3.0
+
+    def test_render_summary_headers_traces_and_processes(self):
+        text = render_summary(SPANS)
+        assert "4 spans, 1 trace(s), 1 process(es)" in text
+        assert render_summary([]) == "no spans"
+
+
+class TestTree:
+    def test_tree_nests_children_under_parents(self):
+        text = render_tree(SPANS)
+        lines = text.splitlines()
+        assert lines[1] == "trace t1:"
+        assert lines[2].startswith("  root")
+        assert lines[3].startswith("    child")
+        assert "      leaf" in text
+
+    def test_orphan_parent_renders_as_root(self):
+        orphan = _span("stranded", "z", parent="never-recorded")
+        text = render_tree([orphan])
+        assert "stranded" in text
+
+    def test_sibling_elision(self):
+        spans = [_span("root", "r", wall=10.0)] + [
+            _span("point", f"p{i}", parent="r", t_start=float(i))
+            for i in range(25)
+        ]
+        text = render_tree(spans, max_children=10)
+        assert text.count("point") == 10
+        assert "... 15 more" in text
+
+
+class TestCriticalPath:
+    def test_follows_slowest_children(self):
+        names = [span["name"] for span in critical_path(SPANS)]
+        assert names == ["root", "child", "leaf"]
+
+    def test_render_shows_percentages(self):
+        text = render_critical_path(SPANS)
+        assert "root  4000.0 ms  (100%)" in text
+        assert "leaf  2000.0 ms  (50%)" in text
+        assert render_critical_path([]) == "no spans"

@@ -188,3 +188,52 @@ class TestEndToEnd:
         )
         states = {job["job_id"]: job["state"] for job in client.list_jobs()}
         assert states == {done_id: "done", queued_id: "queued"}
+
+
+class TestObservability:
+    def test_metrics_serves_prometheus_text(self, service):
+        service["client"].health()  # at least one observed GET
+        with urllib.request.urlopen(service["server"].url + "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            body = response.read().decode()
+        assert "# TYPE repro_http_requests_total counter" in body
+        assert 'endpoint="/health"' in body
+        assert "repro_http_request_seconds_bucket" in body
+        assert 'repro_queue_depth{state="queued"} 0' in body
+
+    def test_metrics_refreshes_queue_depth_gauges(self, service):
+        service["queue"].submit(JobSpec(kind="sweep", name="table_density", sweep=SPEC))
+        body = urllib.request.urlopen(service["server"].url + "/metrics").read().decode()
+        assert 'repro_queue_depth{state="queued"} 1' in body
+
+    def test_status_ids_are_normalised_out_of_endpoint_labels(self, service):
+        _get_status_code(service["server"].url + "/status/j-zzz")  # 404, still counted
+        body = urllib.request.urlopen(service["server"].url + "/metrics").read().decode()
+        assert 'endpoint="/status"' in body
+        assert "j-zzz" not in body
+
+    def test_health_reports_uptime_and_settled_jobs(self, service):
+        job_id = service["client"].submit_sweep("table_density", SPEC)
+        serve_queue(service["queue"], service["store"], drain=True)
+        health = service["client"].health()
+        assert health["uptime_s"] >= 0.0
+        assert health["jobs_since_start"] == {"done": 1, "failed": 0}
+        assert "counters" in health["metrics"]
+        assert service["client"].status(job_id)["state"] == "done"
+
+    def test_trace_header_lands_in_the_job_document(self, service, tmp_path):
+        from repro.obs.trace import current_carrier, trace_span, tracing
+
+        with tracing(str(tmp_path / "trace.jsonl")):
+            with trace_span("test.submit"):
+                carrier = current_carrier()
+                job_id = service["client"].submit_sweep("table_density", SPEC)
+        stored = service["queue"].read_trace(job_id)
+        assert stored is not None
+        assert stored["trace_id"] == carrier["trace_id"]
+        assert stored["sink"] == carrier["sink"]
+
+    def test_untraced_submit_stores_no_carrier(self, service):
+        job_id = service["client"].submit_sweep("table_density", SPEC)
+        assert service["queue"].read_trace(job_id) is None
