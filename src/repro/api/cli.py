@@ -17,7 +17,17 @@ Subcommands
     ones (partial results are printed and exported, exit code 1).
     ``--shards N --shard-index i`` runs one deterministic slice of the
     sweep (stable param-hash partition), for coordination-free splitting
-    across machines; ``merge`` reassembles the exported slices.
+    across machines; ``merge`` reassembles the exported slices.  ``--seed
+    S`` sets the experiment's declared ``seed`` parameter.
+``campaign run NAME --grid ... --objective COL [--mode min|max]``
+    Closed-loop adaptive campaign: a seeded strategy (``--strategy
+    random|lhs|refine|surrogate``) proposes batches from the grid's
+    candidate pool, the engine executes them (cached, shardable with
+    ``--workers N --store ...``), and the loop stops on ``--budget``,
+    ``--target`` or ``--patience``.  ``--checkpoint PATH`` makes the
+    campaign resumable mid-round; ``--report PATH`` exports the report
+    (best point, trajectory, points-vs-grid savings).  See
+    docs/CAMPAIGNS.md.
 ``worker NAME (--grid | --zip) ... --store DIR``
     Attach to a shared result store and claim the sweep's pending points
     one by one (lease-based, ttl-bounded) -- run the same command in N
@@ -100,6 +110,10 @@ Examples::
         --executor process --workers 4
     python -m repro sweep fig12 --grid contact_resistance=100e3,250e3 \\
         --shards 4 --shard-index 0 --json part0.json
+    python -m repro campaign run growth_window \\
+        --grid "temperatures_c=300;350;400;450;500;550;600" \\
+        --objective quality --mode max --batch 4 --budget 12 --seed 7 \\
+        --checkpoint campaign.json --report report.json
     python -m repro worker fig12 --grid contact_resistance=100e3,250e3 \\
         --store /shared/fig12-store
     python -m repro worker --watch /shared/queue --drain
@@ -246,8 +260,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_true",
         help="suppress the per-point progress lines on stderr",
     )
+    sweep.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="set the experiment's 'seed' parameter (for experiments that "
+        "declare one) without spelling -p seed=S",
+    )
     add_shard_options(sweep)
     add_execution_options(sweep)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="closed-loop adaptive sweep campaigns (see docs/CAMPAIGNS.md)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="drive a strategy over a candidate pool until a stop rule"
+    )
+    campaign_run.add_argument("name", help="experiment name (see `list`)")
+    add_sweep_axes(campaign_run)
+    campaign_run.add_argument(
+        "--objective", required=True, metavar="COLUMN",
+        help="output column the campaign extremises",
+    )
+    campaign_run.add_argument(
+        "--mode", choices=["min", "max"], default="min",
+        help="optimisation direction (default: min)",
+    )
+    campaign_run.add_argument(
+        "--strategy", choices=["random", "lhs", "refine", "surrogate"],
+        default="surrogate", help="proposal strategy (default: surrogate)",
+    )
+    campaign_run.add_argument(
+        "--batch", type=int, default=8, metavar="N",
+        help="points proposed and executed per round (default: 8)",
+    )
+    campaign_run.add_argument(
+        "--budget", type=int, default=None, metavar="M",
+        help="hard cap on visited points (default: the whole pool)",
+    )
+    campaign_run.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="strategy rng seed; same seed => same proposal sequence",
+    )
+    campaign_run.add_argument(
+        "--target", type=float, default=None, metavar="VALUE",
+        help="stop once the objective reaches this value",
+    )
+    campaign_run.add_argument(
+        "--patience", type=int, default=None, metavar="ROUNDS",
+        help="stop after this many rounds without improvement",
+    )
+    campaign_run.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="DELTA",
+        help="minimum objective change that counts as improvement",
+    )
+    campaign_run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resumable campaign state file; an existing checkpoint resumes "
+        "the campaign exactly (rng state, visited points, pending batch)",
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="partition each batch across N cooperating workers "
+        "(needs --store)",
+    )
+    campaign_run.add_argument(
+        "--report", default=None, metavar="PATH", dest="report_path",
+        help="write the campaign report (best point, trajectory, savings) "
+        "as JSON",
+    )
+    campaign_run.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-round progress lines on stderr",
+    )
+    add_execution_options(campaign_run)
 
     worker = subparsers.add_parser(
         "worker", help="claim and execute a sweep's pending points from a shared store"
@@ -717,6 +803,32 @@ def _shard_plan(args: argparse.Namespace):
     return ShardPlan(n_shards=args.shards, shard_index=args.shard_index)
 
 
+def _seeded_base_params(args: argparse.Namespace, spec: SweepSpec) -> dict[str, Any]:
+    """Base parameters of a sweep/campaign, with ``--seed`` folded in.
+
+    ``--seed S`` sets the experiment's declared ``seed`` parameter, so a
+    stochastic experiment reruns reproducibly without spelling ``-p
+    seed=S``.  Rejects experiments without a seed parameter and conflicts
+    with an explicit ``-p seed=`` or a swept seed axis.
+    """
+    base = _coerced_overrides(args.name, args.param)
+    seed = getattr(args, "seed", None)
+    if seed is None:
+        return base
+    experiment = get_experiment(args.name)
+    if not any(spec_.name == "seed" for spec_ in experiment.params):
+        raise ValueError(
+            f"experiment {args.name!r} declares no 'seed' parameter; "
+            "--seed needs one"
+        )
+    if "seed" in base:
+        raise ValueError("pass either --seed or -p seed=..., not both")
+    if "seed" in spec.axis_names:
+        raise ValueError("'seed' is already a sweep axis; drop --seed")
+    base["seed"] = experiment.spec("seed").coerce(seed)
+    return base
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _parsed_spec(args)
     shard = _shard_plan(args)
@@ -736,7 +848,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             result = engine.sweep(
                 args.name,
                 spec,
-                base_params=_coerced_overrides(args.name, args.param),
+                base_params=_seeded_base_params(args, spec),
                 use_cache=not args.no_cache,
                 on_result=None if args.no_progress else _progress_printer(n_points),
                 shard=shard,
@@ -748,6 +860,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             _print_result(error.partial, args)
             return 1
     _print_result(result, args)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """``campaign run``: drive an adaptive campaign over a candidate pool."""
+    from repro.campaign import Campaign
+
+    if args.no_cache:
+        raise ValueError(
+            "campaigns depend on the result cache (history assembly and "
+            "replay); --no-cache is not supported"
+        )
+    spec = _parsed_spec(args)
+    # A campaign without persistence would re-execute its whole history
+    # every round, so default to the standard cache directory.
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.store is None:
+        cache_dir = DEFAULT_CACHE_DIR
+    engine = Engine(cache_dir=cache_dir, store=_resolved_store(args))
+
+    def on_round(n_visited: int, budget: int) -> None:
+        if not args.no_progress:
+            print(f"  [{n_visited}/{budget}] points visited", file=sys.stderr)
+
+    campaign = Campaign(
+        args.name,
+        spec,
+        args.objective,
+        mode=args.mode,
+        strategy=args.strategy,
+        batch_size=args.batch,
+        budget=args.budget,
+        seed=args.seed,
+        base_params=_coerced_overrides(args.name, args.param),
+        target=args.target,
+        patience=args.patience,
+        tolerance=args.tolerance,
+        checkpoint_path=args.checkpoint,
+        workers=args.workers,
+        engine=engine,
+    )
+    print(
+        f"campaign: {args.strategy} over {spec.axis_names} "
+        f"({len(spec)} candidates, budget {campaign.budget}, "
+        f"batch {args.batch}, seed {args.seed})"
+    )
+    report = campaign.run(on_round=on_round)
+    print(report.summary())
+    if args.report_path:
+        report.write_json(args.report_path)
+        print(f"wrote {args.report_path}")
+    if report.result is not None:
+        _print_result(report.result, args)
     return 0
 
 
@@ -1362,6 +1527,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "describe": _cmd_describe,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "campaign": _cmd_campaign,
         "worker": _cmd_worker,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -19,6 +19,7 @@ import csv
 import hashlib
 import io
 import json
+import math
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 
@@ -225,6 +226,67 @@ class ResultSet:
             self.to_records(), key=lambda r: tuple(r[k] for k in keys), reverse=reverse
         )
         return ResultSet.from_records(records, meta=self.meta)
+
+    def best(self, column: str, mode: str = "min") -> dict[str, Any]:
+        """The record with the extremal value of ``column``.
+
+        ``mode`` is ``"min"`` or ``"max"``.  Records whose cell is ``None``
+        or NaN are skipped (a failed point must not win an optimisation);
+        ties go to the earliest record, so the answer is deterministic for a
+        fixed record order.  Raises :class:`KeyError` for an unknown column
+        and :class:`ValueError` when the set is empty or no record has a
+        comparable value.
+        """
+        if mode not in ("min", "max"):
+            raise ValueError(f"unknown mode {mode!r}; use 'min' or 'max'")
+        if column not in self._columns:
+            raise KeyError(f"no column {column!r}; available: {self.columns}")
+        best_index: int | None = None
+        best_value: Any = None
+        for index, value in enumerate(self._columns[column]):
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                continue
+            if (
+                best_index is None
+                or (mode == "min" and value < best_value)
+                or (mode == "max" and value > best_value)
+            ):
+                best_index, best_value = index, value
+        if best_index is None:
+            raise ValueError(
+                f"no record has a comparable {column!r} value "
+                f"({len(self)} records)"
+            )
+        return self[best_index]
+
+    def top_k(self, column: str, k: int, mode: str = "min") -> "ResultSet":
+        """The ``k`` most extreme records by ``column`` as a new ResultSet.
+
+        Stable: equal values keep their original relative order.  ``None``
+        and NaN cells sort last regardless of mode, so incomparable records
+        only appear when ``k`` exceeds the number of comparable ones.
+        """
+        if mode not in ("min", "max"):
+            raise ValueError(f"unknown mode {mode!r}; use 'min' or 'max'")
+        if column not in self._columns:
+            raise KeyError(f"no column {column!r}; available: {self.columns}")
+        if k < 1:
+            raise ValueError(f"top_k needs k >= 1, got {k}")
+
+        def comparable(record: dict[str, Any]) -> bool:
+            value = record[column]
+            return value is not None and not (
+                isinstance(value, float) and math.isnan(value)
+            )
+
+        records = self.to_records()
+        ranked = sorted(
+            (r for r in records if comparable(r)),
+            key=lambda r: r[column],
+            reverse=(mode == "max"),
+        )
+        ranked.extend(r for r in records if not comparable(r))
+        return ResultSet.from_records(ranked[:k], meta=self.meta)
 
     def unique(self, name: str) -> list[Any]:
         """Distinct values of one column in first-seen order."""

@@ -1,13 +1,19 @@
 """Declarative parameter sweeps over experiment parameters.
 
 A :class:`SweepSpec` describes *which* points of a parameter space to visit
-without saying *how* (that is the engine's job).  Two expansion modes cover
+without saying *how* (that is the engine's job).  Three expansion modes cover
 the sweeps the paper's experiments need:
 
 * ``grid`` -- full Cartesian product of all axes (the Fig. 12
   diameter x length x doping cube),
 * ``zip`` -- lock-step pairing of equally long axes (trajectories through a
-  design space).
+  design space),
+* ``points`` -- an explicit list of parameter-override dicts
+  (:meth:`SweepSpec.from_points`).  This is how adaptive campaigns
+  (:mod:`repro.campaign`) feed strategy-proposed batches through the
+  standard sweep machinery: a points spec round-trips ``to_meta`` /
+  ``from_meta`` like any other, so workers, the spec queue and
+  :func:`repro.dist.shards.merge_results` all work unchanged.
 
 ``refine`` densifies a numeric axis in place (linearly or geometrically),
 which is the standard "zoom into the crossover" workflow of Fig. 9: sweep
@@ -21,6 +27,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
+from repro.api.results import _normalize_cell
+
 
 def _as_list(values: Any) -> list[Any]:
     if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
@@ -28,21 +36,95 @@ def _as_list(values: Any) -> list[Any]:
     return list(values)
 
 
+def _checked_points(points: Any) -> tuple[dict[str, Any], ...]:
+    """Validate and normalise an explicit point list (``mode='points'``).
+
+    Cells are normalised like :class:`~repro.api.results.ResultSet` ingestion
+    (numpy scalars to natives, tuples to lists), so a points spec round-trips
+    its ``to_meta`` descriptor exactly and matches the sweep-tag columns of
+    the records it produces.
+    """
+    if points is None:
+        raise ValueError("a points sweep needs points=[{...}, ...]")
+    if isinstance(points, Mapping) or not hasattr(points, "__iter__"):
+        raise TypeError(
+            f"sweep points must be a sequence of mappings, got {points!r}"
+        )
+    checked: list[dict[str, Any]] = []
+    for index, point in enumerate(points):
+        if not isinstance(point, Mapping):
+            raise ValueError(
+                f"sweep point {index} must be a mapping of parameter name to "
+                f"value, got {type(point).__name__}"
+            )
+        if not point:
+            raise ValueError(f"sweep point {index} is empty")
+        checked.append(
+            {str(name): _normalize_cell(value) for name, value in point.items()}
+        )
+    if not checked:
+        raise ValueError("a points sweep needs at least one point")
+    names = set(checked[0])
+    for index, point in enumerate(checked):
+        if set(point) != names:
+            raise ValueError(
+                f"sweep point {index} has keys {sorted(point)} but point 0 "
+                f"has {sorted(names)}; all points must share one key set"
+            )
+    return tuple(checked)
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A declarative sweep over named experiment parameters.
 
-    Build with the :meth:`grid` / :meth:`zip` constructors rather than
-    directly.  ``points()`` expands the spec into a list of parameter-override
-    dicts, one per experiment execution.
+    Build with the :meth:`grid` / :meth:`zip` / :meth:`from_points`
+    constructors rather than directly.  ``points()`` expands the spec into a
+    list of parameter-override dicts, one per experiment execution.
     """
 
     mode: str = "grid"
     axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    # The explicit point list of a ``mode="points"`` spec (None otherwise).
+    # Stored under a distinct field name so the ``points()`` expansion
+    # method keeps its name; the constructor keyword is still ``points=``.
+    explicit_points: tuple[dict[str, Any], ...] | None = field(
+        default=None, repr=False
+    )
 
-    def __post_init__(self) -> None:
-        if self.mode not in ("grid", "zip"):
-            raise ValueError(f"unknown sweep mode {self.mode!r}; use 'grid' or 'zip'")
+    def __init__(
+        self,
+        mode: str = "grid",
+        axes: Mapping[str, Sequence[Any]] | None = None,
+        points: Sequence[Mapping[str, Any]] | None = None,
+    ) -> None:
+        # Hand-written (the dataclass decorator keeps a user-defined
+        # __init__) so the keyword reads ``SweepSpec(mode="points",
+        # points=[...])``; the frozen/eq machinery still comes from the
+        # field declarations above.
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "axes", axes if axes is not None else {})
+        object.__setattr__(self, "explicit_points", None)
+        self.__post_init__(points)
+
+    def __post_init__(
+        self, points: Sequence[Mapping[str, Any]] | None = None
+    ) -> None:
+        if self.mode not in ("grid", "zip", "points"):
+            raise ValueError(
+                f"unknown sweep mode {self.mode!r}; use 'grid', 'zip' or 'points'"
+            )
+        if self.mode == "points":
+            if self.axes:
+                raise ValueError(
+                    "a points sweep takes points=[{...}, ...], not axes"
+                )
+            object.__setattr__(self, "explicit_points", _checked_points(points))
+            return
+        if points is not None:
+            raise ValueError(
+                f"points=[...] requires mode='points', got mode {self.mode!r}"
+            )
         axes = {str(name): _as_list(values) for name, values in self.axes.items()}
         if not axes:
             raise ValueError("a sweep needs at least one axis")
@@ -67,6 +149,16 @@ class SweepSpec:
         """Lock-step pairing of equally long axes."""
         return cls(mode="zip", axes=axes)
 
+    @classmethod
+    def from_points(cls, points: Sequence[Mapping[str, Any]]) -> "SweepSpec":
+        """Explicit list of parameter-override dicts, visited in order.
+
+        All points must share one key set (the spec's ``axis_names``).  This
+        is the spec shape adaptive campaigns (:mod:`repro.campaign`) produce
+        for each proposed batch.
+        """
+        return cls(mode="points", points=points)
+
     # --- refinement -------------------------------------------------------
 
     def refine(self, axis: str, factor: int = 2, scale: str = "linear") -> "SweepSpec":
@@ -80,6 +172,10 @@ class SweepSpec:
         """
         if self.mode == "zip":
             raise ValueError("cannot refine a zip sweep; refine the grid axes instead")
+        if self.mode == "points":
+            raise ValueError(
+                "cannot refine a points sweep; it has no axes to densify"
+            )
         if axis not in self.axes:
             raise KeyError(f"no axis {axis!r}; available: {sorted(self.axes)}")
         if factor < 2:
@@ -114,6 +210,12 @@ class SweepSpec:
         :func:`repro.dist.shards.merge_results` validates across partial
         results; :meth:`from_meta` round-trips it.
         """
+        if self.mode == "points":
+            return {
+                "mode": "points",
+                "points": [dict(point) for point in self.explicit_points or ()],
+                "n_points": len(self),
+            }
         return {
             "mode": self.mode,
             "axes": {name: list(values) for name, values in self.axes.items()},
@@ -133,22 +235,41 @@ class SweepSpec:
         if not isinstance(meta, Mapping):
             raise ValueError(
                 "not a sweep descriptor: expected a mapping with an 'axes' "
-                f"key, got {type(meta).__name__}"
+                f"or 'points' key, got {type(meta).__name__}"
             )
-        unknown = sorted(set(map(str, meta)) - {"mode", "axes", "n_points"})
+        unknown = sorted(set(map(str, meta)) - {"mode", "axes", "points", "n_points"})
         if unknown:
             raise ValueError(
                 f"sweep descriptor has unknown fields {unknown}; "
-                "allowed: 'mode', 'axes', 'n_points'"
+                "allowed: 'mode', 'axes', 'points', 'n_points'"
+            )
+        mode = meta.get("mode", "grid")
+        if mode not in ("grid", "zip", "points"):
+            raise ValueError(
+                f"sweep descriptor field 'mode' must be 'grid', 'zip' or "
+                f"'points', got {mode!r}"
+            )
+        if mode == "points":
+            if "axes" in meta:
+                raise ValueError(
+                    "a points sweep descriptor carries 'points', not 'axes'"
+                )
+            if "points" not in meta:
+                raise ValueError(
+                    "points sweep descriptor is missing the 'points' field"
+                )
+            try:
+                spec = cls(mode="points", points=meta["points"])
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"sweep descriptor field 'points': {error}")
+            return cls._check_declared_count(spec, meta)
+        if "points" in meta:
+            raise ValueError(
+                f"sweep descriptor field 'points' requires mode 'points', "
+                f"got mode {mode!r}"
             )
         if "axes" not in meta:
             raise ValueError("sweep descriptor is missing the 'axes' field")
-        mode = meta.get("mode", "grid")
-        if mode not in ("grid", "zip"):
-            raise ValueError(
-                f"sweep descriptor field 'mode' must be 'grid' or 'zip', "
-                f"got {mode!r}"
-            )
         axes = meta["axes"]
         if not isinstance(axes, Mapping):
             raise ValueError(
@@ -162,6 +283,10 @@ class SweepSpec:
                     f"values, got {values!r}"
                 )
         spec = cls(mode=mode, axes=dict(axes))
+        return cls._check_declared_count(spec, meta)
+
+    @staticmethod
+    def _check_declared_count(spec: "SweepSpec", meta: Mapping[str, Any]) -> "SweepSpec":
         declared = meta.get("n_points")
         if declared is not None:
             if not isinstance(declared, int) or isinstance(declared, bool):
@@ -172,7 +297,7 @@ class SweepSpec:
             if declared != len(spec):
                 raise ValueError(
                     f"sweep descriptor field 'n_points' is {declared} but the "
-                    f"axes expand to {len(spec)} points"
+                    f"spec expands to {len(spec)} points"
                 )
         return spec
 
@@ -181,9 +306,13 @@ class SweepSpec:
     @property
     def axis_names(self) -> list[str]:
         """The swept parameter names in declaration order."""
+        if self.mode == "points":
+            return list((self.explicit_points or ({},))[0])
         return list(self.axes)
 
     def __len__(self) -> int:
+        if self.mode == "points":
+            return len(self.explicit_points or ())
         if self.mode == "zip":
             return len(next(iter(self.axes.values())))
         size = 1
@@ -196,6 +325,8 @@ class SweepSpec:
 
     def points(self) -> list[dict[str, Any]]:
         """Expand into one parameter-override dict per sweep point."""
+        if self.mode == "points":
+            return [dict(point) for point in self.explicit_points or ()]
         names = self.axis_names
         if self.mode == "zip":
             return [

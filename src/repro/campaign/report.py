@@ -1,0 +1,105 @@
+"""Campaign outcome summary: best point, trajectory, savings vs the grid.
+
+A :class:`CampaignReport` is what :meth:`repro.campaign.Campaign.run`
+returns: the merged :class:`~repro.api.results.ResultSet` of every visited
+point plus the campaign-level accounting the CLI prints and the CI smoke
+job asserts on (``n_executed == 0`` for a replayed campaign, savings vs
+the full grid for a converged one).  ``to_dict()`` is the JSON view; it is
+also stored under ``meta["campaign"]`` of the result, so a fetched service
+result carries its own campaign provenance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.results import ResultSet
+
+__all__ = ["CampaignReport"]
+
+
+@dataclass
+class CampaignReport:
+    """Everything a finished (or stopped) campaign knows about itself."""
+
+    experiment: str
+    objective: str
+    mode: str
+    strategy: str
+    seed: int
+    batch_size: int
+    budget: int
+    pool_size: int
+    rounds: int
+    n_visited: int
+    n_executed: int
+    stop_reason: str
+    best_point: dict[str, Any] | None
+    best_value: float | None
+    trajectory: list[dict[str, Any]] = field(default_factory=list)
+    result: ResultSet | None = field(default=None, repr=False)
+
+    @property
+    def n_cached(self) -> int:
+        """Visited points served from the store instead of executed."""
+        return self.n_visited - self.n_executed
+
+    @property
+    def grid_fraction(self) -> float:
+        """Visited points as a fraction of the full candidate pool."""
+        return self.n_visited / self.pool_size if self.pool_size else 0.0
+
+    @property
+    def savings(self) -> float:
+        """Fraction of the full grid the campaign did *not* have to visit."""
+        return 1.0 - self.grid_fraction
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable summary (stored under ``meta["campaign"]``)."""
+        return {
+            "experiment": self.experiment,
+            "objective": self.objective,
+            "mode": self.mode,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "budget": self.budget,
+            "pool_size": self.pool_size,
+            "rounds": self.rounds,
+            "n_visited": self.n_visited,
+            "n_executed": self.n_executed,
+            "n_cached": self.n_cached,
+            "grid_fraction": self.grid_fraction,
+            "savings": self.savings,
+            "stop_reason": self.stop_reason,
+            "best_point": self.best_point,
+            "best_value": self.best_value,
+            "trajectory": list(self.trajectory),
+            "result_hash": None if self.result is None else self.result.content_hash,
+        }
+
+    def write_json(self, path: str) -> None:
+        """Atomically write the ``to_dict()`` summary to ``path``."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def summary(self) -> str:
+        """One-line human summary (what the CLI prints at exit)."""
+        best = (
+            "no best point"
+            if self.best_value is None
+            else f"best {self.objective}={self.best_value:g} at {self.best_point}"
+        )
+        return (
+            f"campaign {self.experiment!r} [{self.strategy}] "
+            f"{self.stop_reason}: {self.n_visited}/{self.pool_size} points "
+            f"({self.savings:.0%} of the grid saved, {self.n_executed} "
+            f"executed, {self.n_cached} cached) in {self.rounds} rounds; "
+            f"{best}"
+        )

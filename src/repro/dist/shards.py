@@ -210,6 +210,13 @@ def merge_results(
                 k: list(v) for k, v in spec.axes.items()
             }:
                 raise ValueError("partial results belong to different sweeps")
+        elif isinstance(part_sweep, Mapping) and "points" in part_sweep:
+            # Explicit-point parts (campaign batches): same identity check,
+            # keyed on the canonical point list instead of the axes.
+            theirs = {point_key(p) for p in part_sweep["points"]}
+            ours = {point_key(p) for p in spec.points()}
+            if not theirs <= ours:
+                raise ValueError("partial results belong to different sweeps")
 
     points = spec.points()
     axis_names = spec.axis_names

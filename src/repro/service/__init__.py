@@ -12,7 +12,7 @@ serially.
 The pieces, one module each:
 
 * :class:`JobSpec` (:mod:`repro.service.jobs`) -- the validated unit of
-  work: one sweep or study execution request;
+  work: one sweep, study, or adaptive-campaign execution request;
 * :class:`SpecQueue` (:mod:`repro.service.queue`) -- the durable queue:
   submit/claim/complete with exactly-once leasing borrowed from
   :class:`~repro.dist.store.SharedStore`;

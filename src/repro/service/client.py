@@ -151,6 +151,59 @@ class ServiceClient:
             span.set("job_id", job_id)
         return job_id
 
+    def submit_campaign(
+        self,
+        experiment: str,
+        sweep: SweepSpec | Mapping[str, Any],
+        objective: str,
+        mode: str = "min",
+        batch: int = 8,
+        budget: int | None = None,
+        strategy: str = "surrogate",
+        seed: int = 0,
+        target: float | None = None,
+        patience: int | None = None,
+        tolerance: float = 0.0,
+        params: Mapping[str, Any] | None = None,
+        stage_params: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> str:
+        """Submit a closed-loop adaptive campaign job; returns its job id.
+
+        ``sweep`` is the campaign's candidate pool; the daemon runs a
+        :class:`~repro.campaign.Campaign` over it (strategy/batch/budget/
+        stopping rules as given) and stores the merged ResultSet of every
+        visited point, with the campaign report under ``meta["campaign"]``.
+        """
+        campaign: dict[str, Any] = {
+            "objective": objective,
+            "mode": mode,
+            "batch": batch,
+            "strategy": strategy,
+            "seed": seed,
+            "tolerance": tolerance,
+        }
+        if budget is not None:
+            campaign["budget"] = budget
+        if target is not None:
+            campaign["target"] = target
+        if patience is not None:
+            campaign["patience"] = patience
+        body: dict[str, Any] = {
+            "experiment": experiment,
+            "sweep": _sweep_descriptor(sweep),
+            "campaign": campaign,
+        }
+        if params:
+            body["params"] = dict(params)
+        if stage_params:
+            body["stage_params"] = {k: dict(v) for k, v in stage_params.items()}
+        with trace_span(
+            "client.submit_campaign", experiment=experiment, objective=objective
+        ) as span:
+            job_id = self._post_json("/submit_campaign", body)["job_id"]
+            span.set("job_id", job_id)
+        return job_id
+
     def status(self, job_id: str) -> dict[str, Any]:
         """One job's status view (state, progress, worker, error)."""
         return self._get_json(f"/status/{job_id}")

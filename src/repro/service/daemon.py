@@ -14,8 +14,10 @@ point results live) and serves until stopped:
   :func:`repro.dist.worker.run_worker` -- the same claim/execute/publish
   loop, heartbeats and shard-aware claiming a shell worker uses -- and
   study jobs resolve their pipeline stage-aware first, so N daemons on one
-  store cooperate point by point even *within* one job; a background
-  heartbeat renews the job lease the whole time;
+  store cooperate point by point even *within* one job; campaign jobs run
+  the closed-loop :class:`~repro.campaign.Campaign` runner against the
+  store, publishing every visited point; a background heartbeat renews the
+  job lease the whole time;
 * **publish**: the merged ResultSet (assembled from the store, hence
   bit-identical to a serial run) is exported next to the queue entry and
   the completion record is published atomically.  A job that raises gets a
@@ -124,6 +126,40 @@ def execute_job(
     records the job tombstone.
     """
     stage_params = dict(job.stage_params) or None
+    if job.kind == "campaign":
+        # The campaign runner drives the store-backed engine itself: every
+        # visited point publishes into the shared store, so a re-submitted
+        # or resumed campaign replays from cache like any sweep.
+        from repro.campaign import Campaign, CampaignError
+
+        settings = dict(job.campaign or {})
+        try:
+            campaign = Campaign(
+                job.name,
+                job.sweep,
+                settings["objective"],
+                mode=settings["mode"],
+                strategy=settings["strategy"],
+                batch_size=settings["batch"],
+                budget=settings.get("budget"),
+                seed=settings["seed"],
+                base_params=dict(job.params),
+                stage_params=stage_params,
+                target=settings.get("target"),
+                patience=settings.get("patience"),
+                tolerance=settings["tolerance"],
+                engine=Engine(store=store),
+            )
+            report = campaign.run(on_progress if on_progress is not None else None)
+        except CampaignError as error:
+            raise JobExecutionError(str(error))
+        if report.result is None:
+            raise JobExecutionError(
+                "campaign stopped before visiting any point "
+                f"({report.stop_reason})"
+            )
+        return report.result
+
     if job.kind == "study":
         study = get_study(job.name)
         merged: dict[str, dict[str, Any]] = {

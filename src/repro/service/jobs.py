@@ -11,7 +11,12 @@ the typed form of that document:
   overrides for composite experiments);
 * ``kind="study"``: execute a registered :class:`~repro.api.study.Study`
   end to end -- with its default sweep, or an explicit ``sweep`` override,
-  and ``stage_params`` merged over the study's own per-stage parameters.
+  and ``stage_params`` merged over the study's own per-stage parameters;
+* ``kind="campaign"``: run a closed-loop adaptive campaign
+  (:class:`~repro.campaign.Campaign`) over the ``sweep`` candidate pool --
+  the ``campaign`` settings mapping carries the objective column, min/max
+  mode, batch size, budget, strategy name, seed and stopping rules (see
+  ``docs/CAMPAIGNS.md``).
 
 Job payloads arrive from *untrusted clients* (hand-written curl bodies, see
 ``docs/SERVICE.md``), so deserialisation is strict: :meth:`JobSpec.
@@ -36,7 +41,7 @@ from repro.api.experiment import get_experiment
 from repro.api.study import get_study, resolve_pipeline
 from repro.api.sweep import SweepSpec
 
-JOB_KINDS = ("sweep", "study")
+JOB_KINDS = ("sweep", "study", "campaign")
 
 # Job lifecycle states, as reported by SpecQueue.status()/the HTTP API.
 JOB_QUEUED = "queued"
@@ -45,7 +50,20 @@ JOB_DONE = "done"
 JOB_FAILED = "failed"
 JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
 
-_PAYLOAD_FIELDS = {"kind", "name", "sweep", "params", "stage_params"}
+_PAYLOAD_FIELDS = {"kind", "name", "sweep", "params", "stage_params", "campaign"}
+
+# The campaign-settings mapping of a kind="campaign" job, with defaults.
+_CAMPAIGN_FIELDS = {
+    "objective": None,  # required
+    "mode": "min",
+    "batch": 8,
+    "budget": None,
+    "strategy": "surrogate",
+    "seed": 0,
+    "target": None,
+    "patience": None,
+    "tolerance": 0.0,
+}
 
 
 def _checked_params(value: Any, label: str) -> dict[str, Any]:
@@ -74,6 +92,65 @@ def _checked_stage_params(value: Any) -> dict[str, dict[str, Any]]:
     }
 
 
+def _checked_campaign(value: Any) -> dict[str, Any]:
+    """Validate a campaign-settings mapping; defaults applied, fields typed."""
+    if not isinstance(value, Mapping):
+        raise ValueError(
+            "job field 'campaign' must be a mapping of campaign settings, "
+            f"got {type(value).__name__}"
+        )
+    unknown = sorted(set(map(str, value)) - set(_CAMPAIGN_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"job field 'campaign' has unknown settings {unknown}; "
+            f"allowed: {sorted(_CAMPAIGN_FIELDS)}"
+        )
+    settings = {**_CAMPAIGN_FIELDS, **{str(k): v for k, v in value.items()}}
+    objective = settings["objective"]
+    if not isinstance(objective, str) or not objective:
+        raise ValueError(
+            "campaign setting 'objective' must be a non-empty column name, "
+            f"got {objective!r}"
+        )
+    if settings["mode"] not in ("min", "max"):
+        raise ValueError(
+            f"campaign setting 'mode' must be 'min' or 'max', "
+            f"got {settings['mode']!r}"
+        )
+    from repro.campaign.strategies import STRATEGIES
+
+    if settings["strategy"] not in STRATEGIES:
+        raise ValueError(
+            f"campaign setting 'strategy' must be one of {sorted(STRATEGIES)}, "
+            f"got {settings['strategy']!r}"
+        )
+    for name, minimum in (("batch", 1), ("budget", 1), ("patience", 1), ("seed", None)):
+        cell = settings[name]
+        if cell is None and name != "batch" and name != "seed":
+            continue
+        if not isinstance(cell, int) or isinstance(cell, bool):
+            raise ValueError(
+                f"campaign setting {name!r} must be an integer, got {cell!r}"
+            )
+        if minimum is not None and cell < minimum:
+            raise ValueError(
+                f"campaign setting {name!r} must be >= {minimum}, got {cell}"
+            )
+    for name in ("target", "tolerance"):
+        cell = settings[name]
+        if cell is None and name == "target":
+            continue
+        if not isinstance(cell, (int, float)) or isinstance(cell, bool):
+            raise ValueError(
+                f"campaign setting {name!r} must be a number, got {cell!r}"
+            )
+    if settings["tolerance"] < 0:
+        raise ValueError(
+            f"campaign setting 'tolerance' must be >= 0, got {settings['tolerance']}"
+        )
+    return settings
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One submitted unit of service work: a sweep or a study execution.
@@ -95,6 +172,10 @@ class JobSpec:
         Per-experiment parameter overrides for pipeline stages, keyed by
         experiment name (the :class:`~repro.api.study.Study` ``params``
         shape).
+    campaign:
+        Campaign settings for ``kind="campaign"`` jobs (objective, mode,
+        batch, budget, strategy, seed, target, patience, tolerance); the
+        job's ``sweep`` is then the campaign's candidate pool.
     """
 
     kind: str
@@ -102,6 +183,7 @@ class JobSpec:
     sweep: SweepSpec | None = None
     params: Mapping[str, Any] = field(default_factory=dict)
     stage_params: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    campaign: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -128,6 +210,23 @@ class JobSpec:
                 "study jobs take per-stage overrides in 'stage_params' "
                 "(keyed by experiment name), not flat 'params'"
             )
+        if self.kind == "campaign":
+            if self.sweep is None:
+                raise ValueError(
+                    "a campaign job needs a 'sweep' descriptor for its "
+                    "candidate pool"
+                )
+            if self.campaign is None:
+                raise ValueError(
+                    "a campaign job needs a 'campaign' settings mapping "
+                    "(at least {'objective': <column>})"
+                )
+            object.__setattr__(self, "campaign", _checked_campaign(self.campaign))
+        elif self.campaign is not None:
+            raise ValueError(
+                f"job field 'campaign' only applies to campaign jobs, "
+                f"not kind {self.kind!r}"
+            )
 
     # --- registry validation ----------------------------------------------
 
@@ -142,7 +241,7 @@ class JobSpec:
         clear 400 instead of leaving a daemon to fail it later.  Returns
         ``self`` for chaining.
         """
-        if self.kind == "sweep":
+        if self.kind in ("sweep", "campaign"):
             experiment = get_experiment(self.name)
             for axis in self.sweep.axis_names:
                 experiment.spec(axis)  # raises ParameterError on unknown axes
@@ -166,7 +265,7 @@ class JobSpec:
 
     def to_payload(self) -> dict[str, Any]:
         """The JSON document written into the queue (see :meth:`from_payload`)."""
-        return {
+        payload = {
             "kind": self.kind,
             "name": self.name,
             "sweep": None if self.sweep is None else self.sweep.to_meta(),
@@ -175,6 +274,9 @@ class JobSpec:
                 name: dict(values) for name, values in self.stage_params.items()
             },
         }
+        if self.campaign is not None:
+            payload["campaign"] = dict(self.campaign)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Any) -> "JobSpec":
@@ -205,9 +307,16 @@ class JobSpec:
             sweep=sweep,
             params=payload.get("params"),
             stage_params=payload.get("stage_params"),
+            campaign=payload.get("campaign"),
         )
 
     def describe(self) -> str:
         """One-line human summary (daemon logs and ``repro status``)."""
         sweep = "-" if self.sweep is None else f"{self.sweep.mode}[{len(self.sweep)}]"
+        if self.kind == "campaign" and self.campaign is not None:
+            return (
+                f"campaign {self.name} pool={sweep} "
+                f"{self.campaign['mode']}({self.campaign['objective']}) "
+                f"[{self.campaign['strategy']}]"
+            )
         return f"{self.kind} {self.name} sweep={sweep}"

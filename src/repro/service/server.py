@@ -17,6 +17,12 @@ Endpoint contract (all JSON; see ``docs/SERVICE.md`` for curl sessions):
 ``POST /submit_study``
     Body ``{"study", "sweep"?, "params"?}`` where ``params`` are per-stage
     overrides keyed by experiment name.  Returns ``{"job_id"}``.
+``POST /submit_campaign``
+    Body ``{"experiment", "sweep": <candidate pool>, "campaign":
+    {"objective", "mode"?, "batch"?, "budget"?, "strategy"?, "seed"?,
+    "target"?, "patience"?, "tolerance"?}, "params"?, "stage_params"?}``.
+    Queues a closed-loop adaptive campaign (see ``docs/CAMPAIGNS.md``).
+    Returns ``{"job_id"}``.
 ``GET /status/<job_id>``
     The job's merged status view (state queued/running/done/failed,
     progress, worker, error).  404 for unknown ids.
@@ -168,7 +174,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if path.startswith("/fetch_results/"):
             return "/fetch_results"
         if path in ("/health", "/list_jobs", "/metrics", "/submit_sweep",
-                    "/submit_study", "/status", "/fetch_results"):
+                    "/submit_study", "/submit_campaign", "/status",
+                    "/fetch_results"):
             return path
         return "other"
 
@@ -223,6 +230,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self._submit(self._sweep_payload(self._read_body()))
                 elif path == "/submit_study":
                     self._submit(self._study_payload(self._read_body()))
+                elif path == "/submit_campaign":
+                    self._submit(self._campaign_payload(self._read_body()))
                 elif path in ("/health", "/list_jobs", "/metrics") or path.startswith(
                     ("/status/", "/fetch_results/")
                 ):
@@ -259,6 +268,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
             "name": body["study"],
             "sweep": body.get("sweep"),
             "stage_params": body.get("params"),
+        }
+
+    @staticmethod
+    def _campaign_payload(body: dict[str, Any]) -> dict[str, Any]:
+        for required in ("experiment", "sweep", "campaign"):
+            if required not in body:
+                raise _HttpFault(
+                    400, f"submit_campaign body is missing field {required!r}"
+                )
+        return {
+            "kind": "campaign",
+            "name": body["experiment"],
+            "sweep": body["sweep"],
+            "campaign": body["campaign"],
+            "params": body.get("params"),
+            "stage_params": body.get("stage_params"),
         }
 
     def _submit(self, payload: dict[str, Any]) -> None:

@@ -427,3 +427,100 @@ class TestTraceCommand:
         code, _, err = run_cli(capsys, "trace", "summary", str(empty))
         assert code == 1
         assert "no spans" in err
+
+
+class TestSweepSeed:
+    def test_seed_threads_into_base_params(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "variability",
+            "--grid", "length_um=1,10",
+            "-p", "n_devices=8",
+            "--seed", "3",
+            "--limit", "0",
+        )
+        assert code == 0
+        assert "2 points" in out
+
+    def test_seed_needs_a_seed_parameter(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "sweep", "table_density",
+            "--grid", "length_um=1,10",
+            "--seed", "3",
+        )
+        assert code == 2
+        assert "declares no 'seed' parameter" in err
+
+    def test_seed_conflicts_with_explicit_param(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "sweep", "variability",
+            "--grid", "length_um=1,10",
+            "-p", "seed=1",
+            "--seed", "3",
+        )
+        assert code == 2
+        assert "seed" in err
+
+    def test_seed_conflicts_with_seed_axis(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "sweep", "variability",
+            "--grid", "seed=1,2",
+            "--seed", "3",
+        )
+        assert code == 2
+        assert "seed" in err
+
+
+class TestCampaign:
+    GRID = "temperatures_c=" + ";".join(str(t) for t in range(300, 800, 50))
+
+    def campaign(self, capsys, tmp_path, label, *extra):
+        return run_cli(
+            capsys,
+            "campaign", "run", "growth_window",
+            "--grid", self.GRID,
+            "--objective", "quality", "--mode", "max",
+            "--strategy", "surrogate",
+            "--batch", "2", "--budget", "6", "--seed", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--report", str(tmp_path / f"report-{label}.json"),
+            "--limit", "0",
+            *extra,
+        )
+
+    def test_campaign_run_and_cache_replay(self, capsys, tmp_path):
+        code, out, _ = self.campaign(capsys, tmp_path, "first")
+        assert code == 0
+        assert "campaign" in out and "best" in out
+        first = json.loads((tmp_path / "report-first.json").read_text())
+        assert first["n_visited"] == 6
+        assert first["n_executed"] == 6
+
+        # Same store, same seed, fresh campaign: a pure cache replay.
+        code, _, _ = self.campaign(capsys, tmp_path, "replay")
+        assert code == 0
+        replay = json.loads((tmp_path / "report-replay.json").read_text())
+        assert replay["n_executed"] == 0
+        assert replay["result_hash"] == first["result_hash"]
+        assert replay["best_value"] == first["best_value"]
+
+    def test_campaign_rejects_no_cache(self, capsys, tmp_path):
+        code, _, err = self.campaign(capsys, tmp_path, "x", "--no-cache")
+        assert code == 2
+        assert "cache" in err
+
+    def test_campaign_unknown_objective_is_clean(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "campaign", "run", "growth_window",
+            "--grid", self.GRID,
+            "--objective", "nope",
+            "--budget", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--limit", "0",
+        )
+        assert code == 2
+        assert "'nope'" in err

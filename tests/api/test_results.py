@@ -130,3 +130,60 @@ class TestProvenance:
         b = ResultSet.from_records([{"x": math.nan}], meta={"b": 2})
         assert a == b
         assert ResultSet.from_records([{"x": 1.0}]) != ResultSet.from_records([{"x": 2.0}])
+
+
+class TestBestAndTopK:
+    @pytest.fixture
+    def rs(self):
+        return ResultSet.from_records(RECORDS)
+
+    def test_best_min_and_max(self, rs):
+        assert rs.best("r_ohm")["r_ohm"] == 5.0
+        assert rs.best("r_ohm", mode="max")["r_ohm"] == 50.0
+
+    def test_best_ties_go_to_the_earliest_record(self):
+        rs = ResultSet.from_records(
+            [{"tag": "first", "v": 1.0}, {"tag": "second", "v": 1.0}]
+        )
+        assert rs.best("v")["tag"] == "first"
+
+    def test_best_skips_none_and_nan(self):
+        rs = ResultSet.from_records(
+            [{"v": None}, {"v": math.nan}, {"v": 3.0}, {"v": 7.0}]
+        )
+        assert rs.best("v")["v"] == 3.0
+
+    def test_best_unknown_column(self, rs):
+        with pytest.raises(KeyError, match="no_such"):
+            rs.best("no_such")
+
+    def test_best_empty_or_all_missing(self):
+        with pytest.raises(ValueError, match="no record has a comparable"):
+            ResultSet.from_records([{"v": None}]).best("v")
+
+    def test_best_bad_mode(self, rs):
+        with pytest.raises(ValueError, match="'min' or 'max'"):
+            rs.best("r_ohm", mode="middle")
+
+    def test_top_k_orders_and_truncates(self, rs):
+        top = rs.top_k("r_ohm", 2)
+        assert [r["r_ohm"] for r in top.to_records()] == [5.0, 20.0]
+        worst = rs.top_k("r_ohm", 3, mode="max")
+        assert [r["r_ohm"] for r in worst.to_records()] == [50.0, 30.0, 20.0]
+
+    def test_top_k_keeps_incomparables_last(self):
+        rs = ResultSet.from_records([{"v": math.nan}, {"v": 2.0}, {"v": 1.0}])
+        assert [r["v"] for r in rs.top_k("v", 2).to_records()] == [1.0, 2.0]
+        tail = rs.top_k("v", 3).to_records()
+        assert math.isnan(tail[-1]["v"])
+
+    def test_top_k_beyond_length_returns_everything(self, rs):
+        assert len(rs.top_k("r_ohm", 99)) == len(rs)
+
+    def test_top_k_preserves_meta(self, rs):
+        rs.meta["note"] = "tagged"
+        assert rs.top_k("r_ohm", 1).meta["note"] == "tagged"
+
+    def test_top_k_bad_k(self, rs):
+        with pytest.raises(ValueError, match="k >= 1"):
+            rs.top_k("r_ohm", 0)

@@ -115,7 +115,9 @@ class TestFromMeta:
             SweepSpec.from_meta({"mode": "grid"})
 
     def test_bad_mode_rejected(self):
-        with pytest.raises(ValueError, match="'mode' must be 'grid' or 'zip'"):
+        with pytest.raises(
+            ValueError, match="'mode' must be 'grid', 'zip' or 'points'"
+        ):
             SweepSpec.from_meta({"mode": "cartesian", "axes": {"a": [1]}})
 
     def test_non_mapping_axes_rejected(self):
@@ -141,3 +143,65 @@ class TestFromMeta:
     def test_inconsistent_n_points_rejected(self):
         with pytest.raises(ValueError, match="'n_points' is 3 but"):
             SweepSpec.from_meta({"axes": {"a": [1, 2]}, "n_points": 3})
+
+
+class TestPointsMode:
+    def test_explicit_points_round_trip(self):
+        points = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        spec = SweepSpec.from_points(points)
+        assert spec.mode == "points"
+        assert spec.points() == points
+        assert len(spec) == 2
+        assert spec.axis_names == ["a", "b"]
+
+    def test_points_are_copied(self):
+        points = [{"a": 1}]
+        spec = SweepSpec.from_points(points)
+        points[0]["a"] = 99
+        assert spec.points() == [{"a": 1}]
+        spec.points()[0]["a"] = 99
+        assert spec.points() == [{"a": 1}]
+
+    def test_to_meta_from_meta_round_trip(self):
+        spec = SweepSpec.from_points([{"a": 1.0, "b": (2.0,)}, {"a": 3.0, "b": (4.0,)}])
+        meta = spec.to_meta()
+        assert meta["mode"] == "points"
+        assert meta["n_points"] == 2
+        again = SweepSpec.from_meta(meta)
+        assert again == spec
+        assert again.points() == spec.points()
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            SweepSpec.from_points([])
+
+    def test_non_mapping_point_rejected(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            SweepSpec.from_points([("a", 1)])
+
+    def test_inconsistent_keys_rejected(self):
+        with pytest.raises(ValueError, match="share one key set"):
+            SweepSpec.from_points([{"a": 1}, {"b": 2}])
+
+    def test_points_mode_requires_points(self):
+        with pytest.raises(ValueError, match=r"needs points=\["):
+            SweepSpec(mode="points")
+
+    def test_points_mode_rejects_axes(self):
+        with pytest.raises(ValueError, match="not axes"):
+            SweepSpec(mode="points", axes={"a": [1]}, points=[{"a": 1}])
+
+    def test_grid_mode_rejects_points(self):
+        with pytest.raises(ValueError, match="requires mode='points'"):
+            SweepSpec(axes={"a": [1]}, points=[{"a": 1}])
+
+    def test_points_meta_rejects_axes_field(self):
+        with pytest.raises(ValueError, match="carries 'points', not 'axes'"):
+            SweepSpec.from_meta(
+                {"mode": "points", "axes": {"a": [1]}, "points": [{"a": 1}]}
+            )
+
+    def test_refine_rejected(self):
+        spec = SweepSpec.from_points([{"a": 1}])
+        with pytest.raises(ValueError, match="cannot refine a points sweep"):
+            spec.refine("a", 3)

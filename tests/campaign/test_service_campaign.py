@@ -1,0 +1,188 @@
+"""Campaign jobs through the service stack: spec validation, daemon
+execution, and the HTTP submit_campaign endpoint end to end."""
+
+import threading
+
+import pytest
+
+from repro.api import SweepSpec
+from repro.dist import SharedStore
+from repro.service import (
+    JobSpec,
+    ServiceClient,
+    ServiceError,
+    SpecQueue,
+    make_server,
+    serve_queue,
+)
+
+GROWTH_POOL = SweepSpec.grid(
+    temperatures_c=[(200.0 + 25.0 * i,) for i in range(24)],
+    catalyst=["Fe", "Co"],
+)
+
+CAMPAIGN = {
+    "objective": "quality",
+    "mode": "max",
+    "batch": 3,
+    "budget": 9,
+    "strategy": "surrogate",
+    "seed": 0,
+}
+
+
+def campaign_job(**overrides):
+    settings = dict(CAMPAIGN)
+    settings.update(overrides)
+    return JobSpec(
+        kind="campaign", name="growth_window", sweep=GROWTH_POOL,
+        campaign=settings,
+    )
+
+
+class TestJobSpec:
+    def test_round_trips_through_payload(self):
+        job = campaign_job()
+        again = JobSpec.from_payload(job.to_payload())
+        assert again.kind == "campaign"
+        assert again.campaign["objective"] == "quality"
+        assert again.campaign["budget"] == 9
+        assert SweepSpec.from_meta(again.sweep.to_meta()) == GROWTH_POOL
+
+    def test_describe_names_the_campaign(self):
+        description = campaign_job().describe()
+        assert "campaign growth_window" in description
+        assert "max(quality)" in description
+        assert "surrogate" in description
+
+    def test_defaults_fill_in(self):
+        job = JobSpec(
+            kind="campaign", name="growth_window", sweep=GROWTH_POOL,
+            campaign={"objective": "quality"},
+        )
+        assert job.campaign["mode"] == "min"
+        assert job.campaign["strategy"] == "surrogate"
+        assert job.campaign["batch"] == 8
+        assert job.campaign["seed"] == 0
+
+    def test_requires_campaign_settings(self):
+        with pytest.raises(ValueError, match="campaign"):
+            JobSpec(kind="campaign", name="growth_window", sweep=GROWTH_POOL)
+
+    def test_requires_a_sweep_pool(self):
+        with pytest.raises(ValueError, match="sweep"):
+            JobSpec(kind="campaign", name="growth_window", campaign=CAMPAIGN)
+
+    def test_rejects_objective_missing(self):
+        with pytest.raises(ValueError, match="objective"):
+            campaign_job(objective=None)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            campaign_job(strategy="genetic")
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            campaign_job(mode="down")
+
+    def test_rejects_unknown_settings(self):
+        with pytest.raises(ValueError, match="unknown settings"):
+            campaign_job(exploration=0.5)
+
+    def test_rejects_non_campaign_kind_with_campaign_settings(self):
+        with pytest.raises(ValueError, match="campaign"):
+            JobSpec(
+                kind="sweep", name="growth_window", sweep=GROWTH_POOL,
+                campaign=CAMPAIGN,
+            )
+
+    def test_validates_pool_against_registry(self):
+        job = campaign_job()
+        job.validate()  # growth_window declares these axes
+        bad = JobSpec(
+            kind="campaign", name="growth_window",
+            sweep=SweepSpec.grid(pressure=[1.0]), campaign=CAMPAIGN,
+        )
+        with pytest.raises(ValueError, match="pressure"):
+            bad.validate()
+
+
+class TestDaemonExecution:
+    def test_campaign_job_runs_to_done(self, tmp_path):
+        queue = SpecQueue(str(tmp_path / "queue"))
+        store = SharedStore(str(tmp_path / "store"))
+        job_id = queue.submit(campaign_job())
+
+        report = serve_queue(queue, store, drain=True)
+        assert report.executed == [job_id]
+
+        status = queue.status(job_id)
+        assert status["state"] == "done"
+
+        result = queue.load_result(job_id)
+        summary = result.meta["campaign"]
+        assert summary["n_visited"] == 9
+        assert summary["best_value"] == 1.0
+        assert summary["stop_reason"] == "budget"
+        assert len(result) > 0
+
+    def test_campaign_failure_is_recorded_not_fatal(self, tmp_path):
+        queue = SpecQueue(str(tmp_path / "queue"))
+        store = SharedStore(str(tmp_path / "store"))
+        job_id = queue.submit(campaign_job(objective="no_such_column"))
+
+        report = serve_queue(queue, store, drain=True)
+        assert report.failed == [job_id]
+        assert "no_such_column" in (queue.status(job_id)["error"] or "")
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server = make_server(str(tmp_path / "queue"), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield {
+            "client": ServiceClient(server.url),
+            "queue": server.queue,
+            "store": SharedStore(str(tmp_path / "store")),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+class TestHttpEndToEnd:
+    def test_submit_wait_fetch(self, service):
+        client = service["client"]
+        job_id = client.submit_campaign(
+            "growth_window", GROWTH_POOL, "quality",
+            mode="max", batch=3, budget=9, seed=0,
+        )
+        assert client.status(job_id)["state"] == "queued"
+        assert client.status(job_id)["kind"] == "campaign"
+
+        serve_queue(service["queue"], service["store"], drain=True)
+
+        status = client.wait(job_id, timeout=60)
+        assert status["state"] == "done"
+        result = client.fetch_results(job_id)
+        assert result.meta["campaign"]["best_value"] == 1.0
+        assert result.meta["campaign"]["n_visited"] == 9
+
+    def test_submit_validates_at_the_server(self, service):
+        with pytest.raises(ServiceError) as err:
+            service["client"].submit_campaign(
+                "growth_window", GROWTH_POOL, "quality", strategy="genetic"
+            )
+        assert err.value.status == 400
+        assert "strategy" in str(err.value)
+
+    def test_submit_requires_campaign_fields(self, service):
+        with pytest.raises(ServiceError) as err:
+            service["client"]._post_json(
+                "/submit_campaign",
+                {"experiment": "growth_window", "sweep": GROWTH_POOL.to_meta()},
+            )
+        assert err.value.status == 400

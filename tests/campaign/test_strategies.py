@@ -1,0 +1,202 @@
+"""Strategy unit tests: pool bookkeeping, seeding, selection behaviour."""
+
+import pytest
+
+from repro.api import ResultSet, SweepSpec
+from repro.campaign import (
+    STRATEGIES,
+    LatinHypercubeStrategy,
+    RandomStrategy,
+    RefineStrategy,
+    SurrogateStrategy,
+    make_strategy,
+    point_objectives,
+)
+
+SPACE = SweepSpec.grid(x=[0.0, 1.0, 2.0, 3.0, 4.0], y=[0.0, 1.0, 2.0, 3.0])
+
+
+def history_of(points, objective_values):
+    """A minimal tagged history: one record per point with an 'obj' column."""
+    return ResultSet.from_records(
+        [{**point, "obj": value} for point, value in zip(points, objective_values)]
+    )
+
+
+class TestPointObjectives:
+    def test_aggregates_one_score_per_point(self):
+        history = history_of([{"x": 0.0, "y": 0.0}, {"x": 1.0, "y": 0.0}], [3.0, 1.0])
+        scores = point_objectives(history, ["x", "y"], "obj", mode="min")
+        assert len(scores) == 2
+        assert sorted(scores.values()) == [1.0, 3.0]
+
+    def test_multi_record_point_keeps_extremal_value(self):
+        records = [
+            {"x": 0.0, "y": 0.0, "obj": 5.0},
+            {"x": 0.0, "y": 0.0, "obj": 2.0},
+            {"x": 0.0, "y": 0.0, "obj": 9.0},
+        ]
+        history = ResultSet.from_records(records)
+        assert list(
+            point_objectives(history, ["x", "y"], "obj", mode="min").values()
+        ) == [2.0]
+        assert list(
+            point_objectives(history, ["x", "y"], "obj", mode="max").values()
+        ) == [9.0]
+
+    def test_nan_and_none_cells_are_skipped(self):
+        history = ResultSet.from_records(
+            [
+                {"x": 0.0, "y": 0.0, "obj": float("nan")},
+                {"x": 1.0, "y": 0.0, "obj": None},
+                {"x": 2.0, "y": 0.0, "obj": 4.0},
+            ]
+        )
+        assert list(
+            point_objectives(history, ["x", "y"], "obj", mode="min").values()
+        ) == [4.0]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="'min' or 'max'"):
+            point_objectives(ResultSet.from_records([]), ["x"], "obj", mode="best")
+
+
+class TestPoolBookkeeping:
+    def test_unvisited_excludes_history_points(self):
+        strategy = RandomStrategy(SPACE, "obj", seed=1)
+        visited = SPACE.points()[:3]
+        history = history_of(visited, [1.0, 2.0, 3.0])
+        remaining = strategy.unvisited(history)
+        assert len(remaining) == len(SPACE) - 3
+        assert all(p not in visited for p in remaining)
+
+    def test_param_prefixed_tag_columns_count_as_visited(self):
+        # The engine tags a colliding axis as param_<axis>; identity must
+        # survive that spelling.
+        strategy = RandomStrategy(SPACE, "obj", seed=1)
+        history = ResultSet.from_records([{"param_x": 0.0, "y": 0.0, "obj": 1.0}])
+        remaining = strategy.unvisited(history)
+        assert len(remaining) == len(SPACE) - 1
+
+    def test_batch_clamped_to_remaining_pool(self):
+        strategy = RandomStrategy(SPACE, "obj", seed=1)
+        points = SPACE.points()
+        history = history_of(points[:-2], [0.0] * (len(points) - 2))
+        assert len(strategy.propose(history, batch_size=10)) == 2
+
+    def test_exhausted_pool_proposes_nothing(self):
+        strategy = RandomStrategy(SPACE, "obj", seed=1)
+        points = SPACE.points()
+        history = history_of(points, [0.0] * len(points))
+        assert strategy.propose(history, batch_size=4) == []
+
+    def test_bad_batch_size_rejected(self):
+        strategy = RandomStrategy(SPACE, "obj", seed=1)
+        with pytest.raises(ValueError, match="batch_size"):
+            strategy.propose(ResultSet.from_records([]), batch_size=0)
+
+
+class TestSeeding:
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_same_seed_same_proposals(self, name):
+        empty = ResultSet.from_records([])
+        a = make_strategy(name, SPACE, "obj", mode="min", seed=42)
+        b = make_strategy(name, SPACE, "obj", mode="min", seed=42)
+        assert a.propose(empty, 5) == b.propose(empty, 5)
+
+    def test_different_seeds_eventually_differ(self):
+        empty = ResultSet.from_records([])
+        draws_a = RandomStrategy(SPACE, "obj", seed=1).propose(empty, 10)
+        draws_b = RandomStrategy(SPACE, "obj", seed=2).propose(empty, 10)
+        assert draws_a != draws_b
+
+    def test_proposals_are_copies(self):
+        strategy = RandomStrategy(SPACE, "obj", seed=0)
+        batch = strategy.propose(ResultSet.from_records([]), 1)
+        batch[0]["x"] = 999.0
+        assert all(p["x"] != 999.0 for p in strategy.pool)
+
+
+class TestLatinHypercube:
+    def test_batch_spreads_over_strata(self):
+        space = SweepSpec.grid(x=[float(i) for i in range(20)])
+        strategy = LatinHypercubeStrategy(space, "obj", seed=3)
+        batch = strategy.propose(ResultSet.from_records([]), 4)
+        # One draw per contiguous stratum of 5 -> all four quartiles hit.
+        strata = {int(point["x"] // 5) for point in batch}
+        assert strata == {0, 1, 2, 3}
+
+
+class TestRefine:
+    def test_zooms_towards_incumbent_best(self):
+        space = SweepSpec.grid(x=[float(i) for i in range(11)])
+        strategy = RefineStrategy(space, "obj", mode="min", seed=0)
+        history = history_of(
+            [{"x": 2.0}, {"x": 5.0}, {"x": 9.0}], [4.0, 0.5, 7.0]
+        )
+        batch = strategy.propose(history, 3)
+        assert all(abs(point["x"] - 5.0) <= 2.0 for point in batch)
+
+    def test_no_history_falls_back_to_stratified(self):
+        strategy = RefineStrategy(SPACE, "obj", seed=0)
+        assert len(strategy.propose(ResultSet.from_records([]), 4)) == 4
+
+
+class TestSurrogate:
+    def test_falls_back_until_min_fit_points(self):
+        strategy = SurrogateStrategy(SPACE, "obj", seed=0, min_fit=3)
+        history = history_of(SPACE.points()[:2], [1.0, 2.0])
+        assert len(strategy.propose(history, 4)) == 4
+
+    def test_exploits_the_basin_once_fit(self):
+        # Objective: distance to x=10 on a 1-D line; with a clear history
+        # signal and no jitter, EI must concentrate near the minimum.
+        space = SweepSpec.grid(x=[float(i) for i in range(21)])
+        strategy = SurrogateStrategy(
+            space, "obj", mode="min", seed=0, jitter=0.0, min_fit=3
+        )
+        visited = [{"x": 0.0}, {"x": 5.0}, {"x": 9.0}, {"x": 15.0}, {"x": 20.0}]
+        history = history_of(visited, [abs(p["x"] - 10.0) for p in visited])
+        batch = strategy.propose(history, 3)
+        assert all(abs(point["x"] - 10.0) <= 4.0 for point in batch)
+
+    def test_jitter_bounds_validated(self):
+        with pytest.raises(ValueError, match="jitter"):
+            SurrogateStrategy(SPACE, "obj", jitter=1.5)
+
+
+class TestEncoding:
+    def test_numeric_axes_min_max_normalised(self):
+        strategy = RandomStrategy(SPACE, "obj", seed=0)
+        assert strategy.encode({"x": 0.0, "y": 0.0}) == [0.0, 0.0]
+        assert strategy.encode({"x": 4.0, "y": 3.0}) == [1.0, 1.0]
+        assert strategy.encode({"x": 2.0, "y": 1.5})[0] == pytest.approx(0.5)
+
+    def test_singleton_tuple_values_unwrap(self):
+        space = SweepSpec.grid(temperatures_c=[(300.0,), (400.0,), (500.0,)])
+        strategy = RandomStrategy(space, "obj", seed=0)
+        assert strategy.encode({"temperatures_c": (400.0,)}) == [
+            pytest.approx(0.5)
+        ]
+
+    def test_categorical_axes_use_declaration_order(self):
+        space = SweepSpec.grid(catalyst=["Co", "Fe"], x=[1.0, 2.0])
+        strategy = RandomStrategy(space, "obj", seed=0)
+        assert strategy.encode({"catalyst": "Co", "x": 1.0})[0] == 0.0
+        assert strategy.encode({"catalyst": "Fe", "x": 1.0})[0] == 1.0
+
+
+class TestFactory:
+    def test_all_registered_names_build(self):
+        for name in STRATEGIES:
+            strategy = make_strategy(name, SPACE, "obj", mode="max", seed=9)
+            assert strategy.mode == "max"
+            assert strategy.seed == 9
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("genetic", SPACE, "obj")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="'min' or 'max'"):
+            RandomStrategy(SPACE, "obj", mode="extremise")
